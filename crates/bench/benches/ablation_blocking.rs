@@ -1,0 +1,73 @@
+//! Ablation: help-first blocking vs continuation-style composition
+//! (DESIGN.md §2.1).
+//!
+//! The same dependency chain expressed two ways: (a) blocking — each stage
+//! `wait()`s on the previous future from inside a task (help-first keeps
+//! the core busy, but each wait costs a scheduler interaction), and (b)
+//! continuation-passing — `async_future_await` chains, never blocking.
+//! This quantifies the overhead the paper avoids by emphasizing
+//! future-based APIs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hiper_platform::autogen;
+use hiper_runtime::{api, Promise, Runtime};
+
+const CHAIN: usize = 200;
+
+fn bench_blocking_vs_continuation(c: &mut Criterion) {
+    let rt = Runtime::new(autogen::smp(2));
+
+    let rt2 = rt.clone();
+    c.bench_function("chain_200_blocking_waits", |b| {
+        b.iter(|| {
+            rt2.block_on(|| {
+                let p = Promise::new();
+                let mut fut = p.future();
+                p.put(0u64);
+                for _ in 0..CHAIN {
+                    let prev = fut.clone();
+                    // Each stage is a task that *blocks* on its input.
+                    fut = api::async_future(move || {
+                        prev.wait();
+                        prev.get() + 1
+                    });
+                }
+                fut.get()
+            })
+        })
+    });
+
+    let rt2 = rt.clone();
+    c.bench_function("chain_200_continuations", |b| {
+        b.iter(|| {
+            rt2.block_on(|| {
+                let p = Promise::new();
+                let mut fut = p.future();
+                p.put(0u64);
+                for _ in 0..CHAIN {
+                    let prev = fut.clone();
+                    let prev2 = prev.clone();
+                    // Each stage is predicated on its input: no blocking.
+                    fut = api::async_future_await(&prev, move || prev2.get() + 1);
+                }
+                fut.get()
+            })
+        })
+    });
+
+    rt.shutdown();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_blocking_vs_continuation
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: pop/steal path policies (paper §II-B3).
+//!
+//! The same task storm — spawns scattered across the places of the Figure 2
+//! platform model — scheduled under each built-in path policy. Paths are
+//! pure data, so this isolates the cost/benefit of place-search order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hiper_platform::{autogen, PathPolicy, PlatformConfig};
+use hiper_runtime::{api, Runtime};
+
+fn platform_with(policy: PathPolicy) -> PlatformConfig {
+    let mut cfg = autogen::figure2(2); // 4 workers, 7 places
+    cfg.pop_policy = PathPolicy::HomeFirst;
+    cfg.steal_policy = policy;
+    cfg
+}
+
+fn storm(rt: &Runtime) {
+    let places: Vec<_> = rt.config().graph.places().iter().map(|p| p.id).collect();
+    let rt2 = rt.clone();
+    rt.block_on(move || {
+        api::finish(|| {
+            for i in 0..2000 {
+                let place = places[i % places.len()];
+                rt2.spawn_at(place, move || {
+                    std::hint::black_box((0..50u64).sum::<u64>());
+                });
+            }
+        });
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    for policy in [
+        PathPolicy::HomeFirst,
+        PathPolicy::Hierarchical,
+        PathPolicy::RandomizedHomeFirst,
+    ] {
+        let rt = Runtime::new(platform_with(policy));
+        c.bench_function(&format!("steal_policy_{}", policy.as_str()), |b| {
+            b.iter(|| storm(&rt))
+        });
+        rt.shutdown();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the communication substrates: MPI point-to-point
+//! latency/bandwidth and SHMEM one-sided operation latencies over the
+//! simulated interconnect.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hiper_mpi::RawComm;
+use hiper_netsim::{Cluster, NetConfig};
+use hiper_shmem::{RawShmem, ShmemWorld};
+
+struct MpiPair {
+    cluster: Cluster,
+    a: Arc<RawComm>,
+    echo: Option<std::thread::JoinHandle<()>>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl MpiPair {
+    fn new() -> MpiPair {
+        let cluster = Cluster::start(2, NetConfig::default());
+        let a = RawComm::new(cluster.transport(0));
+        let b = RawComm::new(cluster.transport(1));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        // Echo server on rank 1: bounce every message back with tag+1.
+        let echo = std::thread::spawn(move || loop {
+            let req = b.irecv(Some(0), None);
+            loop {
+                if req.test() {
+                    break;
+                }
+                if stop2.load(std::sync::atomic::Ordering::Acquire) {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+            let status = req.wait();
+            if status.tag == u64::MAX - 1 {
+                return; // shutdown message
+            }
+            b.send(0, status.tag + 1, status.data);
+        });
+        MpiPair {
+            cluster,
+            a,
+            echo: Some(echo),
+            stop,
+        }
+    }
+}
+
+impl Drop for MpiPair {
+    fn drop(&mut self) {
+        self.a.send(1, u64::MAX - 1, bytes::Bytes::new());
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(h) = self.echo.take() {
+            let _ = h.join();
+        }
+        self.cluster.stop();
+    }
+}
+
+fn bench_mpi(c: &mut Criterion) {
+    let pair = MpiPair::new();
+    c.bench_function("mpi_pingpong_8B", |b| {
+        let mut tag = 0u64;
+        b.iter(|| {
+            pair.a.send(1, tag, bytes::Bytes::from_static(&[0u8; 8]));
+            let st = pair.a.recv(Some(1), Some(tag + 1));
+            tag += 2;
+            st.data.len()
+        })
+    });
+    c.bench_function("mpi_pingpong_64KB", |b| {
+        let payload = bytes::Bytes::from(vec![0u8; 64 << 10]);
+        let mut tag = 1u64 << 32;
+        b.iter(|| {
+            pair.a.send(1, tag, payload.clone());
+            let st = pair.a.recv(Some(1), Some(tag + 1));
+            tag += 2;
+            st.data.len()
+        })
+    });
+    drop(pair);
+}
+
+fn bench_shmem(c: &mut Criterion) {
+    let cluster = Cluster::start(2, NetConfig::default());
+    let world = ShmemWorld::new(2, 1 << 22);
+    let a = RawShmem::new(world.clone(), cluster.transport(0));
+    let _b = RawShmem::new(world, cluster.transport(1));
+    let buf = a.malloc64(1 << 16);
+
+    c.bench_function("shmem_put8_quiet", |b| {
+        b.iter(|| {
+            a.put64(1, buf.offset, &[42]);
+            a.quiet();
+        })
+    });
+    c.bench_function("shmem_put_64KB_quiet", |b| {
+        let data = vec![7u64; 8 << 10];
+        b.iter(|| {
+            a.put64(1, buf.offset, &data);
+            a.quiet();
+        })
+    });
+    c.bench_function("shmem_get8", |b| {
+        b.iter(|| a.get(1, buf.offset, 8))
+    });
+    c.bench_function("shmem_fadd", |b| {
+        b.iter(|| a.fadd(1, buf.offset, 1))
+    });
+    cluster.stop();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mpi, bench_shmem
+}
+criterion_main!(benches);

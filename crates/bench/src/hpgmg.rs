@@ -1,0 +1,734 @@
+//! HPGMG-FV — multigrid with finite-volume discretization (paper Fig. 4,
+//! weak scaling; uses the UPC++ and MPI modules).
+//!
+//! A geometric multigrid V-cycle for the 3-D Poisson problem `-Δu = f` on a
+//! cell-centered grid, distributed in the z-direction. Levels coarsen by 2
+//! in every dimension while the local slab stays large enough; the coarsest
+//! level is gathered to rank 0 and bottom-solved there, then the correction
+//! is scattered back — the standard agglomeration strategy.
+//!
+//! Components: damped-Jacobi smoother (ω = 0.8, 2 pre/post sweeps),
+//! finite-volume 8-cell-average restriction, piecewise-constant
+//! prolongation.
+//!
+//! Two implementations behind one numeric core, differing only in the
+//! communication/parallelism backend (so results are **bit-identical** —
+//! verified by tests):
+//!
+//! * [`MpiOmpBackend`] — the reference hybrid: blocking MPI halo exchange +
+//!   fork-join `parallel_for` smoother sweeps.
+//! * [`HiperBackend`] — HiPER: future-based MPI halo exchange (both
+//!   directions overlapped), `forasync` sweeps, and the UPC++ module's
+//!   future-returning allreduce for residual norms.
+
+use std::sync::Arc;
+
+use hiper_forkjoin::Pool;
+use hiper_mpi::{MpiModule, RawComm, ReduceOp};
+use hiper_runtime::Runtime;
+use hiper_upcxx::{UpcxxModule, UpcxxReduce};
+
+/// Per-level slab dimensions (local to a rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    /// x extent.
+    pub nx: usize,
+    /// y extent.
+    pub ny: usize,
+    /// Local interior z planes.
+    pub nz: usize,
+}
+
+impl Dims {
+    fn plane(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    fn slab(&self) -> usize {
+        (self.nz + 2) * self.plane()
+    }
+
+    fn coarsen(&self) -> Dims {
+        Dims {
+            nx: self.nx / 2,
+            ny: self.ny / 2,
+            nz: self.nz / 2,
+        }
+    }
+}
+
+/// Solver parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MgParams {
+    /// Finest-level local dims (weak scaling: fixed per rank).
+    pub fine: Dims,
+    /// V-cycles to run.
+    pub vcycles: usize,
+    /// Pre/post smoothing sweeps.
+    pub smooth_sweeps: usize,
+    /// Jacobi bottom-solve sweeps at the gathered coarsest level.
+    pub bottom_sweeps: usize,
+}
+
+impl Default for MgParams {
+    fn default() -> Self {
+        MgParams {
+            fine: Dims { nx: 16, ny: 16, nz: 8 },
+            vcycles: 5,
+            smooth_sweeps: 2,
+            bottom_sweeps: 100,
+        }
+    }
+}
+
+const OMEGA: f64 = 0.8;
+
+/// Unwraps an `Arc` whose other clones are being dropped by worker threads
+/// that have already signalled completion (the drop may lag the signal by a
+/// few instructions).
+fn unwrap_spin<T>(mut arc: Arc<T>) -> T {
+    loop {
+        match Arc::try_unwrap(arc) {
+            Ok(v) => return v,
+            Err(a) => {
+                arc = a;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// One level's state.
+pub struct Level {
+    /// Dimensions of the local slab.
+    pub dims: Dims,
+    /// Mesh spacing at this level.
+    pub h: f64,
+    /// Solution (with z halos).
+    pub u: Vec<f64>,
+    /// Right-hand side (with z halos; halos unused).
+    pub f: Vec<f64>,
+    /// Scratch for Jacobi / residual.
+    pub tmp: Vec<f64>,
+}
+
+impl Level {
+    fn new(dims: Dims, h: f64) -> Level {
+        Level {
+            dims,
+            h,
+            u: vec![0.0; dims.slab()],
+            f: vec![0.0; dims.slab()],
+            tmp: vec![0.0; dims.slab()],
+        }
+    }
+}
+
+/// Builds the level hierarchy (distributed levels only) and the RHS: a
+/// deterministic pair of opposite-sign point sources in the global grid.
+pub fn build_levels(params: &MgParams, rank: usize, nranks: usize) -> Vec<Level> {
+    let mut levels = Vec::new();
+    let mut dims = params.fine;
+    let mut h = 1.0;
+    while dims.nx >= 4 && dims.ny >= 4 && dims.nz >= 2 {
+        levels.push(Level::new(dims, h));
+        dims = dims.coarsen();
+        h *= 2.0;
+    }
+    assert!(!levels.is_empty(), "fine grid too small for multigrid");
+    // RHS sources on the fine level (global coordinates for determinism
+    // across decompositions).
+    let fine = &mut levels[0];
+    let d = fine.dims;
+    let nz_global = d.nz * nranks;
+    let sources = [
+        ((d.nx / 4, d.ny / 4, nz_global / 4), 1.0),
+        ((3 * d.nx / 4, 3 * d.ny / 4, (3 * nz_global) / 4), -1.0),
+    ];
+    for ((x, y, zg), s) in sources {
+        if zg / d.nz == rank {
+            let zl = zg % d.nz + 1;
+            fine.f[zl * d.plane() + y * d.nx + x] = s;
+        }
+    }
+    levels
+}
+
+/// A smoother sweep body over one z plane: damped Jacobi writing `out`.
+fn jacobi_plane(dims: Dims, h: f64, u: &[f64], f: &[f64], out: &mut [f64], z: usize) {
+    let nx = dims.nx;
+    let plane = dims.plane();
+    let h2 = h * h;
+    let idx = |x: usize, y: usize, z: usize| z * plane + y * nx + x;
+    for y in 0..dims.ny {
+        for x in 0..nx {
+            let c = u[idx(x, y, z)];
+            let xm = if x > 0 { u[idx(x - 1, y, z)] } else { 0.0 };
+            let xp = if x + 1 < nx { u[idx(x + 1, y, z)] } else { 0.0 };
+            let ym = if y > 0 { u[idx(x, y - 1, z)] } else { 0.0 };
+            let yp = if y + 1 < dims.ny { u[idx(x, y + 1, z)] } else { 0.0 };
+            let zm = u[idx(x, y, z - 1)];
+            let zp = u[idx(x, y, z + 1)];
+            // -Δu = f  =>  u* = (h²f + Σ neighbors) / 6
+            let ustar = (h2 * f[idx(x, y, z)] + xm + xp + ym + yp + zm + zp) / 6.0;
+            out[idx(x, y, z)] = c + OMEGA * (ustar - c);
+        }
+    }
+}
+
+/// Residual r = f + Δu over one plane.
+fn residual_plane(dims: Dims, h: f64, u: &[f64], f: &[f64], out: &mut [f64], z: usize) {
+    let nx = dims.nx;
+    let plane = dims.plane();
+    let h2 = h * h;
+    let idx = |x: usize, y: usize, z: usize| z * plane + y * nx + x;
+    for y in 0..dims.ny {
+        for x in 0..nx {
+            let c = u[idx(x, y, z)];
+            let xm = if x > 0 { u[idx(x - 1, y, z)] } else { 0.0 };
+            let xp = if x + 1 < nx { u[idx(x + 1, y, z)] } else { 0.0 };
+            let ym = if y > 0 { u[idx(x, y - 1, z)] } else { 0.0 };
+            let yp = if y + 1 < dims.ny { u[idx(x, y + 1, z)] } else { 0.0 };
+            let zm = u[idx(x, y, z - 1)];
+            let zp = u[idx(x, y, z + 1)];
+            out[idx(x, y, z)] =
+                f[idx(x, y, z)] - (6.0 * c - xm - xp - ym - yp - zm - zp) / h2;
+        }
+    }
+}
+
+/// FV restriction: coarse cell = average of its 8 fine children.
+fn restrict_into(fine_dims: Dims, fine: &[f64], coarse_dims: Dims, coarse: &mut [f64]) {
+    let fp = fine_dims.plane();
+    let cp = coarse_dims.plane();
+    let fidx = |x: usize, y: usize, z: usize| z * fp + y * fine_dims.nx + x;
+    for cz in 1..=coarse_dims.nz {
+        for cy in 0..coarse_dims.ny {
+            for cx in 0..coarse_dims.nx {
+                let (fx, fy, fz) = (cx * 2, cy * 2, (cz - 1) * 2 + 1);
+                let mut acc = 0.0;
+                for dz in 0..2 {
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            acc += fine[fidx(fx + dx, fy + dy, fz + dz)];
+                        }
+                    }
+                }
+                coarse[cz * cp + cy * coarse_dims.nx + cx] = acc / 8.0;
+            }
+        }
+    }
+}
+
+/// Piecewise-constant prolongation: add the coarse correction to the fine
+/// solution.
+fn prolong_add(coarse_dims: Dims, coarse: &[f64], fine_dims: Dims, fine: &mut [f64]) {
+    let fp = fine_dims.plane();
+    let cp = coarse_dims.plane();
+    for fz in 1..=fine_dims.nz {
+        let cz = (fz - 1) / 2 + 1;
+        for fy in 0..fine_dims.ny {
+            let cy = fy / 2;
+            for fx in 0..fine_dims.nx {
+                let cx = fx / 2;
+                fine[fz * fp + fy * fine_dims.nx + fx] +=
+                    coarse[cz * cp + cy * coarse_dims.nx + cx];
+            }
+        }
+    }
+}
+
+/// Unsafe-but-disjoint parallel plane writer: planes are disjoint slices of
+/// the output slab, so concurrent writes to different planes are sound.
+struct PlanePtr(*mut f64, usize);
+unsafe impl Send for PlanePtr {}
+unsafe impl Sync for PlanePtr {}
+
+impl PlanePtr {
+    /// # Safety
+    /// Caller guarantees plane `z` is touched by at most one thread.
+    unsafe fn slab(&self) -> &'static mut [f64] {
+        std::slice::from_raw_parts_mut(self.0, self.1)
+    }
+}
+
+/// The communication/parallelism backend a solve runs on.
+pub trait MgBackend: Send + Sync {
+    /// Fills the z halo planes of `slab` from the neighbors (global z
+    /// boundaries keep their zeros).
+    fn exchange(&self, slab: &mut Vec<f64>, dims: Dims);
+    /// Runs `body(z)` for every interior plane `z in 1..=nz`, possibly in
+    /// parallel (planes are independent).
+    fn for_planes(&self, nz: usize, body: Arc<dyn Fn(usize) + Send + Sync>);
+    /// Global sum.
+    fn allreduce_sum(&self, x: f64) -> f64;
+    /// Gathers every rank's interior into rank 0 (z-concatenated).
+    fn gather(&self, interior: Vec<f64>) -> Option<Vec<f64>>;
+    /// Scatters rank slabs from rank 0 (inverse of `gather`).
+    fn scatter(&self, full: Option<Vec<f64>>, elems_per_rank: usize) -> Vec<f64>;
+}
+
+fn smooth(level: &mut Level, backend: &dyn MgBackend, sweeps: usize) {
+    for _ in 0..sweeps {
+        backend.exchange(&mut level.u, level.dims);
+        let dims = level.dims;
+        let h = level.h;
+        let u = std::mem::take(&mut level.u);
+        let f = std::mem::take(&mut level.f);
+        let mut out = std::mem::take(&mut level.tmp);
+        {
+            let uref = Arc::new(u);
+            let fref = Arc::new(f);
+            let outp = PlanePtr(out.as_mut_ptr(), out.len());
+            let u2 = Arc::clone(&uref);
+            let f2 = Arc::clone(&fref);
+            backend.for_planes(
+                dims.nz,
+                Arc::new(move |z| {
+                    // Safety: each z writes only its own plane.
+                    let out = unsafe { outp.slab() };
+                    jacobi_plane(dims, h, &u2, &f2, out, z);
+                }),
+            );
+            level.u = unwrap_spin(uref);
+            level.f = unwrap_spin(fref);
+        }
+        // New iterate is in `out`; halos are stale (re-exchanged next use).
+        std::mem::swap(&mut level.u, &mut out);
+        level.tmp = out;
+    }
+}
+
+fn compute_residual(level: &mut Level, backend: &dyn MgBackend) {
+    backend.exchange(&mut level.u, level.dims);
+    let dims = level.dims;
+    let h = level.h;
+    let u = Arc::new(std::mem::take(&mut level.u));
+    let f = Arc::new(std::mem::take(&mut level.f));
+    let mut out = std::mem::take(&mut level.tmp);
+    {
+        let outp = PlanePtr(out.as_mut_ptr(), out.len());
+        let u2 = Arc::clone(&u);
+        let f2 = Arc::clone(&f);
+        backend.for_planes(
+            dims.nz,
+            Arc::new(move |z| {
+                let out = unsafe { outp.slab() };
+                residual_plane(dims, h, &u2, &f2, out, z);
+            }),
+        );
+    }
+    level.u = unwrap_spin(u);
+    level.f = unwrap_spin(f);
+    level.tmp = out;
+}
+
+/// L2 norm of the residual on the finest level (global).
+pub fn residual_norm(levels: &mut [Level], backend: &dyn MgBackend) -> f64 {
+    compute_residual(&mut levels[0], backend);
+    let local: f64 = {
+        let l = &levels[0];
+        let plane = l.dims.plane();
+        l.tmp[plane..(l.dims.nz + 1) * plane]
+            .iter()
+            .map(|r| r * r)
+            .sum()
+    };
+    backend.allreduce_sum(local).sqrt()
+}
+
+/// One V-cycle over the distributed hierarchy plus the gathered bottom
+/// solve.
+pub fn vcycle(levels: &mut [Level], params: &MgParams, backend: &dyn MgBackend) {
+    vcycle_inner(levels, 0, params, backend);
+}
+
+fn vcycle_inner(levels: &mut [Level], l: usize, params: &MgParams, backend: &dyn MgBackend) {
+    if l + 1 == levels.len() {
+        bottom_solve(&mut levels[l], params, backend);
+        return;
+    }
+    smooth(&mut levels[l], backend, params.smooth_sweeps);
+    compute_residual(&mut levels[l], backend);
+    // Restrict residual into the coarse RHS; zero the coarse solution.
+    let (fine_slice, coarse_slice) = levels.split_at_mut(l + 1);
+    let fine = &mut fine_slice[l];
+    let coarse = &mut coarse_slice[0];
+    restrict_into(fine.dims, &fine.tmp, coarse.dims, &mut coarse.f);
+    coarse.u.iter_mut().for_each(|v| *v = 0.0);
+    vcycle_inner(levels, l + 1, params, backend);
+    let (fine_slice, coarse_slice) = levels.split_at_mut(l + 1);
+    prolong_add(
+        coarse_slice[0].dims,
+        &coarse_slice[0].u,
+        fine_slice[l].dims,
+        &mut fine_slice[l].u,
+    );
+    smooth(&mut levels[l], backend, params.smooth_sweeps);
+}
+
+/// Agglomerated bottom solve: gather the coarsest level to rank 0, run
+/// Jacobi sweeps there on the full grid, scatter the solution back.
+fn bottom_solve(level: &mut Level, params: &MgParams, backend: &dyn MgBackend) {
+    let dims = level.dims;
+    let plane = dims.plane();
+    let interior: Vec<f64> = level.f[plane..(dims.nz + 1) * plane].to_vec();
+    let gathered_f = backend.gather(interior);
+    let solved = gathered_f.map(|full_f| {
+        let nranks = full_f.len() / (dims.nz * plane);
+        let full_dims = Dims {
+            nz: dims.nz * nranks,
+            ..dims
+        };
+        let mut u = vec![0.0; full_dims.slab()];
+        let mut f = vec![0.0; full_dims.slab()];
+        f[plane..(full_dims.nz + 1) * plane].copy_from_slice(&full_f);
+        let mut out = vec![0.0; full_dims.slab()];
+        for _ in 0..params.bottom_sweeps {
+            for z in 1..=full_dims.nz {
+                jacobi_plane(full_dims, level.h, &u, &f, &mut out, z);
+            }
+            // Copy halos (zeros) and swap; halos never change (global
+            // Dirichlet boundary).
+            std::mem::swap(&mut u, &mut out);
+        }
+        u[plane..(full_dims.nz + 1) * plane].to_vec()
+    });
+    let mine = backend.scatter(solved, dims.nz * plane);
+    level.u[plane..(dims.nz + 1) * plane].copy_from_slice(&mine);
+}
+
+// ---------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------
+
+const HALO_TAG_UP: u64 = 21;
+const HALO_TAG_DOWN: u64 = 22;
+
+/// The reference hybrid: blocking MPI + fork-join loops.
+pub struct MpiOmpBackend {
+    pub raw: Arc<RawComm>,
+    pub pool: Arc<Pool>,
+}
+
+impl MgBackend for MpiOmpBackend {
+    fn exchange(&self, slab: &mut Vec<f64>, dims: Dims) {
+        let p = self.raw.nranks();
+        let me = self.raw.rank();
+        let plane = dims.plane();
+        let up = if me + 1 < p { Some(me + 1) } else { None };
+        let down = if me > 0 { Some(me - 1) } else { None };
+        // Blocking sends then blocking receives (eager sends cannot
+        // deadlock).
+        if let Some(up) = up {
+            self.raw
+                .send_slice(up, HALO_TAG_UP, &slab[dims.nz * plane..(dims.nz + 1) * plane]);
+        }
+        if let Some(down) = down {
+            self.raw
+                .send_slice(down, HALO_TAG_DOWN, &slab[plane..2 * plane]);
+        }
+        if let Some(up) = up {
+            let (data, _, _) = self.raw.recv_vec::<f64>(Some(up), Some(HALO_TAG_DOWN));
+            slab[(dims.nz + 1) * plane..].copy_from_slice(&data);
+        }
+        if let Some(down) = down {
+            let (data, _, _) = self.raw.recv_vec::<f64>(Some(down), Some(HALO_TAG_UP));
+            slab[..plane].copy_from_slice(&data);
+        }
+    }
+
+    fn for_planes(&self, nz: usize, body: Arc<dyn Fn(usize) + Send + Sync>) {
+        self.pool.parallel_for(nz, move |i| body(i + 1));
+    }
+
+    fn allreduce_sum(&self, x: f64) -> f64 {
+        self.raw.allreduce(&[x], ReduceOp::Sum)[0]
+    }
+
+    fn gather(&self, interior: Vec<f64>) -> Option<Vec<f64>> {
+        self.raw
+            .gather(hiper_netsim::pod::to_bytes(&interior))
+            .map(|parts| {
+                parts
+                    .iter()
+                    .flat_map(|b| hiper_netsim::pod::from_bytes::<f64>(b))
+                    .collect()
+            })
+    }
+
+    fn scatter(&self, full: Option<Vec<f64>>, elems: usize) -> Vec<f64> {
+        let me = self.raw.rank();
+        if let Some(full) = full {
+            debug_assert_eq!(me, 0);
+            for r in 1..self.raw.nranks() {
+                self.raw
+                    .send_slice(r, HALO_TAG_UP + 10, &full[r * elems..(r + 1) * elems]);
+            }
+            full[..elems].to_vec()
+        } else {
+            self.raw.recv_vec::<f64>(Some(0), Some(HALO_TAG_UP + 10)).0
+        }
+    }
+}
+
+/// The HiPER backend: future-based MPI exchange, forasync sweeps, UPC++
+/// allreduce.
+pub struct HiperBackend {
+    pub rt: Runtime,
+    pub mpi: Arc<MpiModule>,
+    pub upcxx: Arc<UpcxxModule>,
+    pub reduce: UpcxxReduce,
+}
+
+impl MgBackend for HiperBackend {
+    fn exchange(&self, slab: &mut Vec<f64>, dims: Dims) {
+        let p = self.mpi.nranks();
+        let me = self.mpi.rank();
+        let plane = dims.plane();
+        let up = if me + 1 < p { Some(me + 1) } else { None };
+        let down = if me > 0 { Some(me - 1) } else { None };
+        // Post both receives, send both planes, then consume the futures:
+        // both directions are in flight simultaneously and the caller's
+        // worker keeps executing other tasks while waiting.
+        let recv_up = up.map(|u| self.mpi.irecv::<f64>(Some(u), Some(HALO_TAG_DOWN)));
+        let recv_down = down.map(|d| self.mpi.irecv::<f64>(Some(d), Some(HALO_TAG_UP)));
+        if let Some(up) = up {
+            self.mpi
+                .isend(up, HALO_TAG_UP, &slab[dims.nz * plane..(dims.nz + 1) * plane])
+                .wait();
+        }
+        if let Some(down) = down {
+            self.mpi
+                .isend(down, HALO_TAG_DOWN, &slab[plane..2 * plane])
+                .wait();
+        }
+        if let Some(recv) = recv_up {
+            let (data, _, _) = recv.get();
+            slab[(dims.nz + 1) * plane..].copy_from_slice(&data);
+        }
+        if let Some(recv) = recv_down {
+            let (data, _, _) = recv.get();
+            slab[..plane].copy_from_slice(&data);
+        }
+    }
+
+    fn for_planes(&self, nz: usize, body: Arc<dyn Fn(usize) + Send + Sync>) {
+        self.rt.forasync_1d(nz, 1, move |i| body(i + 1));
+    }
+
+    fn allreduce_sum(&self, x: f64) -> f64 {
+        self.upcxx.allreduce_sum_f64(&self.reduce, &[x]).get()[0]
+    }
+
+    fn gather(&self, interior: Vec<f64>) -> Option<Vec<f64>> {
+        self.mpi
+            .raw()
+            .gather(hiper_netsim::pod::to_bytes(&interior))
+            .map(|parts| {
+                parts
+                    .iter()
+                    .flat_map(|b| hiper_netsim::pod::from_bytes::<f64>(b))
+                    .collect()
+            })
+    }
+
+    fn scatter(&self, full: Option<Vec<f64>>, elems: usize) -> Vec<f64> {
+        let raw = self.mpi.raw();
+        if let Some(full) = full {
+            for r in 1..raw.nranks() {
+                raw.send_slice(r, HALO_TAG_UP + 10, &full[r * elems..(r + 1) * elems]);
+            }
+            full[..elems].to_vec()
+        } else {
+            raw.recv_vec::<f64>(Some(0), Some(HALO_TAG_UP + 10)).0
+        }
+    }
+}
+
+/// Runs `vcycles` V-cycles; returns the residual-norm trajectory
+/// (norm before any cycle, then after each cycle).
+pub fn solve(
+    params: &MgParams,
+    backend: &dyn MgBackend,
+    rank: usize,
+    nranks: usize,
+) -> (Vec<Level>, Vec<f64>) {
+    let mut levels = build_levels(params, rank, nranks);
+    let mut norms = vec![residual_norm(&mut levels, backend)];
+    for _ in 0..params.vcycles {
+        vcycle(&mut levels, params, backend);
+        norms.push(residual_norm(&mut levels, backend));
+    }
+    (levels, norms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiper_netsim::{NetConfig, SpmdBuilder};
+    use hiper_runtime::SchedulerModule;
+    use hiper_upcxx::UpcxxWorld;
+
+    fn tiny() -> MgParams {
+        MgParams {
+            fine: Dims { nx: 16, ny: 16, nz: 8 },
+            vcycles: 4,
+            smooth_sweeps: 2,
+            bottom_sweeps: 60,
+        }
+    }
+
+    fn run_ref(nranks: usize, params: MgParams) -> Vec<(Vec<f64>, Vec<f64>)> {
+        SpmdBuilder::new(nranks)
+            .net(NetConfig::default())
+            .workers_per_rank(1)
+            .run(
+                |_r, t| {
+                    let mpi = MpiModule::new(t);
+                    (
+                        vec![Arc::clone(&mpi) as Arc<dyn SchedulerModule>],
+                        mpi,
+                    )
+                },
+                move |env, mpi| {
+                    let backend = MpiOmpBackend {
+                        raw: Arc::clone(mpi.raw()),
+                        pool: Pool::new(2),
+                    };
+                    let (levels, norms) = solve(&params, &backend, env.rank, env.nranks);
+                    backend.pool.shutdown();
+                    (levels[0].u.clone(), norms)
+                },
+            )
+    }
+
+    fn run_hiper_impl(nranks: usize, params: MgParams) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let uworld = UpcxxWorld::new(nranks, 1 << 16);
+        let reduce = UpcxxReduce::new();
+        SpmdBuilder::new(nranks)
+            .net(NetConfig::default())
+            .workers_per_rank(2)
+            .run(
+                move |_r, t| {
+                    let mpi = MpiModule::new(t.clone());
+                    let upcxx = UpcxxModule::new(uworld.clone(), t);
+                    (
+                        vec![
+                            Arc::clone(&mpi) as Arc<dyn SchedulerModule>,
+                            Arc::clone(&upcxx) as Arc<dyn SchedulerModule>,
+                        ],
+                        (mpi, upcxx, reduce.clone()),
+                    )
+                },
+                move |env, (mpi, upcxx, reduce)| {
+                    let backend = HiperBackend {
+                        rt: env.runtime.clone(),
+                        mpi,
+                        upcxx,
+                        reduce,
+                    };
+                    let (levels, norms) = solve(&params, &backend, env.rank, env.nranks);
+                    (levels[0].u.clone(), norms)
+                },
+            )
+    }
+
+    #[test]
+    fn residual_decreases_every_vcycle() {
+        let results = run_ref(2, tiny());
+        let norms = &results[0].1;
+        assert!(norms[0] > 0.0);
+        for w in norms.windows(2) {
+            assert!(
+                w[1] < w[0] * 0.75,
+                "V-cycle did not reduce the residual enough: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Overall reduction over 4 cycles.
+        assert!(norms.last().unwrap() / norms[0] < 0.2, "{:?}", norms);
+    }
+
+    #[test]
+    fn hiper_matches_reference_bitwise() {
+        let params = tiny();
+        let a = run_ref(2, params);
+        let b = run_hiper_impl(2, params);
+        for (rank, ((ua, na), (ub, nb))) in a.iter().zip(&b).enumerate() {
+            assert_eq!(na, nb, "rank {} norm trajectories differ", rank);
+            assert_eq!(ua, ub, "rank {} solutions differ", rank);
+        }
+    }
+
+    #[test]
+    fn distributed_matches_single_rank() {
+        // 2 ranks with nz=8 each == 1 rank with nz=16 (same global grid).
+        let p2 = tiny();
+        let p1 = MgParams {
+            fine: Dims { nx: 16, ny: 16, nz: 16 },
+            ..p2
+        };
+        let two = run_ref(2, p2);
+        let one = run_ref(1, p1);
+        // Same global arithmetic per cell; only the norm's summation order
+        // differs across decompositions, so compare to tight tolerance.
+        for (a, b) in two[0].1.iter().zip(&one[0].1) {
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1e-30),
+                "norms diverged: {} vs {}",
+                a,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn build_levels_places_sources_deterministically() {
+        let params = tiny();
+        let l0 = build_levels(&params, 0, 2);
+        let l1 = build_levels(&params, 1, 2);
+        let total: f64 = l0[0].f.iter().sum::<f64>() + l1[0].f.iter().sum::<f64>();
+        assert!((total - 0.0).abs() < 1e-12, "sources must cancel");
+        let nonzero =
+            l0[0].f.iter().filter(|v| **v != 0.0).count() + l1[0].f.iter().filter(|v| **v != 0.0).count();
+        assert_eq!(nonzero, 2);
+    }
+
+    #[test]
+    fn restriction_and_prolongation_adjoint_shapes() {
+        let fine = Dims { nx: 8, ny: 8, nz: 4 };
+        let coarse = fine.coarsen();
+        let mut f = vec![0.0; fine.slab()];
+        for (i, v) in f.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let mut c = vec![0.0; coarse.slab()];
+        restrict_into(fine, &f, coarse, &mut c);
+        // The average of the 8 children of coarse cell (0,0,1).
+        let manual: f64 = {
+            let idx = |x: usize, y: usize, z: usize| z * 64 + y * 8 + x;
+            [
+                idx(0, 0, 1),
+                idx(1, 0, 1),
+                idx(0, 1, 1),
+                idx(1, 1, 1),
+                idx(0, 0, 2),
+                idx(1, 0, 2),
+                idx(0, 1, 2),
+                idx(1, 1, 2),
+            ]
+            .iter()
+            .map(|&i| f[i])
+            .sum::<f64>()
+                / 8.0
+        };
+        assert_eq!(c[coarse.plane() + 0], manual);
+        // Prolongation adds the coarse value to all 8 children.
+        let mut back = vec![0.0; fine.slab()];
+        prolong_add(coarse, &c, fine, &mut back);
+        assert_eq!(back[fine.plane()], c[coarse.plane()]);
+        assert_eq!(back[fine.plane() + 1], c[coarse.plane()]);
+    }
+}

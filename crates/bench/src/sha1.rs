@@ -1,0 +1,151 @@
+//! SHA-1, from scratch.
+//!
+//! The reference UTS benchmark derives each tree node's random state by
+//! hashing its parent's 20-byte descriptor with SHA-1 — the tree is a
+//! deterministic function of the root seed regardless of execution order,
+//! which is what makes distributed work-stealing verifiable. This module
+//! reimplements SHA-1 (RFC 3174) so our UTS generates trees the same way.
+//!
+//! Not for cryptographic use; it exists for workload fidelity.
+
+/// Output digest size in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Padded message: data || 0x80 || zeros || 64-bit bit length.
+    let bit_len = (data.len() as u64) * 8;
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Child-descriptor derivation as in UTS: hash of (parent descriptor,
+/// big-endian child index).
+pub fn uts_child(parent: &[u8; DIGEST_LEN], child_index: u32) -> [u8; DIGEST_LEN] {
+    let mut buf = [0u8; DIGEST_LEN + 4];
+    buf[..DIGEST_LEN].copy_from_slice(parent);
+    buf[DIGEST_LEN..].copy_from_slice(&child_index.to_be_bytes());
+    sha1(&buf)
+}
+
+/// Root descriptor from an integer seed (UTS hashes the seed string).
+pub fn uts_root(seed: u32) -> [u8; DIGEST_LEN] {
+    sha1(&seed.to_be_bytes())
+}
+
+/// Interprets the first 4 descriptor bytes as a uniform value in [0, 1).
+pub fn descriptor_to_unit(desc: &[u8; DIGEST_LEN]) -> f64 {
+    let v = u32::from_be_bytes(desc[..4].try_into().unwrap());
+    v as f64 / (u32::MAX as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{:02x}", b)).collect()
+    }
+
+    /// RFC 3174 / FIPS 180-1 test vectors.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            hex(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        // One-million 'a's (streaming not needed; build the buffer).
+        let million = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha1(&million)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Lengths around the 55/56/64-byte padding boundaries must not
+        // panic and must differ.
+        let digests: Vec<String> = (50..70)
+            .map(|n| hex(&sha1(&vec![0x5a; n])))
+            .collect();
+        for w in digests.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn child_derivation_is_deterministic_and_distinct() {
+        let root = uts_root(42);
+        let c0 = uts_child(&root, 0);
+        let c1 = uts_child(&root, 1);
+        assert_eq!(c0, uts_child(&root, 0));
+        assert_ne!(c0, c1);
+        assert_ne!(c0, root);
+    }
+
+    #[test]
+    fn unit_interval_mapping() {
+        let root = uts_root(7);
+        let u = descriptor_to_unit(&root);
+        assert!((0.0..1.0).contains(&u));
+        // Different descriptors map to different units (overwhelmingly).
+        let u2 = descriptor_to_unit(&uts_child(&root, 0));
+        assert_ne!(u, u2);
+    }
+}

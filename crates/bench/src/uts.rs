@@ -1,0 +1,707 @@
+//! UTS — Unbalanced Tree Search (paper Fig. 7, strong scaling).
+//!
+//! The tree is a deterministic function of the root seed: each node carries
+//! a 20-byte SHA-1 descriptor, children's descriptors are SHA-1 hashes of
+//! (parent, index) (see [`crate::sha1`]), and the number of children is
+//! geometrically distributed with mean `b0`, truncated at `max_depth` — the
+//! GEO tree family of the reference UTS. Counting the nodes requires
+//! traversing them, and the tree's imbalance is what stresses distributed
+//! load balancing.
+//!
+//! All three distributed implementations share the same app-level
+//! work-stealing protocol over the symmetric heap (a per-rank surplus buffer
+//! guarded by a CAS lock, a global outstanding-work counter at rank 0, and a
+//! done flag), exactly as the paper's three versions share "manual,
+//! application-level, distributed load balancing". They differ in the
+//! *local* execution model:
+//!
+//! * [`run_omp`] — OpenSHMEM+OpenMP: fork-join `parallel_for` rounds over
+//!   frontier batches (implicit barrier per batch).
+//! * [`run_omp_tasks`] — OpenSHMEM+OpenMP Tasks: per-node dynamic tasks but
+//!   a **coarse `taskwait` before every load-balancing/termination check**
+//!   (the §III-C1 weakness).
+//! * [`run_hiper`] — AsyncSHMEM: recursive HiPER tasks (fine-grain
+//!   work-stealing), future-based steals, and `shmem_async_when` for
+//!   termination notification.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hiper_forkjoin::Pool;
+use hiper_runtime::api;
+use hiper_shmem::{Cmp, RawShmem, ShmemModule, SymPtr};
+
+use crate::sha1::{descriptor_to_unit, uts_child, uts_root, DIGEST_LEN};
+
+/// GEO-tree parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UtsParams {
+    /// Root seed.
+    pub seed: u32,
+    /// Expected branching factor (geometric distribution mean).
+    pub b0: f64,
+    /// Fixed fanout of the root (as in reference UTS, so the tree never
+    /// dies at depth zero).
+    pub root_children: u32,
+    /// Depth cutoff: nodes at this depth are leaves.
+    pub max_depth: u32,
+}
+
+impl Default for UtsParams {
+    fn default() -> Self {
+        UtsParams {
+            seed: 19,
+            b0: 2.0,
+            root_children: 4,
+            max_depth: 13,
+        }
+    }
+}
+
+/// A tree node: depth plus SHA-1 descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    /// Depth in the tree (root = 0).
+    pub depth: u32,
+    /// SHA-1 state identifying the node.
+    pub desc: [u8; DIGEST_LEN],
+}
+
+impl Node {
+    /// The root node of the parameterized tree.
+    pub fn root(params: &UtsParams) -> Node {
+        Node {
+            depth: 0,
+            desc: uts_root(params.seed),
+        }
+    }
+
+    /// Number of children (deterministic in the descriptor).
+    pub fn num_children(&self, params: &UtsParams) -> u32 {
+        if self.depth >= params.max_depth {
+            return 0;
+        }
+        if self.depth == 0 {
+            return params.root_children;
+        }
+        // Geometric with mean b0: P(X = k) = (1-p) p^k, p = b0/(1+b0).
+        let p = params.b0 / (1.0 + params.b0);
+        let u = descriptor_to_unit(&self.desc);
+        let k = ((1.0 - u).ln() / p.ln()).floor();
+        k.max(0.0) as u32
+    }
+
+    /// The `i`th child.
+    pub fn child(&self, i: u32) -> Node {
+        Node {
+            depth: self.depth + 1,
+            desc: uts_child(&self.desc, i),
+        }
+    }
+
+    /// Packs a node into four u64 words for the symmetric heap.
+    pub fn pack(&self) -> [u64; 4] {
+        let mut w = [0u64; 4];
+        w[0] = self.depth as u64;
+        let mut buf = [0u8; 24];
+        buf[..DIGEST_LEN].copy_from_slice(&self.desc);
+        for i in 0..3 {
+            w[i + 1] = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        w
+    }
+
+    /// Unpacks a node from four u64 words.
+    pub fn unpack(w: &[u64; 4]) -> Node {
+        let mut buf = [0u8; 24];
+        for i in 0..3 {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&w[i + 1].to_le_bytes());
+        }
+        let mut desc = [0u8; DIGEST_LEN];
+        desc.copy_from_slice(&buf[..DIGEST_LEN]);
+        Node {
+            depth: w[0] as u32,
+            desc,
+        }
+    }
+}
+
+/// Sequential oracle: exact node count by depth-first traversal.
+pub fn seq_count(params: &UtsParams) -> u64 {
+    let mut stack = vec![Node::root(params)];
+    let mut count = 0u64;
+    while let Some(node) = stack.pop() {
+        count += 1;
+        for i in 0..node.num_children(params) {
+            stack.push(node.child(i));
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// Shared distributed machinery
+// ---------------------------------------------------------------------
+
+/// Surplus-buffer capacity in nodes.
+const SURPLUS_CAP: usize = 2048;
+/// Local queue size above which surplus is exported.
+const SPILL_THRESHOLD: usize = 512;
+/// Outstanding-work deltas are flushed to rank 0 in batches this size.
+const DELTA_BATCH: i64 = 64;
+
+/// Symmetric-heap layout for the stealing protocol (allocated identically
+/// on every rank).
+pub struct StealArena {
+    lock: SymPtr,
+    count: SymPtr,
+    buf: SymPtr,
+    /// Outstanding-work counter (meaningful at rank 0).
+    outstanding: SymPtr,
+    /// Done flag (set on every rank by rank 0).
+    done: SymPtr,
+}
+
+impl StealArena {
+    /// Collective allocation; all ranks must call in the same order.
+    pub fn alloc(raw: &RawShmem) -> StealArena {
+        StealArena {
+            lock: raw.malloc64(1),
+            count: raw.malloc64(1),
+            buf: raw.malloc64(SURPLUS_CAP * 4),
+            outstanding: raw.malloc64(1),
+            done: raw.malloc64(1),
+        }
+    }
+
+    fn init(&self, raw: &RawShmem, is_root_rank: bool) {
+        raw.heap().store_u64(self.lock.offset, 0);
+        raw.heap().store_u64(self.count.offset, 0);
+        raw.heap().store_i64(self.done.offset, 0);
+        raw.heap()
+            .store_i64(self.outstanding.offset, if is_root_rank { 1 } else { 0 });
+    }
+}
+
+/// Rank-local bookkeeping shared by the implementations.
+struct LocalState {
+    raw: Arc<RawShmem>,
+    arena: StealArena,
+    /// Locally accumulated (children - 1) deltas not yet flushed to rank 0.
+    pending_delta: AtomicI64,
+    /// Nodes counted by this rank.
+    counted: AtomicU64,
+    done: AtomicBool,
+}
+
+impl LocalState {
+    fn new(raw: Arc<RawShmem>, arena: StealArena) -> LocalState {
+        LocalState {
+            raw,
+            arena,
+            pending_delta: AtomicI64::new(0),
+            counted: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one processed node with `children` children; flushes the
+    /// outstanding-work delta in batches.
+    fn record(&self, children: u32) {
+        self.counted.fetch_add(1, Ordering::Relaxed);
+        let delta = children as i64 - 1;
+        let acc = self.pending_delta.fetch_add(delta, Ordering::AcqRel) + delta;
+        if acc.abs() >= DELTA_BATCH {
+            self.flush_delta();
+        }
+    }
+
+    /// Pushes the accumulated delta to rank 0's outstanding counter.
+    fn flush_delta(&self) {
+        let delta = self.pending_delta.swap(0, Ordering::AcqRel);
+        if delta != 0 {
+            self.raw
+                .fadd(0, self.arena.outstanding.offset, delta as u64);
+        }
+    }
+
+    /// Rank 0 only: when the counter hits zero, broadcast the done flag.
+    fn maybe_announce_done(&self) {
+        if self.raw.rank() == 0
+            && self.raw.heap().load_i64(self.arena.outstanding.offset) == 0
+        {
+            for r in 0..self.raw.nranks() {
+                self.raw.put64(r, self.arena.done.offset, &[1]);
+            }
+            self.raw.quiet();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+            || self.raw.heap().load_i64(self.arena.done.offset) == 1
+    }
+
+    /// Exports surplus nodes into the local surplus buffer for thieves.
+    fn export_surplus(&self, frontier: &mut Vec<Node>) {
+        if frontier.len() <= SPILL_THRESHOLD {
+            return;
+        }
+        let me = self.raw.rank();
+        // Try-lock our own surplus buffer.
+        if self.raw.cswap(me, self.arena.lock.offset, 0, 1) != 0 {
+            return;
+        }
+        let existing = self.raw.heap().load_u64(self.arena.count.offset) as usize;
+        let room = SURPLUS_CAP.saturating_sub(existing);
+        let spill = (frontier.len() / 2).min(room);
+        for i in 0..spill {
+            let node = frontier.pop().expect("sized above");
+            let w = node.pack();
+            for (j, word) in w.iter().enumerate() {
+                self.raw
+                    .heap()
+                    .store_u64(self.arena.buf.at64((existing + i) * 4 + j), *word);
+            }
+        }
+        self.raw
+            .heap()
+            .store_u64(self.arena.count.offset, (existing + spill) as u64);
+        self.raw.heap().store_u64(self.arena.lock.offset, 0);
+    }
+
+    /// Attempts to steal from `victim`; returns stolen nodes.
+    fn steal_from(&self, victim: usize) -> Vec<Node> {
+        // Remote try-lock.
+        if self.raw.cswap(victim, self.arena.lock.offset, 0, 1) != 0 {
+            return Vec::new();
+        }
+        let count_bytes = self.raw.get(victim, self.arena.count.offset, 8);
+        let count = u64::from_le_bytes(count_bytes[..8].try_into().unwrap()) as usize;
+        let mut stolen = Vec::new();
+        if count > 0 {
+            let data = self
+                .raw
+                .get(victim, self.arena.buf.offset, count * 4 * 8);
+            for i in 0..count {
+                let mut w = [0u64; 4];
+                for (j, word) in w.iter_mut().enumerate() {
+                    *word = u64::from_le_bytes(
+                        data[(i * 4 + j) * 8..(i * 4 + j) * 8 + 8].try_into().unwrap(),
+                    );
+                }
+                stolen.push(Node::unpack(&w));
+            }
+            self.raw.put64(victim, self.arena.count.offset, &[0]);
+            self.raw.quiet();
+        }
+        // Unlock.
+        self.raw.put64(victim, self.arena.lock.offset, &[0]);
+        self.raw.quiet();
+        stolen
+    }
+
+    /// One idle-phase pass: flush deltas, try every victim once, check
+    /// termination.
+    fn idle_pass(&self, frontier: &mut Vec<Node>) -> bool {
+        self.flush_delta();
+        self.maybe_announce_done();
+        if self.is_done() {
+            return true;
+        }
+        let p = self.raw.nranks();
+        let me = self.raw.rank();
+        // k = 0 first: reclaim our own exported surplus before stealing
+        // remotely (and so a single rank can always drain itself).
+        for k in 0..p {
+            let victim = (me + k) % p;
+            let stolen = self.steal_from(victim);
+            if !stolen.is_empty() {
+                frontier.extend(stolen);
+                return false;
+            }
+        }
+        if self.is_done() {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        false
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct UtsResult {
+    /// Nodes counted by this rank.
+    pub local_count: u64,
+    /// Global node total (identical on every rank).
+    pub global_count: u64,
+}
+
+fn finish_run(state: &LocalState) -> UtsResult {
+    state.flush_delta();
+    // Wait for global done (covers stragglers' deltas still in flight).
+    loop {
+        state.maybe_announce_done();
+        if state.is_done() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let local = state.counted.load(Ordering::SeqCst);
+    let totals = state.raw.sum_to_all_u64(&[local]);
+    UtsResult {
+        local_count: local,
+        global_count: totals[0],
+    }
+}
+
+fn initial_frontier(raw: &RawShmem, params: &UtsParams) -> Vec<Node> {
+    if raw.rank() == 0 {
+        vec![Node::root(params)]
+    } else {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Implementation A: OpenSHMEM + OpenMP (parallel_for rounds)
+// ---------------------------------------------------------------------
+
+/// OpenSHMEM+OpenMP: frontier batches expanded with `parallel_for`
+/// (implicit barrier per batch), blocking raw SHMEM for load balancing.
+pub fn run_omp(raw: &Arc<RawShmem>, pool: &Arc<Pool>, params: &UtsParams) -> UtsResult {
+    let arena = StealArena::alloc(raw);
+    arena.init(raw, raw.rank() == 0);
+    raw.barrier_all();
+    let state = Arc::new(LocalState::new(Arc::clone(raw), arena));
+    let mut frontier = initial_frontier(raw, params);
+
+    loop {
+        if frontier.is_empty() {
+            if state.idle_pass(&mut frontier) {
+                break;
+            }
+            continue;
+        }
+        let batch: Vec<Node> = frontier
+            .drain(..frontier.len().min(1024))
+            .collect();
+        let children: Arc<parking_lot::Mutex<Vec<Node>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        {
+            let batch = Arc::new(batch);
+            let children = Arc::clone(&children);
+            let state2 = Arc::clone(&state);
+            let params = *params;
+            let b = Arc::clone(&batch);
+            pool.parallel_for_dynamic(batch.len(), 16, move |i| {
+                let node = b[i];
+                let n = node.num_children(&params);
+                let mut kids = Vec::with_capacity(n as usize);
+                for c in 0..n {
+                    kids.push(node.child(c));
+                }
+                state2.record(n);
+                if !kids.is_empty() {
+                    children.lock().extend(kids);
+                }
+            });
+        }
+        frontier.append(&mut children.lock());
+        state.export_surplus(&mut frontier);
+    }
+    finish_run(&state)
+}
+
+// ---------------------------------------------------------------------
+// Implementation B: OpenSHMEM + OpenMP Tasks (coarse taskwait)
+// ---------------------------------------------------------------------
+
+/// OpenSHMEM+OpenMP Tasks: per-node dynamic tasks, but a **coarse
+/// `taskwait` on all pending tasks before every termination check and
+/// load-balancing step** (paper §III-C1).
+pub fn run_omp_tasks(raw: &Arc<RawShmem>, pool: &Arc<Pool>, params: &UtsParams) -> UtsResult {
+    let arena = StealArena::alloc(raw);
+    arena.init(raw, raw.rank() == 0);
+    raw.barrier_all();
+    let state = Arc::new(LocalState::new(Arc::clone(raw), arena));
+    let mut frontier = initial_frontier(raw, params);
+
+    loop {
+        if frontier.is_empty() {
+            if state.idle_pass(&mut frontier) {
+                break;
+            }
+            continue;
+        }
+        // Spawn one task per frontier node...
+        let group = pool.task_group();
+        let children: Arc<parking_lot::Mutex<Vec<Node>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for node in frontier.drain(..frontier.len().min(1024)) {
+            let children = Arc::clone(&children);
+            let state2 = Arc::clone(&state);
+            let params = *params;
+            group.spawn(move || {
+                let n = node.num_children(&params);
+                let mut kids = Vec::with_capacity(n as usize);
+                for c in 0..n {
+                    kids.push(node.child(c));
+                }
+                state2.record(n);
+                if !kids.is_empty() {
+                    children.lock().extend(kids);
+                }
+            });
+        }
+        // ...then wait on ALL of them before anything else can happen.
+        group.wait();
+        frontier.append(&mut children.lock());
+        state.export_surplus(&mut frontier);
+    }
+    finish_run(&state)
+}
+
+// ---------------------------------------------------------------------
+// Implementation C: HiPER / AsyncSHMEM
+// ---------------------------------------------------------------------
+
+/// AsyncSHMEM: recursive HiPER tasks expand the tree with fine-grain
+/// work-stealing inside the rank; the surplus export happens from within
+/// the task graph; termination arrives via `shmem_async_when`.
+pub fn run_hiper(shmem: &Arc<ShmemModule>, params: &UtsParams) -> UtsResult {
+    let raw = Arc::clone(shmem.raw());
+    let arena = StealArena::alloc(&raw);
+    arena.init(&raw, raw.rank() == 0);
+    shmem.barrier_all();
+    let state = Arc::new(LocalState::new(Arc::clone(&raw), arena));
+
+    // Termination notification as a predicated task instead of polling.
+    {
+        let state2 = Arc::clone(&state);
+        let done_off = state.arena.done.offset;
+        shmem.async_when(done_off, Cmp::Eq, 1, move || {
+            state2.done.store(true, Ordering::Release);
+        });
+    }
+
+    let mut frontier = initial_frontier(&raw, params);
+    loop {
+        if frontier.is_empty() {
+            if state.idle_pass(&mut frontier) {
+                break;
+            }
+            continue;
+        }
+        // Expand the whole local subtree with recursive tasks; the finish
+        // covers the recursion, not each node (fine-grain intra-rank
+        // balancing via the work-stealing deques).
+        let surplus: Arc<parking_lot::Mutex<Vec<Node>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let roots: Vec<Node> = frontier.drain(..).collect();
+        api::finish(|| {
+            spawn_expand(roots, *params, Arc::clone(&state), Arc::clone(&surplus));
+        });
+        // Export any surplus captured during expansion, then publish it.
+        let mut captured = surplus.lock();
+        if !captured.is_empty() {
+            frontier.append(&mut captured);
+        }
+        drop(captured);
+        state.export_surplus(&mut frontier);
+    }
+    finish_run(&state)
+}
+
+/// Chunked recursive task expansion: each task owns a private node stack
+/// and expands depth-first; when the stack grows past a threshold it splits
+/// half into a sibling task (stealable by other workers) and occasionally
+/// redirects a slice to the surplus pool so *remote* thieves find work.
+/// Chunking keeps per-node overhead near the sequential cost while the
+/// splits provide fine-grain intra-rank balancing.
+fn spawn_expand(
+    mut stack: Vec<Node>,
+    params: UtsParams,
+    state: Arc<LocalState>,
+    surplus: Arc<parking_lot::Mutex<Vec<Node>>>,
+) {
+    const SPLIT_AT: usize = 128;
+    while let Some(node) = stack.pop() {
+        let n = node.num_children(&params);
+        state.record(n);
+        for c in 0..n {
+            stack.push(node.child(c));
+        }
+        if stack.len() > SPLIT_AT {
+            let mut half = stack.split_off(stack.len() / 2);
+            // Feed remote thieves first if the surplus pool is low.
+            {
+                let mut pool = surplus.lock();
+                if pool.len() < SURPLUS_CAP / 2 {
+                    let take = half.len().min(32);
+                    pool.extend(half.drain(..take));
+                }
+            }
+            if !half.is_empty() {
+                let state = Arc::clone(&state);
+                let surplus = Arc::clone(&surplus);
+                api::async_(move || spawn_expand(half, params, state, surplus));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiper_netsim::{NetConfig, SpmdBuilder};
+    use hiper_runtime::SchedulerModule;
+    use hiper_shmem::ShmemWorld;
+
+    fn tiny() -> UtsParams {
+        UtsParams {
+            seed: 7,
+            b0: 2.0,
+            root_children: 4,
+            max_depth: 9,
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let params = tiny();
+        let root = Node::root(&params);
+        let child = root.child(2);
+        assert_eq!(Node::unpack(&child.pack()), child);
+    }
+
+    #[test]
+    fn tree_is_deterministic() {
+        let params = tiny();
+        let a = seq_count(&params);
+        let b = seq_count(&params);
+        assert_eq!(a, b);
+        assert!(a > 10, "tree too small: {}", a);
+        // Different seed, different tree (overwhelmingly).
+        let other = seq_count(&UtsParams { seed: 8, ..params });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn branching_respects_depth_cutoff() {
+        let params = tiny();
+        let mut node = Node::root(&params);
+        for _ in 0..params.max_depth {
+            node = Node {
+                depth: node.depth + 1,
+                ..node
+            };
+        }
+        assert_eq!(node.num_children(&params), 0);
+    }
+
+    fn check_impl(
+        nranks: usize,
+        run: impl Fn(&hiper_netsim::RankEnv, Arc<RawShmem>, Option<Arc<ShmemModule>>) -> UtsResult
+            + Send
+            + Sync
+            + 'static,
+        use_module: bool,
+    ) {
+        let params = tiny();
+        let expected = seq_count(&params);
+        let world = ShmemWorld::new(nranks, 1 << 21);
+        let results = SpmdBuilder::new(nranks)
+            .net(NetConfig::default())
+            .workers_per_rank(2)
+            .run(
+                move |_r, t| {
+                    if use_module {
+                        let shmem = ShmemModule::new(world.clone(), t);
+                        (
+                            vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>],
+                            (Arc::clone(shmem.raw()), Some(shmem)),
+                        )
+                    } else {
+                        let raw = RawShmem::new(world.clone(), t);
+                        (Vec::new(), (raw, None))
+                    }
+                },
+                move |env, (raw, module)| run(&env, raw, module),
+            );
+        for r in &results {
+            assert_eq!(r.global_count, expected, "global count mismatch");
+        }
+        let local_sum: u64 = results.iter().map(|r| r.local_count).sum();
+        assert_eq!(local_sum, expected, "local counts must partition the tree");
+    }
+
+    #[test]
+    fn omp_impl_counts_tree() {
+        let params = tiny();
+        check_impl(
+            2,
+            move |_env, raw, _m| {
+                let pool = Pool::new(2);
+                let r = run_omp(&raw, &pool, &params);
+                pool.shutdown();
+                r
+            },
+            false,
+        );
+    }
+
+    #[test]
+    fn omp_tasks_impl_counts_tree() {
+        let params = tiny();
+        check_impl(
+            2,
+            move |_env, raw, _m| {
+                let pool = Pool::new(2);
+                let r = run_omp_tasks(&raw, &pool, &params);
+                pool.shutdown();
+                r
+            },
+            false,
+        );
+    }
+
+    #[test]
+    fn hiper_impl_counts_tree() {
+        let params = tiny();
+        check_impl(
+            3,
+            move |_env, _raw, module| run_hiper(module.as_ref().unwrap(), &params),
+            true,
+        );
+    }
+
+    #[test]
+    fn single_rank_all_impls_match_oracle() {
+        let params = tiny();
+        let expected = seq_count(&params);
+        let world = ShmemWorld::new(1, 1 << 21);
+        let results = SpmdBuilder::new(1)
+            .net(NetConfig::instant())
+            .workers_per_rank(2)
+            .run(
+                move |_r, t| {
+                    let shmem = ShmemModule::new(world.clone(), t);
+                    (
+                        vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>],
+                        shmem,
+                    )
+                },
+                move |_env, shmem| {
+                    let pool = Pool::new(2);
+                    let a = run_omp(shmem.raw(), &pool, &params).global_count;
+                    let b = run_omp_tasks(shmem.raw(), &pool, &params).global_count;
+                    let c = run_hiper(&shmem, &params).global_count;
+                    pool.shutdown();
+                    (a, b, c)
+                },
+            );
+        assert_eq!(results[0], (expected, expected, expected));
+    }
+}

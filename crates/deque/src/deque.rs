@@ -1,0 +1,530 @@
+//! A dynamic circular work-stealing deque (Chase & Lev, SPAA 2005) with the
+//! C11 memory orderings of Lê, Pochon, Zappa Nardelli & Maranget (PPoPP 2013).
+//!
+//! The owner ([`Worker`]) pushes and pops at the *bottom* of the deque; any
+//! number of thieves ([`Stealer`]) steal from the *top*. The buffer grows
+//! geometrically when full. Retired buffers are kept alive until the deque
+//! itself is dropped: a thief that raced with a growth may still read from an
+//! old buffer, and because growth is geometric the total retired footprint is
+//! bounded by ~2x the live buffer, so this is a simple and safe reclamation
+//! scheme that needs no epochs or hazard pointers.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::Steal;
+
+/// Initial buffer capacity. Must be a power of two.
+const MIN_CAP: usize = 64;
+
+/// A fixed-capacity ring buffer of `T` slots.
+struct Buffer<T> {
+    /// Power-of-two capacity.
+    cap: usize,
+    /// Slot storage. Slots are logically owned by the deque indices; the
+    /// `UnsafeCell` is required because thieves read slots concurrently with
+    /// owner writes to *different* indices.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+unsafe impl<T: Send> Sync for Buffer<T> {}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> Box<Buffer<T>> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer { cap, slots })
+    }
+
+    /// Writes `value` into the slot for logical index `index`.
+    ///
+    /// # Safety
+    /// Caller must guarantee no concurrent write to the same logical index
+    /// and that the slot does not hold an unread initialized value that would
+    /// be leaked (the deque protocol guarantees both).
+    unsafe fn write(&self, index: isize, value: T) {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        (*slot.get()).write(value);
+    }
+
+    /// Reads the value at logical index `index`, leaving the slot logically
+    /// uninitialized.
+    ///
+    /// # Safety
+    /// Caller must guarantee the slot holds an initialized value that no
+    /// other thread will also read (enforced by the top/bottom CAS protocol).
+    unsafe fn read(&self, index: isize) -> T {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        (*slot.get()).assume_init_read()
+    }
+}
+
+/// Shared state between the [`Worker`] and its [`Stealer`]s.
+struct Inner<T> {
+    /// Index one past the last valid element; only the owner mutates it.
+    bottom: AtomicIsize,
+    /// Index of the first valid element; advanced by successful steals and by
+    /// the owner when popping the last element.
+    top: AtomicIsize,
+    /// Current buffer.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth, kept alive until drop (see module docs).
+    retired: Mutex<Vec<Box<Buffer<T>>>>,
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drain any elements still in the deque so their destructors run.
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        for i in t..b {
+            unsafe {
+                drop(buf.read(i));
+            }
+        }
+        // Free the live buffer; retired buffers are dropped by the Vec.
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+        }
+    }
+}
+
+/// Owner handle: push and pop at the bottom of the deque.
+///
+/// `Worker` is `Send` but deliberately not `Sync` or `Clone`: exactly one
+/// thread may own the bottom end at a time.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Opts this type out of `Sync` and makes ownership semantics explicit.
+    _not_sync: PhantomData<*mut ()>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// Thief handle: steal from the top of the deque. Cheap to clone.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Stealer { .. }")
+    }
+}
+
+/// Creates a new empty work-stealing deque, returning the owner and thief
+/// handles.
+pub fn new<T>() -> (Worker<T>, Stealer<T>) {
+    let buffer = Box::into_raw(Buffer::<T>::alloc(MIN_CAP));
+    let inner = Arc::new(Inner {
+        bottom: AtomicIsize::new(0),
+        top: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(buffer),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T> Worker<T> {
+    /// Pushes a value onto the bottom (owner end) of the deque.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+
+        if b - t >= buf.cap as isize {
+            // Full: grow. Only the owner grows, so a plain store suffices for
+            // the buffer pointer (paired with Acquire loads in steal()).
+            self.grow(b, t);
+            buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+        }
+
+        unsafe {
+            buf.write(b, value);
+        }
+        // The Release store publishes the slot write to thieves that Acquire
+        // bottom.
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pops a value from the bottom (owner end) of the deque, LIFO order.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+        inner.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders the bottom store before the top load, the
+        // crux of the Chase-Lev protocol: either a racing thief sees the
+        // decremented bottom, or we see its incremented top.
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+
+        if t <= b {
+            // Non-empty.
+            if t == b {
+                // Single element left: race the thieves for it.
+                if inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Lost: a thief got it.
+                    inner.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            Some(unsafe { buf.read(b) })
+        } else {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Approximate number of elements in the deque.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// True if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns an additional thief handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Doubles the buffer, copying live slots `[t, b)`. Owner-only.
+    #[cold]
+    fn grow(&self, b: isize, t: isize) {
+        let inner = &*self.inner;
+        let old_ptr = inner.buffer.load(Ordering::Relaxed);
+        let old = unsafe { &*old_ptr };
+        let new = Buffer::<T>::alloc(old.cap * 2);
+        for i in t..b {
+            // Move the bit pattern; logical ownership of the value transfers
+            // to the new buffer. The old slot must not be dropped.
+            unsafe {
+                let v = std::ptr::read((*old.slots[(i as usize) & (old.cap - 1)].get()).as_ptr());
+                new.write(i, v);
+            }
+        }
+        let new_ptr = Box::into_raw(new);
+        // Publish the new buffer; thieves Acquire-load it in steal().
+        inner.buffer.store(new_ptr, Ordering::Release);
+        // Retire (not free) the old buffer: a concurrent thief may still be
+        // reading a slot from it. See module docs.
+        inner
+            .retired
+            .lock()
+            .expect("retired-buffer lock poisoned")
+            .push(unsafe { Box::from_raw(old_ptr) });
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal one value from the top (thief end), FIFO order.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        // Order the top load before the bottom load (pairs with the fence in
+        // pop()).
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+
+        if t < b {
+            // Non-empty: read before CAS (the value may be overwritten by a
+            // racing push as soon as top is incremented).
+            let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+            let value = unsafe { buf.read(t) };
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                // Lost the race; the read value logically belongs to the
+                // winner. Forget our copy so it is not double-dropped.
+                std::mem::forget(value);
+                return Steal::Retry;
+            }
+            Steal::Success(value)
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Approximate number of elements in the deque.
+    pub fn len(&self) -> usize {
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// True if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn push_pop_lifo() {
+        let (w, _s) = new();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn steal_fifo() {
+        let (w, s) = new();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(s.steal().success(), Some(2));
+        assert_eq!(s.steal().success(), Some(3));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn pop_and_steal_interleave() {
+        let (w, s) = new();
+        for i in 0..10 {
+            w.push(i);
+        }
+        assert_eq!(s.steal().success(), Some(0));
+        assert_eq!(w.pop(), Some(9));
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(8));
+    }
+
+    #[test]
+    fn empty_deque_reports_empty() {
+        let (w, s) = new::<u32>();
+        assert!(w.is_empty());
+        assert!(s.is_empty());
+        assert_eq!(w.len(), 0);
+        assert!(w.pop().is_none());
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let (w, s) = new();
+        let n = MIN_CAP * 8;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        // Steal half, pop half; the union must be exactly 0..n.
+        let mut seen = HashSet::new();
+        for _ in 0..n / 2 {
+            seen.insert(s.steal().success().unwrap());
+        }
+        for _ in 0..n / 2 {
+            seen.insert(w.pop().unwrap());
+        }
+        assert_eq!(seen.len(), n);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn drop_runs_destructors_of_remaining_elements() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (w, _s) = new();
+        for _ in 0..10 {
+            w.push(D);
+        }
+        drop(w.pop()); // one explicit
+        drop(w);
+        drop(_s);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn growth_does_not_double_drop() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D(#[allow(dead_code)] usize);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (w, _s) = new();
+            for i in 0..MIN_CAP * 4 {
+                w.push(D(i));
+            }
+            while w.pop().is_some() {}
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), MIN_CAP * 4);
+    }
+
+    #[test]
+    fn stress_one_owner_many_thieves() {
+        const N: usize = 50_000;
+        const THIEVES: usize = 3;
+        let (w, s) = new();
+        let popped = Arc::new(Mutex::new(Vec::new()));
+        let stolen: Vec<Arc<Mutex<Vec<usize>>>> =
+            (0..THIEVES).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|i| {
+                let s = s.clone();
+                let out = Arc::clone(&stolen[i]);
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => local.push(v),
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) && s.is_empty() {
+                                    break;
+                                }
+                                thread::yield_now();
+                            }
+                            Steal::Retry => {}
+                        }
+                    }
+                    out.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+
+        let mut local_popped = Vec::new();
+        for i in 0..N {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    local_popped.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            local_popped.push(v);
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        popped.lock().unwrap().extend(local_popped);
+
+        let mut all: Vec<usize> = popped.lock().unwrap().clone();
+        for s in &stolen {
+            all.extend(s.lock().unwrap().iter().copied());
+        }
+        all.sort_unstable();
+        // Every pushed element is consumed exactly once.
+        assert_eq!(all.len(), N, "lost or duplicated elements");
+        for (i, v) in all.iter().enumerate() {
+            assert_eq!(i, *v);
+        }
+    }
+
+    #[test]
+    fn stress_growth_under_contention() {
+        const N: usize = 20_000;
+        let (w, s) = new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let thief = {
+            let s = s.clone();
+            let count = Arc::clone(&count);
+            let done = Arc::clone(&done);
+            thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(_) => {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) && s.is_empty() {
+                            break;
+                        }
+                        thread::yield_now();
+                    }
+                    Steal::Retry => {}
+                }
+            })
+        };
+        let mut popped = 0usize;
+        let mut pushed = 0usize;
+        // Push in bursts to repeatedly trigger growth while the thief runs.
+        for burst in 0..(N / MIN_CAP) {
+            for i in 0..MIN_CAP {
+                w.push(burst * MIN_CAP + i);
+                pushed += 1;
+            }
+            if burst % 4 == 3 {
+                while w.pop().is_some() {
+                    popped += 1;
+                }
+            }
+        }
+        while w.pop().is_some() {
+            popped += 1;
+        }
+        done.store(true, Ordering::Release);
+        thief.join().unwrap();
+        assert_eq!(popped + count.load(Ordering::Relaxed), pushed);
+    }
+}

@@ -1,0 +1,180 @@
+//! Multi-producer injector queue for off-pool task submission.
+//!
+//! Every place in the platform model carries one `Injector` in addition to
+//! its per-worker deques. Tasks that are made eligible by threads outside the
+//! worker pool — the network delivery engine satisfying a promise, a GPU
+//! completion poller, or application code running before `Runtime::start` —
+//! are pushed here, and workers drain it as part of their steal path.
+//!
+//! Built on `crossbeam`'s Michael–Scott-style segmented queue, with a length
+//! counter maintained for scheduler statistics (the underlying queue's `len`
+//! is O(segments)).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::queue::SegQueue;
+
+use crate::Steal;
+
+/// An unbounded MPMC FIFO queue for injecting tasks into the scheduler.
+pub struct Injector<T> {
+    queue: SegQueue<T>,
+    len: AtomicUsize,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates a new empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: SegQueue::new(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pushes a task; callable from any thread.
+    pub fn push(&self, value: T) {
+        self.queue.push(value);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attempts to take one task, FIFO order.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.pop() {
+            Some(v) => {
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                Steal::Success(v)
+            }
+            None => Steal::Empty,
+        }
+    }
+
+    /// Approximate number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if the queue appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = Injector::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.steal().success(), Some(i));
+        }
+        assert!(q.steal().is_empty());
+    }
+
+    #[test]
+    fn len_tracks_push_pop() {
+        let q = Injector::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        q.steal();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_single_consumer() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 10_000;
+        let q = Arc::new(Injector::new());
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..PER {
+                        q.push(p * PER + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Steal::Success(v) = q.steal() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got.len(), PRODUCERS * PER);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(i, *v);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER: usize = 5_000;
+        let q = Arc::new(Injector::new());
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let consumed = Arc::new(AtomicUsize::new(0));
+
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let done = Arc::clone(&done);
+                let consumed = Arc::clone(&consumed);
+                thread::spawn(move || loop {
+                    match q.steal() {
+                        Steal::Success(_) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            if done.load(Ordering::Acquire) && q.is_empty() {
+                                break;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..PER {
+                        q.push(p * PER + i);
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        for h in consumers {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), PRODUCERS * PER);
+    }
+}

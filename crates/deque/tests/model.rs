@@ -1,0 +1,71 @@
+//! Property-based model tests: the deque, driven single-threaded through an
+//! arbitrary sequence of operations, must behave exactly like a reference
+//! `VecDeque` (push-back/pop-back for the owner, pop-front for the thief).
+
+use std::collections::VecDeque;
+
+use hiper_deque::{new_deque, Steal};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u64>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn matches_vecdeque_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let (w, s) = new_deque::<u64>();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        // Single-threaded: Retry is impossible.
+                        Steal::Retry => panic!("retry without contention"),
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn injector_matches_fifo_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let q = hiper_deque::Injector::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    q.push(v);
+                    model.push_back(v);
+                }
+                // Injector has a single consumption end; treat Pop and Steal
+                // the same.
+                Op::Pop | Op::Steal => {
+                    prop_assert_eq!(q.steal().success(), model.pop_front());
+                }
+            }
+        }
+    }
+}

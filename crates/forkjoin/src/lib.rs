@@ -1,0 +1,344 @@
+//! A minimal OpenMP-like fork-join substrate.
+//!
+//! The paper's evaluation compares HiPER against *hybrid* baselines —
+//! "OpenSHMEM+OpenMP", "MPI+OpenMP", "OpenSHMEM+OpenMP Tasks" — whose
+//! defining property is fork-join parallelism with **coarse-grain
+//! synchronization**: a `parallel for` is a barrier across its iterations,
+//! and OpenMP task groups must `taskwait` on *all* pending tasks before the
+//! enclosing code can continue (the exact weakness §III-C1 attributes to the
+//! OpenSHMEM+OpenMP-Tasks UTS).
+//!
+//! This crate is that substrate: a persistent thread pool with
+//! [`Pool::parallel_for`] (static chunking + implicit barrier) and
+//! [`TaskGroup`] (dynamic task spawning + coarse `wait` barrier). It is
+//! intentionally *not* a work-stealing runtime and has no futures — that's
+//! the point of the comparison.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size fork-join thread pool (the "OpenMP runtime").
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    size: usize,
+}
+
+impl Pool {
+    /// Spawns a pool of `threads` workers.
+    pub fn new(threads: usize) -> Arc<Pool> {
+        assert!(threads > 0);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("omp-worker-{}", i))
+                    .spawn(move || worker(shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Arc::new(Pool {
+            shared,
+            threads: Mutex::new(handles),
+            size: threads,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn submit(&self, job: Job) {
+        self.shared.queue.lock().push_back(job);
+        self.shared.available.notify_one();
+    }
+
+    /// `#pragma omp parallel for` (static schedule): runs `f(i)` for every
+    /// `i in 0..n` across the pool and **blocks until all iterations
+    /// complete** (the implicit barrier).
+    pub fn parallel_for(&self, n: usize, f: impl Fn(usize) + Send + Sync + 'static) {
+        if n == 0 {
+            return;
+        }
+        let f = Arc::new(f);
+        let chunks = self.size.min(n);
+        let remaining = Arc::new(AtomicUsize::new(chunks));
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let per = n.div_ceil(chunks);
+        for c in 0..chunks {
+            let lo = c * per;
+            let hi = ((c + 1) * per).min(n);
+            let f = Arc::clone(&f);
+            let remaining = Arc::clone(&remaining);
+            let done = Arc::clone(&done);
+            self.submit(Box::new(move || {
+                for i in lo..hi {
+                    f(i);
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let (lock, cond) = &*done;
+                    *lock.lock() = true;
+                    cond.notify_all();
+                }
+            }));
+        }
+        let (lock, cond) = &*done;
+        let mut finished = lock.lock();
+        while !*finished {
+            cond.wait(&mut finished);
+        }
+    }
+
+    /// `parallel for` with a per-chunk grain size instead of static
+    /// splitting (dynamic schedule): iterations are dealt out in chunks of
+    /// `grain`.
+    pub fn parallel_for_dynamic(
+        &self,
+        n: usize,
+        grain: usize,
+        f: impl Fn(usize) + Send + Sync + 'static,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        let f = Arc::new(f);
+        let next = Arc::new(AtomicUsize::new(0));
+        let workers = self.size.min(n.div_ceil(grain));
+        let remaining = Arc::new(AtomicUsize::new(workers));
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        for _ in 0..workers {
+            let f = Arc::clone(&f);
+            let next = Arc::clone(&next);
+            let remaining = Arc::clone(&remaining);
+            let done = Arc::clone(&done);
+            self.submit(Box::new(move || {
+                loop {
+                    let lo = next.fetch_add(grain, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    for i in lo..(lo + grain).min(n) {
+                        f(i);
+                    }
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let (lock, cond) = &*done;
+                    *lock.lock() = true;
+                    cond.notify_all();
+                }
+            }));
+        }
+        let (lock, cond) = &*done;
+        let mut finished = lock.lock();
+        while !*finished {
+            cond.wait(&mut finished);
+        }
+    }
+
+    /// Creates an OpenMP-style task group. Spawn with
+    /// [`TaskGroup::spawn`], then [`TaskGroup::wait`] — a coarse barrier
+    /// over *everything* spawned so far.
+    pub fn task_group(self: &Arc<Self>) -> TaskGroup {
+        TaskGroup {
+            pool: Arc::clone(self),
+            pending: Arc::new(AtomicUsize::new(0)),
+            done: Arc::new((Mutex::new(()), Condvar::new())),
+        }
+    }
+
+    /// Stops and joins the pool. Queued jobs are drained first.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared.available.wait(&mut q);
+            }
+        };
+        job();
+    }
+}
+
+/// OpenMP `task` + `taskwait`: dynamic tasks with a coarse completion
+/// barrier. Unlike HiPER futures there is no way to wait on *one* task —
+/// `wait` blocks on all of them, which is precisely the coarse-grain
+/// synchronization the paper's §III-C1 baseline suffers from.
+#[derive(Clone)]
+pub struct TaskGroup {
+    pool: Arc<Pool>,
+    pending: Arc<AtomicUsize>,
+    done: Arc<(Mutex<()>, Condvar)>,
+}
+
+impl TaskGroup {
+    /// Spawns a task into the group (`#pragma omp task`).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let pending = Arc::clone(&self.pending);
+        let done = Arc::clone(&self.done);
+        self.pool.submit(Box::new(move || {
+            f();
+            if pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let (lock, cond) = &*done;
+                let _g = lock.lock();
+                cond.notify_all();
+            }
+        }));
+    }
+
+    /// Number of tasks not yet finished (racy; diagnostics only).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// `#pragma omp taskwait`: blocks until **every** spawned task has
+    /// finished.
+    pub fn wait(&self) {
+        let (lock, cond) = &*self.done;
+        let mut guard = lock.lock();
+        while self.pending.load(Ordering::Acquire) != 0 {
+            cond.wait(&mut guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_covers_range_once() {
+        let pool = Pool::new(3);
+        let hits: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..500).map(|_| AtomicUsize::new(0)).collect());
+        let h = Arc::clone(&hits);
+        pool.parallel_for(500, move |i| {
+            h[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::SeqCst), 1, "iteration {}", i);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn parallel_for_is_a_barrier() {
+        let pool = Pool::new(2);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        pool.parallel_for(10, move |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        // All iterations must have completed before parallel_for returned.
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_range() {
+        let pool = Pool::new(4);
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&sum);
+        pool.parallel_for_dynamic(1000, 7, move |i| {
+            s.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), (0..1000).sum::<usize>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn empty_loops_return_immediately() {
+        let pool = Pool::new(2);
+        pool.parallel_for(0, |_| panic!("no iterations"));
+        pool.parallel_for_dynamic(0, 4, |_| panic!("no iterations"));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn task_group_taskwait() {
+        let pool = Pool::new(3);
+        let group = pool.task_group();
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&count);
+            group.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        group.wait();
+        assert_eq!(count.load(Ordering::SeqCst), 50);
+        assert_eq!(group.pending(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn task_group_nested_spawns() {
+        let pool = Pool::new(2);
+        let group = pool.task_group();
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let c = Arc::clone(&count);
+            let g = group.clone();
+            group.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..3 {
+                    let c = Arc::clone(&c);
+                    g.spawn(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        group.wait();
+        assert_eq!(count.load(Ordering::SeqCst), 20);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn multiple_parallel_fors_reuse_pool() {
+        let pool = Pool::new(2);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&count);
+            pool.parallel_for(100, move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 1000);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,372 @@
+//! The HiPER CUDA module (paper §II-C3).
+//!
+//! Supports blocking data transfers, asynchronous data transfers and
+//! asynchronous kernels. It is the one module that registers special-purpose
+//! functions with the runtime: it claims every `async_copy` that reads or
+//! writes a GPU place, and it uses the same polling technique as the MPI
+//! module (paper §II-C1) to turn device completion markers into HiPER
+//! promises.
+
+use std::sync::Arc;
+
+use hiper_platform::{PlaceId, PlaceKind};
+use hiper_runtime::{
+    CopyHandler, CopyRequest, Future, MemLoc, ModuleError, Poller, Promise, Runtime,
+    SchedulerModule,
+};
+use parking_lot::RwLock;
+
+use crate::device::{DeviceBuffer, GpuDevice, OpDone, PcieModel, Stream};
+
+type State = Arc<RwLock<Option<ModuleState>>>;
+
+/// The HiPER CUDA module. Devices are created at initialization, one per GPU
+/// place in the platform model (the `device_index` place attribute selects
+/// the device index).
+pub struct GpuModule {
+    pcie: PcieModel,
+    state: State,
+}
+
+struct ModuleState {
+    rt: Runtime,
+    devices: Vec<Arc<GpuDevice>>,
+    /// Place of each device (indexed by device index).
+    places: Vec<PlaceId>,
+    poller: Arc<Poller>,
+    /// Internal per-device stream for module-initiated (`async_copy`)
+    /// transfers.
+    copy_streams: Vec<Stream>,
+}
+
+/// Bridges a device completion marker to a HiPER promise via the module's
+/// polling task.
+fn poll_completion(state: &ModuleState, rt: &Runtime, op: Arc<OpDone>, done: Promise<()>) {
+    let mut slot = Some(done);
+    state.poller.submit(
+        rt,
+        Box::new(move || {
+            if op.test() {
+                slot.take().expect("polled after completion").put(());
+                true
+            } else {
+                false
+            }
+        }),
+    );
+}
+
+impl GpuModule {
+    /// Creates a module with the default PCIe model.
+    pub fn new() -> Arc<GpuModule> {
+        Self::with_pcie(PcieModel::default())
+    }
+
+    /// Creates a module with a custom PCIe model.
+    pub fn with_pcie(pcie: PcieModel) -> Arc<GpuModule> {
+        Arc::new(GpuModule {
+            pcie,
+            state: Arc::new(RwLock::new(None)),
+        })
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&ModuleState) -> R) -> R {
+        let guard = self.state.read();
+        let state = guard
+            .as_ref()
+            .expect("GPU module used before runtime initialization");
+        f(state)
+    }
+
+    /// Number of simulated devices.
+    pub fn device_count(&self) -> usize {
+        self.with_state(|s| s.devices.len())
+    }
+
+    /// The platform place of `device`.
+    pub fn place_of(&self, device: usize) -> PlaceId {
+        self.with_state(|s| s.places[device])
+    }
+
+    /// Allocates device memory (cudaMalloc).
+    pub fn alloc(&self, device: usize, bytes: usize) -> Arc<DeviceBuffer> {
+        self.with_state(|s| s.devices[device].alloc(bytes))
+    }
+
+    /// Creates a stream on `device` (cudaStreamCreate).
+    pub fn create_stream(&self, device: usize) -> Stream {
+        self.with_state(|s| s.devices[device].create_stream())
+    }
+
+    /// Wraps a device completion marker in a HiPER future, satisfied by the
+    /// module's polling task.
+    pub fn future_of(&self, done: Arc<OpDone>) -> Future<()> {
+        let promise = Promise::new();
+        let fut = promise.future();
+        self.with_state(|state| poll_completion(state, &state.rt, done, promise));
+        fut
+    }
+
+    /// Asynchronous kernel launch returning a future.
+    pub fn launch_future(
+        &self,
+        stream: &Stream,
+        kernel: impl FnOnce() + Send + 'static,
+    ) -> Future<()> {
+        let done = self.with_state(|s| {
+            let _t = s.rt.module_stats().time("cuda");
+            s.devices[stream.device()].launch_kernel(stream, kernel)
+        });
+        self.future_of(done)
+    }
+
+    /// Kernel launch predicated on dependencies: the launch happens when
+    /// every `dep` is satisfied (the §II-D `forasync_cuda(..., deps)`
+    /// pattern).
+    pub fn launch_await(
+        &self,
+        stream: &Stream,
+        deps: &[Future<()>],
+        kernel: impl FnOnce() + Send + 'static,
+    ) -> Future<()> {
+        let all = hiper_runtime::when_all(deps);
+        let promise = Promise::new();
+        let fut = promise.future();
+        let state = Arc::clone(&self.state);
+        let stream = stream.clone();
+        let slot = parking_lot::Mutex::new(Some((
+            promise,
+            Box::new(kernel) as Box<dyn FnOnce() + Send>,
+        )));
+        all.on_ready(move || {
+            let (promise, kernel) = slot.lock().take().expect("deps fired twice");
+            let guard = state.read();
+            let s = guard.as_ref().expect("kernel launch after finalization");
+            let done = s.devices[stream.device()].launch_kernel(&stream, kernel);
+            poll_completion(s, &s.rt, done, promise);
+        });
+        fut
+    }
+
+    /// Blocking H2D copy (cudaMemcpy): stalls the calling OS thread for the
+    /// modeled PCIe time.
+    pub fn memcpy_h2d_blocking(
+        &self,
+        stream: &Stream,
+        dst: &Arc<DeviceBuffer>,
+        dst_off: usize,
+        src: Vec<u8>,
+    ) {
+        self.with_state(|s| {
+            let _t = s.rt.module_stats().time("cuda");
+            s.devices[stream.device()].memcpy_h2d_blocking(stream, dst, dst_off, src)
+        })
+    }
+
+    /// Blocking D2H copy (cudaMemcpy).
+    pub fn memcpy_d2h_blocking(
+        &self,
+        stream: &Stream,
+        src: &Arc<DeviceBuffer>,
+        src_off: usize,
+        nbytes: usize,
+    ) -> Vec<u8> {
+        self.with_state(|s| {
+            let _t = s.rt.module_stats().time("cuda");
+            s.devices[stream.device()].memcpy_d2h_blocking(stream, src, src_off, nbytes)
+        })
+    }
+
+    /// Async H2D copy returning a future.
+    pub fn memcpy_h2d_future(
+        &self,
+        stream: &Stream,
+        dst: &Arc<DeviceBuffer>,
+        dst_off: usize,
+        src: Vec<u8>,
+    ) -> Future<()> {
+        let done = self.with_state(|s| {
+            s.devices[stream.device()].memcpy_h2d_async(stream, dst, dst_off, src)
+        });
+        self.future_of(done)
+    }
+
+    /// Async D2H copy returning a future on the fetched bytes.
+    pub fn memcpy_d2h_future(
+        &self,
+        stream: &Stream,
+        src: &Arc<DeviceBuffer>,
+        src_off: usize,
+        nbytes: usize,
+    ) -> Future<Vec<u8>> {
+        let promise = Promise::new();
+        let fut = promise.future();
+        self.with_state(|s| {
+            s.devices[stream.device()].memcpy_d2h_async(stream, src, src_off, nbytes, move |data| {
+                promise.put(data)
+            });
+        });
+        fut
+    }
+
+    /// Blocks until `device` has drained all submitted work.
+    pub fn device_synchronize(&self, device: usize) {
+        self.with_state(|s| s.devices[device].synchronize());
+    }
+
+    /// `MemLoc` for an `async_copy` endpoint on a device buffer.
+    pub fn loc(buf: &Arc<DeviceBuffer>, offset: usize) -> MemLoc {
+        MemLoc::opaque(Arc::clone(buf) as Arc<dyn std::any::Any + Send + Sync>, offset)
+    }
+}
+
+fn handle_copy(state_arc: &State, rt: &Runtime, req: CopyRequest, done: Promise<()>) {
+    let guard = state_arc.read();
+    let state = guard.as_ref().expect("async_copy after module finalization");
+    let src_kind = rt.config().graph.place(req.src_place).kind.clone();
+    let dst_kind = rt.config().graph.place(req.dst_place).kind.clone();
+    match (src_kind, dst_kind) {
+        (PlaceKind::SystemMemory, PlaceKind::GpuMemory) => {
+            let dev = device_of_place(state, req.dst_place);
+            let (dst, dst_off) = downcast_buffer(&req.dst);
+            let mut src = vec![0u8; req.nbytes];
+            match &req.src {
+                MemLoc::Host { buf, offset } => buf.read_bytes(*offset, &mut src),
+                _ => panic!("H2D copy source must be a host buffer"),
+            }
+            let op =
+                state.devices[dev].memcpy_h2d_async(&state.copy_streams[dev], &dst, dst_off, src);
+            poll_completion(state, rt, op, done);
+        }
+        (PlaceKind::GpuMemory, PlaceKind::SystemMemory) => {
+            let dev = device_of_place(state, req.src_place);
+            let (src, src_off) = downcast_buffer(&req.src);
+            let (host, host_off) = match &req.dst {
+                MemLoc::Host { buf, offset } => (Arc::clone(buf), *offset),
+                _ => panic!("D2H copy destination must be a host buffer"),
+            };
+            let op = state.devices[dev].memcpy_d2h_async(
+                &state.copy_streams[dev],
+                &src,
+                src_off,
+                req.nbytes,
+                move |data| host.write_bytes(host_off, &data),
+            );
+            poll_completion(state, rt, op, done);
+        }
+        (PlaceKind::GpuMemory, PlaceKind::GpuMemory) => {
+            let sdev = device_of_place(state, req.src_place);
+            let (src, src_off) = downcast_buffer(&req.src);
+            let (dst, dst_off) = downcast_buffer(&req.dst);
+            let op = state.devices[sdev].memcpy_d2d_async(
+                &state.copy_streams[sdev],
+                &dst,
+                dst_off,
+                &src,
+                src_off,
+                req.nbytes,
+            );
+            poll_completion(state, rt, op, done);
+        }
+        (s, d) => panic!("CUDA module cannot handle {} -> {} copies", s, d),
+    }
+}
+
+fn device_of_place(state: &ModuleState, place: PlaceId) -> usize {
+    state
+        .places
+        .iter()
+        .position(|&p| p == place)
+        .expect("place is not a registered GPU device")
+}
+
+fn downcast_buffer(loc: &MemLoc) -> (Arc<DeviceBuffer>, usize) {
+    match loc {
+        MemLoc::Opaque { token, offset } => {
+            let buf = Arc::clone(token)
+                .downcast::<DeviceBuffer>()
+                .expect("opaque token is not a DeviceBuffer");
+            (buf, *offset)
+        }
+        _ => panic!("GPU-side location must be an opaque DeviceBuffer token"),
+    }
+}
+
+impl SchedulerModule for GpuModule {
+    fn name(&self) -> &'static str {
+        "cuda"
+    }
+
+    fn initialize(&self, rt: &Runtime) -> Result<(), ModuleError> {
+        let graph = &rt.config().graph;
+        let gpu_places = graph.places_of_kind(&PlaceKind::GpuMemory);
+        if gpu_places.is_empty() {
+            return Err(ModuleError::new(
+                "cuda",
+                "platform model contains no GPU places",
+            ));
+        }
+        // Order devices by their `device_index` attribute (default: place
+        // order).
+        let mut ordered: Vec<(usize, PlaceId)> = gpu_places
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let idx = graph
+                    .place(p)
+                    .attr("device_index")
+                    .map(|v| v as usize)
+                    .unwrap_or(i);
+                (idx, p)
+            })
+            .collect();
+        ordered.sort_by_key(|(i, _)| *i);
+        let places: Vec<PlaceId> = ordered.iter().map(|(_, p)| *p).collect();
+        let devices: Vec<Arc<GpuDevice>> = ordered
+            .iter()
+            .map(|(i, _)| GpuDevice::new(*i, self.pcie))
+            .collect();
+        let copy_streams: Vec<Stream> = devices.iter().map(|d| d.create_stream()).collect();
+        // Completion sweeps are placed at the first GPU place: GPU work is
+        // scheduled with everything else on the unified runtime.
+        let poller = Poller::new("cuda-poll", places[0]);
+        *self.state.write() = Some(ModuleState {
+            rt: rt.clone(),
+            devices,
+            places,
+            poller,
+            copy_streams,
+        });
+        Ok(())
+    }
+
+    fn finalize(&self, _rt: &Runtime) {
+        if let Some(state) = self.state.write().take() {
+            for d in &state.devices {
+                d.stop();
+            }
+        }
+    }
+
+    fn register_copy_handlers(&self, rt: &Runtime) {
+        // Claim every (src, dst) kind pair that touches a GPU place (paper
+        // §II-C3).
+        let reg = rt.copy_registry();
+        for (src, dst) in [
+            (PlaceKind::SystemMemory, PlaceKind::GpuMemory),
+            (PlaceKind::GpuMemory, PlaceKind::SystemMemory),
+            (PlaceKind::GpuMemory, PlaceKind::GpuMemory),
+        ] {
+            let state = Arc::clone(&self.state);
+            let handler: Arc<CopyHandler> =
+                Arc::new(move |rt, req, done| handle_copy(&state, rt, req, done));
+            reg.register(src, dst, handler);
+        }
+    }
+}
+
+impl std::fmt::Debug for GpuModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("GpuModule")
+    }
+}

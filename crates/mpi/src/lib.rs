@@ -1,0 +1,27 @@
+//! HiPER MPI module (paper §II-C1) plus the underlying "MPI library".
+//!
+//! Layered exactly as the paper describes:
+//!
+//! * [`RawComm`] is the full MPI library the module relies on for actual
+//!   messaging (the role OpenMPI/MVAPICH play in the C++ implementation):
+//!   blocking point-to-point with MPI matching semantics, request-based
+//!   nonblocking operations, and collectives. Blocking calls park the
+//!   calling OS thread — the behaviour the paper's *baseline*
+//!   implementations pay for.
+//! * [`MpiModule`] is the pluggable HiPER module: blocking APIs are
+//!   *taskified* onto the Interconnect place, and nonblocking APIs return
+//!   `future_t` objects satisfied by a singleton polling task, enabling
+//!   composition of MPI communication with any other HiPER work:
+//!
+//! ```ignore
+//! let fut = mpi.irecv::<f64>(Some(peer), Some(TAG));
+//! hiper::async_await(&fut, move || { /* runs on message arrival */ });
+//! ```
+
+mod module;
+mod raw;
+mod typed;
+
+pub use module::MpiModule;
+pub use raw::{RawComm, RecvStatus, Request, ANY_SOURCE, ANY_TAG};
+pub use typed::{Reducible, ReduceOp};

@@ -1,0 +1,263 @@
+//! The HiPER MPI module (paper §II-C1).
+//!
+//! Exposes MPI-shaped APIs that schedule their work on the HiPER runtime:
+//!
+//! * Blocking APIs use the **taskify** pattern: the underlying library call
+//!   is wrapped in a closure, `async_at`-ed to the Interconnect place, and
+//!   the caller is blocked (help-first) in a `finish` scope — the four-step
+//!   flow of §II-C1.
+//! * Nonblocking APIs drop the `MPI_Request` out-argument and **return a
+//!   `future_t`** instead, satisfied by a singleton polling task that sweeps
+//!   the pending-request list and yields between sweeps (§II-C1 steps 1–4).
+//!
+//! The module asserts at initialization that the platform model contains an
+//! Interconnect place; funnelling every library call through tasks at that
+//! place reproduces `MPI_THREAD_FUNNELED` usage of the underlying library.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use hiper_netsim::pod::{from_bytes, Pod};
+use hiper_netsim::{Rank, Transport};
+use hiper_platform::{PlaceId, PlaceKind};
+use hiper_runtime::{Future, ModuleError, Poller, Promise, Runtime, SchedulerModule};
+use parking_lot::RwLock;
+
+use crate::raw::{RawComm, RecvStatus, Request};
+use crate::typed::{Reducible, ReduceOp};
+
+/// The HiPER MPI module. Register with [`RuntimeBuilder::module`] and call
+/// its methods from tasks (paper code style: `MPI_Isend` returning a
+/// future).
+///
+/// [`RuntimeBuilder::module`]: hiper_runtime::RuntimeBuilder::module
+pub struct MpiModule {
+    raw: Arc<RawComm>,
+    state: RwLock<Option<ModuleState>>,
+}
+
+struct ModuleState {
+    rt: Runtime,
+    interconnect: PlaceId,
+    poller: Arc<Poller>,
+}
+
+impl MpiModule {
+    /// Creates the module for one rank of the simulated cluster.
+    pub fn new(transport: Transport) -> Arc<MpiModule> {
+        Arc::new(MpiModule {
+            raw: RawComm::new(transport),
+            state: RwLock::new(None),
+        })
+    }
+
+    /// The underlying "MPI library" endpoint (what the paper's baselines
+    /// call directly).
+    pub fn raw(&self) -> &Arc<RawComm> {
+        &self.raw
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.raw.rank()
+    }
+
+    /// Cluster size.
+    pub fn nranks(&self) -> usize {
+        self.raw.nranks()
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&ModuleState) -> R) -> R {
+        let guard = self.state.read();
+        let state = guard
+            .as_ref()
+            .expect("MPI module used before runtime initialization");
+        f(state)
+    }
+
+    /// Taskify helper (§II-C1): run `f` as a task at the Interconnect place
+    /// and block the calling task (help-first) until it completes.
+    fn taskify<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+        self.with_state(|state| {
+            let _t = state.rt.module_stats().time("mpi");
+            let slot = Arc::new(parking_lot::Mutex::new(None));
+            let out = Arc::clone(&slot);
+            let fut = state.rt.spawn_future_at(state.interconnect, move || {
+                *out.lock() = Some(f());
+            });
+            fut.wait();
+            let result = slot.lock().take().expect("taskified call produced no value");
+            result
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking APIs (taskified)
+    // ------------------------------------------------------------------
+
+    /// `MPI_Send` (paper's exact example): taskified blocking send.
+    pub fn send<T: Pod>(&self, dst: Rank, tag: u64, data: &[T]) {
+        let raw = Arc::clone(&self.raw);
+        let payload = hiper_netsim::pod::to_bytes(data);
+        self.taskify(move || raw.send(dst, tag, payload));
+    }
+
+    /// `MPI_Recv`: taskified blocking receive.
+    ///
+    /// Note: the *task* at the Interconnect place blocks in the underlying
+    /// library, exactly like a funneled MPI thread would; the calling task
+    /// is merely descheduled.
+    pub fn recv<T: Pod>(&self, src: Option<Rank>, tag: Option<u64>) -> (Vec<T>, Rank, u64) {
+        let raw = Arc::clone(&self.raw);
+        let status = self.taskify(move || raw.recv(src, tag));
+        (from_bytes(&status.data), status.src, status.tag)
+    }
+
+    /// `MPI_Barrier`: taskified.
+    pub fn barrier(&self) {
+        let raw = Arc::clone(&self.raw);
+        self.taskify(move || raw.barrier());
+    }
+
+    /// `MPI_Allreduce`: taskified.
+    pub fn allreduce<T: Reducible>(&self, data: &[T], op: ReduceOp) -> Vec<T> {
+        let raw = Arc::clone(&self.raw);
+        let data = data.to_vec();
+        self.taskify(move || raw.allreduce(&data, op))
+    }
+
+    /// `MPI_Bcast`: taskified.
+    pub fn bcast<T: Pod>(&self, root: Rank, data: &[T]) -> Vec<T> {
+        let raw = Arc::clone(&self.raw);
+        let data = data.to_vec();
+        self.taskify(move || raw.bcast_vec(root, &data))
+    }
+
+    /// `MPI_Alltoallv`: taskified.
+    pub fn alltoallv<T: Pod>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let raw = Arc::clone(&self.raw);
+        self.taskify(move || raw.alltoallv_vec(parts))
+    }
+
+    // ------------------------------------------------------------------
+    // Nonblocking APIs (future-returning; §II-C1)
+    // ------------------------------------------------------------------
+
+    /// `MPI_Isend` with the `MPI_Request` out-argument replaced by a
+    /// returned `future_t` (the paper's API change).
+    pub fn isend<T: Pod>(&self, dst: Rank, tag: u64, data: &[T]) -> Future<()> {
+        let payload = hiper_netsim::pod::to_bytes(data);
+        self.isend_bytes(dst, tag, payload)
+    }
+
+    /// Byte-level `MPI_Isend`.
+    pub fn isend_bytes(&self, dst: Rank, tag: u64, payload: Bytes) -> Future<()> {
+        // Step 1: call the asynchronous API directly, producing a request.
+        let req = self.raw.isend(dst, tag, payload);
+        // Steps 2-4: pending list + polling task + returned future.
+        self.future_of(req, |_status| ())
+    }
+
+    /// `MPI_Isend` predicated on a dependency (the paper's
+    /// `MPI_Isend_await` from the §II-D stencil example).
+    pub fn isend_await<T: Pod>(
+        &self,
+        dst: Rank,
+        tag: u64,
+        data: impl Fn() -> Vec<T> + Send + Sync + 'static,
+        dep: &Future<()>,
+    ) -> Future<()> {
+        let promise = Promise::new();
+        let fut = promise.future();
+        let this = self.with_state(|s| (s.rt.clone(), s.interconnect));
+        let (rt, interconnect) = this;
+        let raw = Arc::clone(&self.raw);
+        let promise = parking_lot::Mutex::new(Some(promise));
+        dep.on_ready(move || {
+            let raw = Arc::clone(&raw);
+            let payload = hiper_netsim::pod::to_bytes(&data());
+            let p = promise.lock().take().expect("dependency fired twice");
+            rt.spawn_at(interconnect, move || {
+                raw.send(dst, tag, payload);
+                p.put(());
+            });
+        });
+        fut
+    }
+
+    /// `MPI_Irecv` returning a future on the received data (request
+    /// out-argument removed, §II-C1).
+    pub fn irecv<T: Pod>(&self, src: Option<Rank>, tag: Option<u64>) -> Future<(Vec<T>, Rank, u64)> {
+        let req = self.raw.irecv(src, tag);
+        self.future_of(req, |status| {
+            (from_bytes::<T>(&status.data), status.src, status.tag)
+        })
+    }
+
+    /// Byte-level `MPI_Irecv`.
+    pub fn irecv_bytes(&self, src: Option<Rank>, tag: Option<u64>) -> Future<RecvStatus> {
+        let req = self.raw.irecv(src, tag);
+        self.future_of(req, |status| status)
+    }
+
+    /// Wraps a raw request in a future satisfied by the polling task.
+    fn future_of<T: Send + 'static>(
+        &self,
+        req: Request,
+        map: impl FnOnce(RecvStatus) -> T + Send + 'static,
+    ) -> Future<T> {
+        let promise = Promise::new();
+        let fut = promise.future();
+        self.with_state(|state| {
+            let mut slot = Some((promise, map));
+            state.poller.submit(
+                &state.rt,
+                Box::new(move || {
+                    if req.test() {
+                        let (promise, map) = slot.take().expect("poll after completion");
+                        promise.put(map(req.try_status().expect("tested complete")));
+                        true
+                    } else {
+                        false
+                    }
+                }),
+            );
+        });
+        fut
+    }
+}
+
+impl SchedulerModule for MpiModule {
+    fn name(&self) -> &'static str {
+        "mpi"
+    }
+
+    fn initialize(&self, rt: &Runtime) -> Result<(), ModuleError> {
+        // Platform assertion (§II-C1): a single Interconnect place must
+        // exist; all library calls are funneled through tasks placed there.
+        let interconnect = rt
+            .place_of_kind(&PlaceKind::Interconnect)
+            .ok_or_else(|| {
+                ModuleError::new("mpi", "platform model contains no Interconnect place")
+            })?;
+        let poller = Poller::new("mpi-poll", interconnect);
+        *self.state.write() = Some(ModuleState {
+            rt: rt.clone(),
+            interconnect,
+            poller,
+        });
+        Ok(())
+    }
+
+    fn finalize(&self, _rt: &Runtime) {
+        // Drop the stored runtime handle to break the module<->runtime Arc
+        // cycle.
+        *self.state.write() = None;
+    }
+}
+
+impl std::fmt::Debug for MpiModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MpiModule(rank {}/{})", self.rank(), self.nranks())
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-old-data serialization between typed slices and wire bytes.
+//!
+//! The communication modules move typed application data (`f64` grids, `u64`
+//! keys, …) over the byte-oriented transport. `Pod` marks types whose any
+//! bit pattern is valid and which contain no padding, so they can be copied
+//! to and from byte buffers.
+
+use bytes::Bytes;
+
+/// Marker for plain-old-data element types.
+///
+/// # Safety
+/// Implementors must be `Copy`, have no padding bytes, no niches, and accept
+/// any bit pattern (all primitive integer/float types qualify).
+pub unsafe trait Pod: Copy + Send + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for isize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+/// Copies a typed slice into owned wire bytes.
+pub fn to_bytes<T: Pod>(data: &[T]) -> Bytes {
+    // Viewing initialized POD memory as bytes is always valid (u8 has
+    // alignment 1 and no validity constraints).
+    let raw = unsafe {
+        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+    };
+    Bytes::copy_from_slice(raw)
+}
+
+/// Copies wire bytes back into a typed vector.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`.
+pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    assert!(
+        size > 0 && bytes.len() % size == 0,
+        "byte length {} is not a multiple of element size {}",
+        bytes.len(),
+        size
+    );
+    let n = bytes.len() / size;
+    let mut out = Vec::<T>::with_capacity(n);
+    // Unaligned source is fine: copy byte-wise into the (aligned) Vec.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+/// Copies wire bytes into an existing typed slice (lengths must match).
+pub fn read_into<T: Pod>(bytes: &[u8], dst: &mut [T]) {
+    assert_eq!(
+        bytes.len(),
+        std::mem::size_of_val(dst),
+        "byte/slice length mismatch"
+    );
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst.as_mut_ptr() as *mut u8, bytes.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let data = [1.5f64, -2.25, 0.0, f64::MAX];
+        let bytes = to_bytes(&data);
+        assert_eq!(bytes.len(), 32);
+        let back: Vec<f64> = from_bytes(&bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_u64_and_i32() {
+        let a = [u64::MAX, 0, 42];
+        assert_eq!(from_bytes::<u64>(&to_bytes(&a)), a);
+        let b = [-1i32, i32::MIN, 7];
+        assert_eq!(from_bytes::<i32>(&to_bytes(&b)), b);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let data: [f64; 0] = [];
+        let bytes = to_bytes(&data);
+        assert!(bytes.is_empty());
+        assert!(from_bytes::<f64>(&bytes).is_empty());
+    }
+
+    #[test]
+    fn read_into_slice() {
+        let bytes = to_bytes(&[10u32, 20, 30]);
+        let mut dst = [0u32; 3];
+        read_into(&bytes, &mut dst);
+        assert_eq!(dst, [10, 20, 30]);
+    }
+
+    #[test]
+    fn unaligned_source_is_handled() {
+        // Slice the byte buffer at an odd offset to force unaligned reads.
+        let mut raw = vec![0u8; 17];
+        raw[1..17].copy_from_slice(&to_bytes(&[3.5f64, 7.25]));
+        let vals: Vec<f64> = from_bytes(&raw[1..17]);
+        assert_eq!(vals, vec![3.5, 7.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_length_panics() {
+        let _ = from_bytes::<u64>(&[0u8; 7]);
+    }
+}

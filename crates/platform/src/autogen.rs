@@ -1,0 +1,186 @@
+//! Automatic platform-configuration generation.
+//!
+//! The C++ HiPER ships utilities that generate JSON platform files with
+//! hwloc (paper §II-A). This environment has no hwloc, so this module plays
+//! that role with synthetic-but-realistic topology builders: a flat SMP, an
+//! SMP with attached GPUs (a Titan-like node), and the example platform of
+//! the paper's Figure 2. Users are free to edit the emitted JSON, exactly as
+//! with the original utilities.
+
+use crate::config::{ConfigError, PlatformConfig};
+use crate::graph::PlaceGraph;
+use crate::path::PathPolicy;
+use crate::place::{PlaceId, PlaceKind};
+
+/// A flat shared-memory node: one system-memory place, one interconnect
+/// place, `workers` worker threads all homed at system memory.
+///
+/// This is the minimal model every communication module can run on: the MPI
+/// module requires an Interconnect place on some worker's paths (§II-C1).
+pub fn smp(workers: usize) -> PlatformConfig {
+    let mut g = PlaceGraph::new();
+    let sys = g.add_place(PlaceKind::SystemMemory, "sysmem");
+    let net = g.add_place(PlaceKind::Interconnect, "interconnect");
+    g.add_edge(sys, net);
+    PlatformConfig::new(
+        format!("smp{}", workers),
+        workers,
+        g,
+        vec![sys; workers],
+        PathPolicy::HomeFirst,
+        PathPolicy::Hierarchical,
+    )
+    .expect("smp config is valid by construction")
+}
+
+/// An SMP node with `gpus` attached accelerators (a Titan XK7-like node when
+/// `workers = 16, gpus = 1`). GPU places are connected to system memory
+/// (PCIe) and to each other (peer access) and carry `device_index` and
+/// `bytes` attributes for the CUDA module.
+pub fn smp_with_gpus(workers: usize, gpus: usize) -> PlatformConfig {
+    let mut g = PlaceGraph::new();
+    let sys = g.add_place(PlaceKind::SystemMemory, "sysmem");
+    let net = g.add_place(PlaceKind::Interconnect, "interconnect");
+    g.add_edge(sys, net);
+    let mut gpu_ids = Vec::new();
+    for d in 0..gpus {
+        let gpu = g.add_place(PlaceKind::GpuMemory, format!("gpu{}", d));
+        g.place_mut(gpu).attrs.insert("device_index".into(), d as f64);
+        g.place_mut(gpu).attrs.insert("bytes".into(), 6e9);
+        g.add_edge(sys, gpu);
+        for &other in &gpu_ids {
+            g.add_edge(gpu, other);
+        }
+        gpu_ids.push(gpu);
+    }
+    PlatformConfig::new(
+        format!("smp{}gpu{}", workers, gpus),
+        workers,
+        g,
+        vec![sys; workers],
+        PathPolicy::HomeFirst,
+        PathPolicy::Hierarchical,
+    )
+    .expect("smp_with_gpus config is valid by construction")
+}
+
+/// The example platform model from the paper's Figure 2: a NUMA node with
+/// two memory domains, two GPUs, an interconnect, NVM and node-local disk.
+pub fn figure2(workers_per_domain: usize) -> PlatformConfig {
+    let mut g = PlaceGraph::new();
+    let mem0 = g.add_place(PlaceKind::SystemMemory, "sysmem0");
+    let mem1 = g.add_place(PlaceKind::SystemMemory, "sysmem1");
+    g.add_edge(mem0, mem1);
+    let gpu0 = g.add_place(PlaceKind::GpuMemory, "gpu0");
+    let gpu1 = g.add_place(PlaceKind::GpuMemory, "gpu1");
+    g.place_mut(gpu0).attrs.insert("device_index".into(), 0.0);
+    g.place_mut(gpu1).attrs.insert("device_index".into(), 1.0);
+    g.add_edge(mem0, gpu0);
+    g.add_edge(mem1, gpu1);
+    g.add_edge(gpu0, gpu1);
+    let net = g.add_place(PlaceKind::Interconnect, "interconnect");
+    g.add_edge(mem0, net);
+    g.add_edge(mem1, net);
+    let nvm = g.add_place(PlaceKind::Nvm, "nvm");
+    g.add_edge(mem0, nvm);
+    g.add_edge(mem1, nvm);
+    let disk = g.add_place(PlaceKind::LocalDisk, "disk");
+    g.add_edge(nvm, disk);
+
+    let workers = workers_per_domain * 2;
+    let mut homes = vec![mem0; workers_per_domain];
+    homes.extend(vec![mem1; workers_per_domain]);
+    PlatformConfig::new(
+        "figure2",
+        workers,
+        g,
+        homes,
+        PathPolicy::HomeFirst,
+        PathPolicy::Hierarchical,
+    )
+    .expect("figure2 config is valid by construction")
+}
+
+/// "Discovers" the current machine, hwloc-style: reads the available
+/// parallelism from the OS and builds an [`smp`] model with one worker per
+/// logical CPU (minimum 1).
+pub fn discover() -> PlatformConfig {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    smp(cores)
+}
+
+/// Writes a generated configuration to a JSON file (the CLI-utility analog).
+pub fn write_config(cfg: &PlatformConfig, path: impl AsRef<std::path::Path>) -> Result<(), ConfigError> {
+    std::fs::write(path, cfg.to_json()).map_err(ConfigError::Io)
+}
+
+/// Returns the id of the interconnect place of a generated config (all
+/// builders above create exactly one).
+pub fn interconnect_of(cfg: &PlatformConfig) -> PlaceId {
+    cfg.graph
+        .first_of_kind(&PlaceKind::Interconnect)
+        .expect("generated configs always contain an interconnect place")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smp_shape() {
+        let cfg = smp(8);
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.graph.len(), 2);
+        assert!(cfg.graph.is_connected());
+        assert_eq!(
+            cfg.graph.first_of_kind(&PlaceKind::Interconnect),
+            Some(PlaceId(1))
+        );
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn gpu_node_shape() {
+        let cfg = smp_with_gpus(16, 2);
+        assert_eq!(cfg.graph.places_of_kind(&PlaceKind::GpuMemory).len(), 2);
+        let gpu0 = cfg.graph.by_name("gpu0").unwrap();
+        let gpu1 = cfg.graph.by_name("gpu1").unwrap();
+        // PCIe links + peer link.
+        assert!(cfg.graph.has_edge(PlaceId(0), gpu0));
+        assert!(cfg.graph.has_edge(gpu0, gpu1));
+        assert_eq!(cfg.graph.place(gpu1).attr("device_index"), Some(1.0));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let cfg = figure2(12); // Edison-like: 2x12 cores
+        assert_eq!(cfg.workers, 24);
+        assert_eq!(cfg.graph.len(), 7);
+        assert!(cfg.graph.is_connected());
+        // Workers split between the two NUMA domains.
+        assert_eq!(cfg.worker_homes[0], PlaceId(0));
+        assert_eq!(cfg.worker_homes[23], PlaceId(1));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn generated_configs_roundtrip_through_json() {
+        for cfg in [smp(4), smp_with_gpus(4, 1), figure2(2)] {
+            let doc = cfg.to_json();
+            let cfg2 = PlatformConfig::from_json(&doc).unwrap();
+            assert_eq!(cfg2.graph.len(), cfg.graph.len());
+            assert_eq!(cfg2.graph.edges(), cfg.graph.edges());
+            assert_eq!(cfg2.worker_homes, cfg.worker_homes);
+        }
+    }
+
+    #[test]
+    fn discover_builds_valid_config() {
+        let cfg = discover();
+        assert!(cfg.workers >= 1);
+        cfg.validate().unwrap();
+    }
+}

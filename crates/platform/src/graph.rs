@@ -1,0 +1,239 @@
+//! The place graph: an undirected, unweighted graph of [`Place`]s.
+
+use std::collections::VecDeque;
+
+use crate::place::{Place, PlaceId, PlaceKind};
+
+/// An undirected, unweighted graph of places (paper §II-A).
+///
+/// Nodes logically represent hardware components; an edge represents direct
+/// accessibility between two components (e.g. system memory ↔ GPU device
+/// memory means data is directly transferrable between them).
+#[derive(Debug, Clone, Default)]
+pub struct PlaceGraph {
+    places: Vec<Place>,
+    /// Adjacency lists, indexed by `PlaceId`.
+    adjacency: Vec<Vec<PlaceId>>,
+}
+
+impl PlaceGraph {
+    /// Creates an empty graph.
+    pub fn new() -> PlaceGraph {
+        PlaceGraph::default()
+    }
+
+    /// Adds a place of `kind` named `name`, returning its id.
+    pub fn add_place(&mut self, kind: PlaceKind, name: impl Into<String>) -> PlaceId {
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(Place::new(id, kind, name));
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds a fully-constructed place (asserts the id is the next dense id).
+    pub fn push_place(&mut self, place: Place) -> PlaceId {
+        assert_eq!(
+            place.id.index(),
+            self.places.len(),
+            "places must be added in dense id order"
+        );
+        let id = place.id;
+        self.places.push(place);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge. Duplicate edges are ignored.
+    pub fn add_edge(&mut self, a: PlaceId, b: PlaceId) {
+        assert!(a.index() < self.places.len() && b.index() < self.places.len());
+        if a == b {
+            return;
+        }
+        if !self.adjacency[a.index()].contains(&b) {
+            self.adjacency[a.index()].push(b);
+            self.adjacency[b.index()].push(a);
+        }
+    }
+
+    /// Number of places.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// True if the graph has no places.
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// The place with the given id.
+    pub fn place(&self, id: PlaceId) -> &Place {
+        &self.places[id.index()]
+    }
+
+    /// Mutable access to a place (used while building configurations).
+    pub fn place_mut(&mut self, id: PlaceId) -> &mut Place {
+        &mut self.places[id.index()]
+    }
+
+    /// All places, in id order.
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    /// Direct neighbors of `id`.
+    pub fn neighbors(&self, id: PlaceId) -> &[PlaceId] {
+        &self.adjacency[id.index()]
+    }
+
+    /// True if `a` and `b` are directly connected.
+    pub fn has_edge(&self, a: PlaceId, b: PlaceId) -> bool {
+        self.adjacency[a.index()].contains(&b)
+    }
+
+    /// All edges as (low, high) pairs, each reported once.
+    pub fn edges(&self) -> Vec<(PlaceId, PlaceId)> {
+        let mut out = Vec::new();
+        for (i, nbrs) in self.adjacency.iter().enumerate() {
+            for &n in nbrs {
+                if (i as u32) < n.0 {
+                    out.push((PlaceId(i as u32), n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Ids of all places of the given kind, in id order.
+    pub fn places_of_kind(&self, kind: &PlaceKind) -> Vec<PlaceId> {
+        self.places
+            .iter()
+            .filter(|p| &p.kind == kind)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// The first place of the given kind, if any. Modules use this to assert
+    /// the platform model meets their requirements (e.g. the MPI module
+    /// requires one Interconnect place, paper §II-C1).
+    pub fn first_of_kind(&self, kind: &PlaceKind) -> Option<PlaceId> {
+        self.places.iter().find(|p| &p.kind == kind).map(|p| p.id)
+    }
+
+    /// Looks a place up by name.
+    pub fn by_name(&self, name: &str) -> Option<PlaceId> {
+        self.places.iter().find(|p| p.name == name).map(|p| p.id)
+    }
+
+    /// BFS hop distances from `from` to every place (`None` = unreachable).
+    pub fn distances_from(&self, from: PlaceId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.places.len()];
+        dist[from.index()] = Some(0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(p) = queue.pop_front() {
+            let d = dist[p.index()].unwrap();
+            for &n in self.neighbors(p) {
+                if dist[n.index()].is_none() {
+                    dist[n.index()] = Some(d + 1);
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All place ids ordered by BFS hop distance from `from` (places at equal
+    /// distance keep id order; unreachable places come last in id order).
+    /// This ordering is the basis of the hierarchy-aware path policy.
+    pub fn bfs_order(&self, from: PlaceId) -> Vec<PlaceId> {
+        let dist = self.distances_from(from);
+        let mut ids: Vec<PlaceId> = self.places.iter().map(|p| p.id).collect();
+        ids.sort_by_key(|p| (dist[p.index()].unwrap_or(u32::MAX), p.0));
+        ids
+    }
+
+    /// True if every place can reach every other place.
+    pub fn is_connected(&self) -> bool {
+        if self.places.is_empty() {
+            return true;
+        }
+        self.distances_from(PlaceId(0)).iter().all(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlaceGraph {
+        // sysmem -- gpu0
+        //   |   \
+        // inter  gpu1      disk (isolated)
+        let mut g = PlaceGraph::new();
+        let sys = g.add_place(PlaceKind::SystemMemory, "sysmem");
+        let gpu0 = g.add_place(PlaceKind::GpuMemory, "gpu0");
+        let gpu1 = g.add_place(PlaceKind::GpuMemory, "gpu1");
+        let inter = g.add_place(PlaceKind::Interconnect, "net");
+        g.add_place(PlaceKind::LocalDisk, "disk");
+        g.add_edge(sys, gpu0);
+        g.add_edge(sys, gpu1);
+        g.add_edge(sys, inter);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = sample();
+        assert_eq!(g.len(), 5);
+        assert!(g.has_edge(PlaceId(0), PlaceId(1)));
+        assert!(g.has_edge(PlaceId(1), PlaceId(0)));
+        assert!(!g.has_edge(PlaceId(1), PlaceId(2)));
+        assert_eq!(g.neighbors(PlaceId(0)).len(), 3);
+        assert_eq!(g.edges().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = sample();
+        g.add_edge(PlaceId(0), PlaceId(1));
+        g.add_edge(PlaceId(1), PlaceId(0));
+        g.add_edge(PlaceId(2), PlaceId(2));
+        assert_eq!(g.edges().len(), 3);
+        assert!(!g.has_edge(PlaceId(2), PlaceId(2)));
+    }
+
+    #[test]
+    fn kind_queries() {
+        let g = sample();
+        assert_eq!(g.places_of_kind(&PlaceKind::GpuMemory).len(), 2);
+        assert_eq!(
+            g.first_of_kind(&PlaceKind::Interconnect),
+            Some(PlaceId(3))
+        );
+        assert_eq!(g.first_of_kind(&PlaceKind::Nvm), None);
+        assert_eq!(g.by_name("gpu1"), Some(PlaceId(2)));
+        assert_eq!(g.by_name("nope"), None);
+    }
+
+    #[test]
+    fn bfs_distances_and_order() {
+        let g = sample();
+        let d = g.distances_from(PlaceId(1)); // gpu0
+        assert_eq!(d[1], Some(0));
+        assert_eq!(d[0], Some(1)); // sysmem
+        assert_eq!(d[2], Some(2)); // gpu1 via sysmem
+        assert_eq!(d[4], None); // disk unreachable
+        let order = g.bfs_order(PlaceId(1));
+        assert_eq!(order[0], PlaceId(1));
+        assert_eq!(order[1], PlaceId(0));
+        assert_eq!(*order.last().unwrap(), PlaceId(4));
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = sample();
+        assert!(!g.is_connected());
+        g.add_edge(PlaceId(0), PlaceId(4));
+        assert!(g.is_connected());
+        assert!(PlaceGraph::new().is_connected());
+    }
+}

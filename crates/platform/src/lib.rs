@@ -1,0 +1,30 @@
+//! The HiPER platform model (paper §II-A).
+//!
+//! The platform model is an undirected, unweighted graph whose nodes —
+//! *places* — logically represent hardware components that software libraries
+//! may utilize (system memory, GPU device memory, the interconnect, NVM,
+//! local disks, …), and whose edges represent direct accessibility between
+//! those components. There is deliberately no requirement that places map
+//! one-to-one onto physical hardware.
+//!
+//! The model is loaded from a JSON-formatted file at runtime initialization
+//! ([`PlatformConfig::from_json`]). Utilities for generating configurations
+//! automatically — the role hwloc plays in the C++ implementation — live in
+//! [`autogen`].
+//!
+//! Pop/steal path construction for the generalized work-stealing runtime
+//! (paper §II-B3) lives in [`path`]: a path is *data* (an ordered list of
+//! [`PlaceId`]s per worker), so any load-balancing policy expressible as a
+//! traversal order can be plugged in without touching the scheduler.
+
+pub mod autogen;
+pub mod config;
+pub mod graph;
+pub mod json;
+pub mod path;
+pub mod place;
+
+pub use config::{ConfigError, PlatformConfig};
+pub use graph::PlaceGraph;
+pub use path::{PathPolicy, WorkerPaths};
+pub use place::{Place, PlaceId, PlaceKind};

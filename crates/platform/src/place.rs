@@ -1,0 +1,166 @@
+//! Places: the nodes of the platform model graph.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a place within its [`PlaceGraph`](crate::PlaceGraph).
+///
+/// Place ids are dense (`0..graph.len()`), so runtime structures index
+/// per-place arrays directly with them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub u32);
+
+impl PlaceId {
+    /// The id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The kind of hardware component a place logically represents.
+///
+/// The kinds below cover the components the paper's modules target (system
+/// memory, GPUs, the interconnect, NVM, local disk). Third-party modules can
+/// introduce their own kinds with [`PlaceKind::Custom`]; the runtime treats
+/// kinds opaquely except where a module has registered special-purpose
+/// handlers for them (e.g. the CUDA module registers copy handlers for
+/// transfers touching [`PlaceKind::GpuMemory`] places).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PlaceKind {
+    /// Host DRAM attached to a set of cores (a NUMA domain or whole node).
+    SystemMemory,
+    /// A cache level shared by a subset of workers (models locality tiers).
+    Cache,
+    /// GPU device memory; tasks here are executed/managed by the CUDA module.
+    GpuMemory,
+    /// The network interface; communication modules funnel their operations
+    /// through a place of this kind (paper §II-C1).
+    Interconnect,
+    /// Byte-addressable non-volatile memory.
+    Nvm,
+    /// Node-local storage (e.g. burst-buffer flash).
+    LocalDisk,
+    /// A shared parallel filesystem.
+    SharedFilesystem,
+    /// A module-defined kind, identified by name.
+    Custom(String),
+}
+
+impl PlaceKind {
+    /// Canonical string used in JSON configurations.
+    pub fn as_str(&self) -> &str {
+        match self {
+            PlaceKind::SystemMemory => "sysmem",
+            PlaceKind::Cache => "cache",
+            PlaceKind::GpuMemory => "gpu",
+            PlaceKind::Interconnect => "interconnect",
+            PlaceKind::Nvm => "nvm",
+            PlaceKind::LocalDisk => "disk",
+            PlaceKind::SharedFilesystem => "sharedfs",
+            PlaceKind::Custom(name) => name,
+        }
+    }
+
+    /// Parses the canonical string form; unknown strings become `Custom`.
+    pub fn from_str_lossy(s: &str) -> PlaceKind {
+        match s {
+            "sysmem" => PlaceKind::SystemMemory,
+            "cache" => PlaceKind::Cache,
+            "gpu" => PlaceKind::GpuMemory,
+            "interconnect" => PlaceKind::Interconnect,
+            "nvm" => PlaceKind::Nvm,
+            "disk" => PlaceKind::LocalDisk,
+            "sharedfs" => PlaceKind::SharedFilesystem,
+            other => PlaceKind::Custom(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for PlaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A node in the platform model graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Place {
+    /// Dense identifier within the graph.
+    pub id: PlaceId,
+    /// Component kind.
+    pub kind: PlaceKind,
+    /// Human-readable name (unique within a configuration).
+    pub name: String,
+    /// Free-form numeric attributes (e.g. `"bytes"`, `"bandwidth_gbps"`,
+    /// `"device_index"`). Modules may consult attributes of the places they
+    /// manage; the core runtime does not interpret them.
+    pub attrs: BTreeMap<String, f64>,
+}
+
+impl Place {
+    /// Creates a place with no attributes.
+    pub fn new(id: PlaceId, kind: PlaceKind, name: impl Into<String>) -> Place {
+        Place {
+            id,
+            kind,
+            name: name.into(),
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Adds/overwrites a numeric attribute, builder style.
+    pub fn with_attr(mut self, key: impl Into<String>, value: f64) -> Place {
+        self.attrs.insert(key.into(), value);
+        self
+    }
+
+    /// Looks up a numeric attribute.
+    pub fn attr(&self, key: &str) -> Option<f64> {
+        self.attrs.get(key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_string_roundtrip() {
+        for kind in [
+            PlaceKind::SystemMemory,
+            PlaceKind::Cache,
+            PlaceKind::GpuMemory,
+            PlaceKind::Interconnect,
+            PlaceKind::Nvm,
+            PlaceKind::LocalDisk,
+            PlaceKind::SharedFilesystem,
+            PlaceKind::Custom("fpga".to_string()),
+        ] {
+            assert_eq!(PlaceKind::from_str_lossy(kind.as_str()), kind);
+        }
+    }
+
+    #[test]
+    fn place_attributes() {
+        let p = Place::new(PlaceId(3), PlaceKind::GpuMemory, "gpu0")
+            .with_attr("bytes", 6e9)
+            .with_attr("device_index", 0.0);
+        assert_eq!(p.attr("bytes"), Some(6e9));
+        assert_eq!(p.attr("device_index"), Some(0.0));
+        assert_eq!(p.attr("missing"), None);
+        assert_eq!(p.id.index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PlaceId(7).to_string(), "P7");
+        assert_eq!(PlaceKind::Interconnect.to_string(), "interconnect");
+    }
+}

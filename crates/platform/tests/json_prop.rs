@@ -1,0 +1,107 @@
+//! Property tests: arbitrary JSON values roundtrip through both serializers,
+//! and arbitrary generated platform configs roundtrip through the JSON file
+//! format.
+
+use hiper_platform::json::Json;
+use hiper_platform::{PathPolicy, PlaceId, PlaceKind, PlatformConfig};
+use proptest::prelude::*;
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite numbers only; stick to a range that roundtrips through the
+        // integer fast-path and the float path.
+        (-1.0e12..1.0e12f64).prop_map(Json::Number),
+        "[a-zA-Z0-9 _\\-\"\\\\\n\t]{0,20}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..8).prop_map(Json::Array),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..8).prop_map(Json::Object),
+        ]
+    })
+}
+
+/// f64 text formatting is lossless for round-trippable values, but compare
+/// numbers with tolerance anyway to be robust to double formatting subtleties.
+fn approx_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Number(x), Json::Number(y)) => {
+            (x - y).abs() <= f64::EPSILON * x.abs().max(y.abs()).max(1.0)
+        }
+        (Json::Array(x), Json::Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| approx_eq(a, b))
+        }
+        (Json::Object(x), Json::Object(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && approx_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(v in json_strategy()) {
+        let reparsed = Json::parse(&v.compact()).unwrap();
+        prop_assert!(approx_eq(&reparsed, &v), "{:?} != {:?}", reparsed, v);
+    }
+
+    #[test]
+    fn pretty_roundtrip(v in json_strategy()) {
+        let reparsed = Json::parse(&v.pretty()).unwrap();
+        prop_assert!(approx_eq(&reparsed, &v));
+    }
+
+    #[test]
+    fn platform_config_roundtrip(
+        workers in 1usize..16,
+        gpus in 0usize..4,
+        extra_edges in proptest::collection::vec((0u32..6, 0u32..6), 0..6),
+    ) {
+        let mut cfg = hiper_platform::autogen::smp_with_gpus(workers, gpus);
+        let n = cfg.graph.len() as u32;
+        for (a, b) in extra_edges {
+            cfg.graph.add_edge(PlaceId(a % n), PlaceId(b % n));
+        }
+        let doc = cfg.to_json();
+        let cfg2 = PlatformConfig::from_json(&doc).unwrap();
+        prop_assert_eq!(cfg2.workers, cfg.workers);
+        prop_assert_eq!(cfg2.graph.edges(), cfg.graph.edges());
+        prop_assert_eq!(cfg2.worker_homes, cfg.worker_homes);
+    }
+
+    #[test]
+    fn paths_cover_home_and_are_duplicate_free(
+        workers in 1usize..8,
+        gpus in 0usize..3,
+        policy_idx in 0usize..4,
+    ) {
+        let cfg = hiper_platform::autogen::smp_with_gpus(workers, gpus);
+        let policy = [
+            PathPolicy::HomeOnly,
+            PathPolicy::HomeFirst,
+            PathPolicy::Hierarchical,
+            PathPolicy::RandomizedHomeFirst,
+        ][policy_idx];
+        for (w, &home) in cfg.worker_homes.iter().enumerate() {
+            let path = policy.generate(&cfg.graph, w, home);
+            prop_assert_eq!(path[0], home);
+            let mut sorted = path.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), path.len(), "path has duplicates");
+            prop_assert!(path.iter().all(|p| p.index() < cfg.graph.len()));
+        }
+        // Interconnect must be reachable on full-coverage policies (MPI
+        // module requirement).
+        if policy != PathPolicy::HomeOnly {
+            let net = cfg.graph.first_of_kind(&PlaceKind::Interconnect).unwrap();
+            let path = policy.generate(&cfg.graph, 0, cfg.worker_homes[0]);
+            prop_assert!(path.contains(&net));
+        }
+    }
+}

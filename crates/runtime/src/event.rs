@@ -1,0 +1,93 @@
+//! A monotonically-increasing event counter used for low-cost sleep/wake.
+//!
+//! Workers that find no eligible work park on the scheduler's event; any
+//! state change that could make work available (task spawn, promise
+//! satisfaction, finish-scope completion, shutdown) bumps the epoch and wakes
+//! sleepers. The epoch-check protocol makes lost wakeups impossible: a waiter
+//! records the epoch *before* re-checking its predicate, and `wait_while`
+//! returns immediately if the epoch has already moved on.
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A condvar-backed epoch counter.
+#[derive(Debug, Default)]
+pub struct Event {
+    epoch: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl Event {
+    /// Creates a new event at epoch 0.
+    pub fn new() -> Event {
+        Event::default()
+    }
+
+    /// Current epoch. Record this *before* checking the condition you are
+    /// about to sleep on.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    /// Bumps the epoch and wakes all sleepers.
+    pub fn signal_all(&self) {
+        let mut e = self.epoch.lock();
+        *e += 1;
+        self.cond.notify_all();
+    }
+
+    /// Sleeps until the epoch differs from `seen` or `timeout` elapses.
+    /// Returns `true` if the epoch advanced.
+    pub fn wait_while(&self, seen: u64, timeout: Duration) -> bool {
+        let mut e = self.epoch.lock();
+        if *e != seen {
+            return true;
+        }
+        self.cond.wait_for(&mut e, timeout);
+        *e != seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn signal_advances_epoch() {
+        let e = Event::new();
+        let start = e.epoch();
+        e.signal_all();
+        assert_eq!(e.epoch(), start + 1);
+    }
+
+    #[test]
+    fn wait_returns_immediately_if_stale() {
+        let e = Event::new();
+        let seen = e.epoch();
+        e.signal_all();
+        assert!(e.wait_while(seen, Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn wait_times_out_without_signal() {
+        let e = Event::new();
+        let seen = e.epoch();
+        assert!(!e.wait_while(seen, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let e = Arc::new(Event::new());
+        let seen = e.epoch();
+        let e2 = Arc::clone(&e);
+        let waker = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            e2.signal_all();
+        });
+        assert!(e.wait_while(seen, Duration::from_secs(10)));
+        waker.join().unwrap();
+    }
+}

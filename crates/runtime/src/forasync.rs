@@ -1,0 +1,145 @@
+//! Parallel loops: the `forasync` family.
+//!
+//! `forasync` expresses data parallelism over index spaces as collections of
+//! tasks on the work-stealing runtime — the HiPER equivalent of
+//! `#pragma omp parallel for` bodies in the paper's examples (§II-D).
+//! Ranges are split recursively so idle workers steal the *larger* untouched
+//! half, giving good load balance for irregular bodies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hiper_platform::PlaceId;
+use parking_lot::Mutex;
+
+use crate::promise::{Future, Promise};
+use crate::runtime::Runtime;
+
+/// Completion latch shared by the chunks of one `forasync`.
+struct Latch {
+    remaining: AtomicUsize,
+    promise: Mutex<Option<Promise<()>>>,
+}
+
+impl Latch {
+    fn new(total: usize) -> (Arc<Latch>, Future<()>) {
+        let promise = Promise::new();
+        let future = promise.future();
+        let latch = Arc::new(Latch {
+            remaining: AtomicUsize::new(total),
+            promise: Mutex::new(Some(promise)),
+        });
+        if total == 0 {
+            latch.complete(0); // degenerate empty loop
+        }
+        (latch, future)
+    }
+
+    fn complete(&self, n: usize) {
+        // `n == 0` only for the empty-loop case, which must still fire.
+        let prev = self.remaining.fetch_sub(n, Ordering::AcqRel);
+        if prev == n {
+            if let Some(p) = self.promise.lock().take() {
+                p.put(());
+            }
+        }
+    }
+}
+
+fn split_run(
+    rt: &Runtime,
+    place: PlaceId,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    f: &Arc<dyn Fn(usize) + Send + Sync>,
+    latch: &Arc<Latch>,
+) {
+    let lo = lo;
+    let mut hi = hi;
+    // Spawn the upper half while the range is larger than the grain; iterate
+    // on the lower half locally (depth-first, stealable breadth).
+    while hi - lo > grain {
+        let mid = lo + (hi - lo) / 2;
+        let rt2 = rt.clone();
+        let f2 = Arc::clone(f);
+        let latch2 = Arc::clone(latch);
+        rt.spawn_at(place, move || {
+            split_run(&rt2, place, mid, hi, grain, &f2, &latch2);
+        });
+        hi = mid;
+    }
+    for i in lo..hi {
+        f(i);
+    }
+    latch.complete(hi - lo);
+}
+
+impl Runtime {
+    /// `forasync_future` over `0..n` with the given grain size: returns a
+    /// future satisfied when every iteration has run. Iterations run at
+    /// `place` (commonly the caller's home).
+    pub fn forasync_future_1d(
+        &self,
+        place: PlaceId,
+        n: usize,
+        grain: usize,
+        f: impl Fn(usize) + Send + Sync + 'static,
+    ) -> Future<()> {
+        let grain = grain.max(1);
+        let (latch, future) = Latch::new(n);
+        if n > 0 {
+            let f: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(f);
+            let rt = self.clone();
+            let latch2 = Arc::clone(&latch);
+            self.spawn_at(place, move || {
+                split_run(&rt, place, 0, n, grain, &f, &latch2);
+            });
+        }
+        future
+    }
+
+    /// Blocking `forasync` over `0..n`: returns when every iteration has
+    /// run. Help-first on workers.
+    pub fn forasync_1d(
+        &self,
+        n: usize,
+        grain: usize,
+        f: impl Fn(usize) + Send + Sync + 'static,
+    ) {
+        let fut = self.forasync_future_1d(self.here(), n, grain, f);
+        fut.wait();
+    }
+
+    /// `forasync` over a 2-D index space `(0..n0) × (0..n1)`; `grain` is in
+    /// units of rows (outer index).
+    pub fn forasync_2d(
+        &self,
+        (n0, n1): (usize, usize),
+        grain: usize,
+        f: impl Fn(usize, usize) + Send + Sync + 'static,
+    ) {
+        self.forasync_1d(n0, grain, move |i| {
+            for j in 0..n1 {
+                f(i, j);
+            }
+        });
+    }
+
+    /// `forasync` over a 3-D index space; `grain` is in units of planes
+    /// (outermost index).
+    pub fn forasync_3d(
+        &self,
+        (n0, n1, n2): (usize, usize, usize),
+        grain: usize,
+        f: impl Fn(usize, usize, usize) + Send + Sync + 'static,
+    ) {
+        self.forasync_1d(n0, grain, move |i| {
+            for j in 0..n1 {
+                for k in 0..n2 {
+                    f(i, j, k);
+                }
+            }
+        });
+    }
+}

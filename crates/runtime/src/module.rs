@@ -1,0 +1,182 @@
+//! Pluggable scheduler modules (paper §II-C).
+//!
+//! A module extends the runtime with user-visible APIs that schedule
+//! module-specific tasks on the work-stealing runtime. A complete module
+//! provides: (1) an initialization function called once per process, (2) a
+//! finalization function, (3) optional special-purpose registrations (e.g.
+//! copy handlers for transfers touching certain place kinds), and (4) a set
+//! of user-facing functions — in Rust these live in the module's own crate
+//! and internally place tasks at special-purpose places in the platform
+//! model, so *all* work is scheduled by one unified runtime.
+//!
+//! This module also provides [`Poller`], the reusable implementation of the
+//! periodically-polling asynchronous task pattern used by the MPI and CUDA
+//! modules (paper §II-C1 steps 1–4): pending operations are swept by a
+//! singleton task that yields between sweeps.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hiper_platform::PlaceId;
+use parking_lot::Mutex;
+
+use crate::runtime::Runtime;
+
+/// Error raised by module initialization (e.g. a platform-model assertion
+/// like "exactly one Interconnect place" failed).
+#[derive(Debug, Clone)]
+pub struct ModuleError {
+    /// Name of the failing module.
+    pub module: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ModuleError {
+    /// Creates an error for `module`.
+    pub fn new(module: &'static str, message: impl Into<String>) -> ModuleError {
+        ModuleError {
+            module,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "module '{}': {}", self.module, self.message)
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// A pluggable HiPER module. Implementations live in third-party crates; the
+/// runtime only knows this interface.
+pub trait SchedulerModule: Send + Sync {
+    /// Stable module name (used for statistics attribution).
+    fn name(&self) -> &'static str;
+
+    /// Called once, after the worker pool is up. Modules should assert their
+    /// platform-model requirements here (paper §II-C1: "It is up to
+    /// individual modules to make these assertions ... during module
+    /// initialization").
+    fn initialize(&self, rt: &Runtime) -> Result<(), ModuleError>;
+
+    /// Called once at runtime shutdown, in reverse registration order.
+    fn finalize(&self, _rt: &Runtime) {}
+
+    /// Optional: register special-purpose handlers (e.g. the CUDA module
+    /// registers itself for copies touching GPU places, paper §II-C3).
+    fn register_copy_handlers(&self, _rt: &Runtime) {}
+}
+
+/// One pending asynchronous operation: returns `true` once complete (at
+/// which point it is dropped; completion side effects such as satisfying a
+/// promise belong inside the closure).
+pub type PollFn = Box<dyn FnMut() -> bool + Send>;
+
+/// The singleton polling task shared by asynchronous module operations
+/// (paper §II-C1): operations are appended to a pending list; a polling task
+/// placed at the module's place sweeps the list, retains incomplete entries,
+/// and re-enqueues itself FIFO (yielding to other useful work) while entries
+/// remain. A polling task is not created if one already exists.
+pub struct Poller {
+    name: &'static str,
+    place: PlaceId,
+    pending: Mutex<Vec<PollFn>>,
+    running: AtomicBool,
+}
+
+impl Poller {
+    /// Creates a poller whose sweep tasks run at `place`.
+    pub fn new(name: &'static str, place: PlaceId) -> Arc<Poller> {
+        Arc::new(Poller {
+            name,
+            place,
+            pending: Mutex::new(Vec::new()),
+            running: AtomicBool::new(false),
+        })
+    }
+
+    /// Registers a pending operation and ensures the polling task is
+    /// running.
+    pub fn submit(self: &Arc<Self>, rt: &Runtime, poll: PollFn) {
+        self.pending.lock().push(poll);
+        self.ensure_running(rt);
+    }
+
+    /// Number of operations currently pending (racy; diagnostics only).
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    fn ensure_running(self: &Arc<Self>, rt: &Runtime) {
+        if self
+            .running
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.schedule_sweep(rt);
+        }
+    }
+
+    fn schedule_sweep(self: &Arc<Self>, rt: &Runtime) {
+        let poller = Arc::clone(self);
+        let rt2 = rt.clone();
+        // FIFO enqueue = yield: every other eligible task at the place runs
+        // before the next sweep.
+        rt.spawn_at_yield(self.place, move || poller.sweep(&rt2));
+    }
+
+    fn sweep(self: &Arc<Self>, rt: &Runtime) {
+        let _timer = rt.module_stats().time(self.name);
+        // Poll with the lock *released*: completing an operation may run
+        // continuations that re-enter submit() on this same poller.
+        let mut entries = std::mem::take(&mut *self.pending.lock());
+        let mut completed_any = false;
+        entries.retain_mut(|poll| {
+            let done = poll();
+            completed_any |= done;
+            !done
+        });
+        let empty = {
+            let mut pending = self.pending.lock();
+            if pending.is_empty() {
+                *pending = entries;
+            } else {
+                // Operations submitted during the poll: keep the surviving
+                // old entries first to preserve rough FIFO fairness.
+                let new = std::mem::replace(&mut *pending, entries);
+                pending.extend(new);
+            }
+            pending.is_empty()
+        };
+        if empty {
+            self.running.store(false, Ordering::Release);
+            // Submit/empty race: an operation may have been pushed after the
+            // emptiness check but before the store. Re-arm if so.
+            if !self.pending.lock().is_empty() {
+                self.ensure_running(rt);
+            }
+            return;
+        }
+        if !completed_any {
+            // Nothing progressed: give the OS (and, on a single core, the
+            // threads that drive completion) a chance before re-polling.
+            std::thread::yield_now();
+        }
+        self.schedule_sweep(rt);
+    }
+}
+
+impl fmt::Debug for Poller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Poller")
+            .field("name", &self.name)
+            .field("place", &self.place)
+            .field("pending", &self.pending_len())
+            .field("running", &self.running.load(Ordering::Relaxed))
+            .finish()
+    }
+}

@@ -1,0 +1,342 @@
+//! Promises and futures (paper §II-B4).
+//!
+//! A promise is a single-assignment, thread-safe container for a value; a
+//! future is a read-only handle on it. Together they form a point-to-point
+//! synchronization channel from one source task to many sink tasks.
+//!
+//! Sink tasks may block on the future ([`Future::wait`] / [`Future::get`]) or
+//! register continuations ([`Future::on_ready`], used by the runtime's
+//! `async_await` family). Blocking on a future from inside a worker thread
+//! does **not** block the core: the wait is *help-first* — the worker keeps
+//! executing other eligible tasks until the promise is satisfied. This is the
+//! Rust substitution for the C++ implementation's Boost.Context call-stack
+//! suspension (see DESIGN.md §2.1); the paper-visible property ("blocking
+//! operations do not actually block CPU threads") is preserved.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Continuation thunk run when a promise is satisfied. Thunks typically
+/// enqueue a task, so they must be cheap and must not block.
+type ReadyThunk = Box<dyn FnOnce() + Send>;
+
+enum State<T> {
+    Pending(Vec<ReadyThunk>),
+    Ready(T),
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+}
+
+/// The write end: a single-assignment container (paper's `promise_t`).
+pub struct Promise<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The read end: a shareable handle on the eventual value (paper's
+/// `future_t`).
+pub struct Future<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Future<T> {
+    fn clone(&self) -> Self {
+        Future {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Default for Promise<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Promise<T> {
+    /// Creates an unsatisfied promise.
+    pub fn new() -> Promise<T> {
+        Promise {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State::Pending(Vec::new())),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Returns a future on this promise's value (the paper's
+    /// `p->get_future()`). May be called any number of times.
+    pub fn future(&self) -> Future<T> {
+        Future {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Satisfies the promise, releasing every waiter and running every
+    /// registered continuation (in registration order).
+    ///
+    /// # Panics
+    /// Panics on double-put: a promise is single-assignment.
+    pub fn put(self, value: T) {
+        let thunks = {
+            let mut st = self.shared.state.lock();
+            match std::mem::replace(&mut *st, State::Ready(value)) {
+                State::Pending(thunks) => thunks,
+                State::Ready(_) => panic!("promise satisfied twice"),
+            }
+        };
+        self.shared.cond.notify_all();
+        for thunk in thunks {
+            thunk();
+        }
+    }
+
+    /// True if [`put`](Self::put) has already happened (only possible via
+    /// other handles; a `Promise` is consumed by `put`).
+    pub fn is_satisfied(&self) -> bool {
+        matches!(&*self.shared.state.lock(), State::Ready(_))
+    }
+}
+
+impl<T: Send + 'static> Future<T> {
+    /// True if the value is available.
+    pub fn is_ready(&self) -> bool {
+        matches!(&*self.shared.state.lock(), State::Ready(_))
+    }
+
+    /// Registers a continuation to run when the value becomes available. If
+    /// the future is already satisfied the thunk runs immediately on the
+    /// calling thread.
+    pub fn on_ready(&self, thunk: impl FnOnce() + Send + 'static) {
+        {
+            let mut st = self.shared.state.lock();
+            if let State::Pending(thunks) = &mut *st {
+                thunks.push(Box::new(thunk));
+                return;
+            }
+        }
+        thunk();
+    }
+
+    /// Blocks the *logical* task until the value is available.
+    ///
+    /// On a worker thread this is help-first: the worker executes other
+    /// eligible tasks while waiting. On an external thread it parks on a
+    /// condvar.
+    pub fn wait(&self) {
+        if self.is_ready() {
+            return;
+        }
+        // Register a waker so the eventual `put` promptly wakes the parked
+        // (or helping) waiter instead of relying on the park timeout.
+        if let Some(event) = crate::runtime::Runtime::current_sched_event() {
+            self.on_ready(move || event.signal_all());
+        }
+        if crate::runtime::Runtime::try_help_current(&mut || self.is_ready()) {
+            return;
+        }
+        // External thread: park.
+        let mut st = self.shared.state.lock();
+        while matches!(&*st, State::Pending(_)) {
+            self.shared.cond.wait(&mut st);
+        }
+    }
+
+    /// Runs `f` against the value by reference, waiting first if necessary.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.wait();
+        let st = self.shared.state.lock();
+        match &*st {
+            State::Ready(v) => f(v),
+            State::Pending(_) => unreachable!("wait() returned while pending"),
+        }
+    }
+
+    /// Returns the value if already available, without blocking.
+    pub fn try_get(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let st = self.shared.state.lock();
+        match &*st {
+            State::Ready(v) => Some(v.clone()),
+            State::Pending(_) => None,
+        }
+    }
+}
+
+impl<T: Clone + Send + 'static> Future<T> {
+    /// Waits for and returns (a clone of) the value — the paper's
+    /// `f->get()`.
+    pub fn get(&self) -> T {
+        self.with(T::clone)
+    }
+}
+
+impl<T> fmt::Debug for Future<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ready = matches!(&*self.shared.state.lock(), State::Ready(_));
+        f.debug_struct("Future").field("ready", &ready).finish()
+    }
+}
+
+impl<T> fmt::Debug for Promise<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Promise")
+            .field("satisfied", &self.is_satisfied())
+            .finish()
+    }
+}
+
+/// Returns a future that is satisfied when all input futures are satisfied
+/// (order of completion is irrelevant).
+pub fn when_all<T: Send + 'static>(futures: &[Future<T>]) -> Future<()> {
+    let p = Promise::new();
+    let f = p.future();
+    if futures.is_empty() {
+        p.put(());
+        return f;
+    }
+    let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(futures.len()));
+    let p = Arc::new(Mutex::new(Some(p)));
+    for fut in futures {
+        let remaining = Arc::clone(&remaining);
+        let p = Arc::clone(&p);
+        fut.on_ready(move || {
+            if remaining.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                if let Some(p) = p.lock().take() {
+                    p.put(());
+                }
+            }
+        });
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn put_then_get() {
+        let p = Promise::new();
+        let f = p.future();
+        p.put(42);
+        assert!(f.is_ready());
+        assert_eq!(f.get(), 42);
+        assert_eq!(f.try_get(), Some(42));
+    }
+
+    #[test]
+    fn try_get_pending() {
+        let p: Promise<u32> = Promise::new();
+        let f = p.future();
+        assert!(!f.is_ready());
+        assert_eq!(f.try_get(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "satisfied twice")]
+    fn double_put_panics() {
+        let p = Promise::new();
+        let _f = p.future();
+        let p2 = Promise {
+            shared: Arc::clone(&p.shared),
+        };
+        p.put(1);
+        p2.put(2);
+    }
+
+    #[test]
+    fn continuations_run_on_put_in_order() {
+        let p = Promise::new();
+        let f = p.future();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let log = Arc::clone(&log);
+            f.on_ready(move || log.lock().push(i));
+        }
+        assert!(log.lock().is_empty());
+        p.put(());
+        assert_eq!(*log.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn continuation_after_put_runs_immediately() {
+        let p = Promise::new();
+        let f = p.future();
+        p.put(7u8);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        f.on_ready(move || {
+            r.store(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cross_thread_wait() {
+        let p = Promise::new();
+        let f = p.future();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            p.put("hello".to_string());
+        });
+        assert_eq!(f.get(), "hello");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn many_waiters_released() {
+        let p = Promise::new();
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let f = p.future();
+                thread::spawn(move || f.get())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(10));
+        p.put(99u64);
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), 99);
+        }
+    }
+
+    #[test]
+    fn when_all_waits_for_every_input() {
+        let ps: Vec<Promise<()>> = (0..3).map(|_| Promise::new()).collect();
+        let fs: Vec<Future<()>> = ps.iter().map(Promise::future).collect();
+        let all = when_all(&fs);
+        let mut ps = ps.into_iter();
+        all.on_ready(|| {});
+        assert!(!all.is_ready());
+        ps.next().unwrap().put(());
+        assert!(!all.is_ready());
+        ps.next().unwrap().put(());
+        assert!(!all.is_ready());
+        ps.next().unwrap().put(());
+        assert!(all.is_ready());
+    }
+
+    #[test]
+    fn when_all_empty_is_immediately_ready() {
+        let all = when_all::<()>(&[]);
+        assert!(all.is_ready());
+    }
+
+    #[test]
+    fn with_gives_reference_access() {
+        let p = Promise::new();
+        let f = p.future();
+        p.put(vec![1, 2, 3]);
+        let sum: i32 = f.with(|v| v.iter().sum());
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,598 @@
+//! The HiPER runtime handle and its task-creation APIs (paper §II-B4).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hiper_deque::Worker;
+use hiper_platform::{PlaceId, PlaceKind, PlatformConfig};
+use parking_lot::{Mutex, RwLock};
+
+use crate::copy::CopyRegistry;
+use crate::module::{ModuleError, SchedulerModule};
+use crate::promise::{Future, Promise};
+use crate::scheduler::Scheduler;
+use crate::stats::{ModuleStats, SchedStatsSnapshot};
+use crate::task::{FinishScope, Task};
+
+/// Maximum depth of nested help-first blocking before a worker falls back to
+/// parking (bounds stack growth; see DESIGN.md §2.1).
+const MAX_HELP_DEPTH: usize = 64;
+
+/// Worker park timeout. A safety net only — all wakeups are signalled.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+pub(crate) struct RuntimeInner {
+    pub sched: Arc<Scheduler>,
+    pub config: PlatformConfig,
+    pub modules: RwLock<Vec<Arc<dyn SchedulerModule>>>,
+    pub copy_registry: CopyRegistry,
+    pub module_stats: ModuleStats,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stopped: AtomicBool,
+}
+
+/// A cheaply-cloneable handle to a HiPER runtime instance.
+///
+/// One process may host several runtimes (the cluster simulator runs one per
+/// simulated rank); tasks belong to the runtime that spawned them and every
+/// handle routes work to its own runtime only.
+#[derive(Clone)]
+pub struct Runtime {
+    pub(crate) inner: Arc<RuntimeInner>,
+}
+
+struct WorkerTls {
+    id: usize,
+    /// Owner handles of this worker's deques, indexed by place id.
+    owned: Vec<Worker<Task>>,
+}
+
+struct Tls {
+    rt: Runtime,
+    worker: Option<WorkerTls>,
+    scope: Option<Arc<FinishScope>>,
+    help_depth: usize,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<Tls>> = const { RefCell::new(None) };
+}
+
+/// Builder configuring a runtime before its workers start.
+pub struct RuntimeBuilder {
+    config: PlatformConfig,
+    modules: Vec<Arc<dyn SchedulerModule>>,
+}
+
+impl RuntimeBuilder {
+    /// Starts a builder from a platform configuration.
+    pub fn new(config: PlatformConfig) -> RuntimeBuilder {
+        RuntimeBuilder {
+            config,
+            modules: Vec::new(),
+        }
+    }
+
+    /// Registers a pluggable module (paper §II-C). Modules are initialized
+    /// in registration order once the worker pool is up, and finalized in
+    /// reverse order at shutdown.
+    pub fn module(mut self, module: Arc<dyn SchedulerModule>) -> RuntimeBuilder {
+        self.modules.push(module);
+        self
+    }
+
+    /// Starts the persistent worker pool and initializes modules.
+    pub fn build(self) -> Result<Runtime, ModuleError> {
+        let (sched, owned_sets) = Scheduler::new(&self.config);
+        let inner = Arc::new(RuntimeInner {
+            sched,
+            config: self.config,
+            modules: RwLock::new(Vec::new()),
+            copy_registry: CopyRegistry::new(),
+            module_stats: ModuleStats::default(),
+            handles: Mutex::new(Vec::new()),
+            stopped: AtomicBool::new(false),
+        });
+        let rt = Runtime { inner };
+
+        let mut handles = Vec::new();
+        for (id, owned) in owned_sets.into_iter().enumerate() {
+            let rt = rt.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hiper-worker-{}", id))
+                    .spawn(move || worker_main(rt, id, owned))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        *rt.inner.handles.lock() = handles;
+
+        // Default host<->host copy handler; modules may override kinds.
+        crate::copy::register_default_handlers(&rt);
+
+        for module in self.modules {
+            module.initialize(&rt)?;
+            module.register_copy_handlers(&rt);
+            rt.inner.modules.write().push(module);
+        }
+        Ok(rt)
+    }
+}
+
+fn worker_main(rt: Runtime, id: usize, owned: Vec<Worker<Task>>) {
+    TLS.with(|tls| {
+        *tls.borrow_mut() = Some(Tls {
+            rt: rt.clone(),
+            worker: Some(WorkerTls { id, owned }),
+            scope: None,
+            help_depth: 0,
+        });
+    });
+    let sched = Arc::clone(&rt.inner.sched);
+    loop {
+        let task = TLS.with(|tls| {
+            let tls = tls.borrow();
+            let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
+            sched.find_task(id, &w.owned)
+        });
+        if let Some(task) = task {
+            rt.execute_task(task);
+            continue;
+        }
+        if sched.is_shutdown() {
+            break;
+        }
+        // Park protocol: declare idle, snapshot the epoch, re-check, sleep.
+        sched.idle.fetch_add(1, Ordering::SeqCst);
+        let epoch = sched.event.epoch();
+        let again = TLS.with(|tls| {
+            let tls = tls.borrow();
+            let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
+            sched.maybe_has_work(id, &w.owned)
+        });
+        if !again && !sched.is_shutdown() {
+            sched.stats.park();
+            sched.event.wait_while(epoch, PARK_TIMEOUT);
+        }
+        sched.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+    TLS.with(|tls| *tls.borrow_mut() = None);
+}
+
+impl Runtime {
+    /// Creates a runtime with no modules.
+    pub fn new(config: PlatformConfig) -> Runtime {
+        RuntimeBuilder::new(config)
+            .build()
+            .expect("runtime with no modules cannot fail initialization")
+    }
+
+    /// The runtime owning the current task, if the calling thread is inside
+    /// one (or is a worker thread).
+    pub fn current() -> Option<Runtime> {
+        TLS.with(|tls| tls.borrow().as_ref().map(|t| t.rt.clone()))
+    }
+
+    /// The platform configuration this runtime was built from.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.inner.config
+    }
+
+    /// The first place of `kind` in the platform model, if any. Modules use
+    /// this to locate e.g. the Interconnect place (paper §II-C1).
+    pub fn place_of_kind(&self, kind: &PlaceKind) -> Option<PlaceId> {
+        self.inner.config.graph.first_of_kind(kind)
+    }
+
+    /// Per-module statistics hooks (paper §V).
+    pub fn module_stats(&self) -> &ModuleStats {
+        &self.inner.module_stats
+    }
+
+    /// Scheduler counters snapshot.
+    pub fn sched_stats(&self) -> SchedStatsSnapshot {
+        self.inner.sched.stats.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Task creation (paper §II-B4)
+    // ------------------------------------------------------------------
+
+    /// `async`: creates a task at the place closest to the current thread
+    /// (its home place on a worker; the first worker home otherwise).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.spawn_at(self.here(), f);
+    }
+
+    /// `async_at`: creates a task at a specific place.
+    pub fn spawn_at(&self, place: PlaceId, f: impl FnOnce() + Send + 'static) {
+        let scope = self.current_scope_checked_in();
+        self.enqueue(Task {
+            f: Box::new(f),
+            place,
+            scope,
+        });
+    }
+
+    /// Like [`spawn_at`](Self::spawn_at) but enqueues FIFO (to the place's
+    /// injector) even from a worker thread. Used to *yield*: a task that
+    /// re-spawns itself this way lets every other eligible task at the place
+    /// run first (the paper's polling tasks, §II-C1 step 3).
+    pub fn spawn_at_yield(&self, place: PlaceId, f: impl FnOnce() + Send + 'static) {
+        let scope = self.current_scope_checked_in();
+        self.inner.sched.spawn_external(Task {
+            f: Box::new(f),
+            place,
+            scope,
+        });
+    }
+
+    /// `async_future`: creates a task and returns a future satisfied with
+    /// the task's result when it completes.
+    pub fn spawn_future<T: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> Future<T> {
+        self.spawn_future_at(self.here(), f)
+    }
+
+    /// `async_future` at a specific place.
+    pub fn spawn_future_at<T: Send + 'static>(
+        &self,
+        place: PlaceId,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> Future<T> {
+        let promise = Promise::new();
+        let future = promise.future();
+        self.spawn_at(place, move || promise.put(f()));
+        future
+    }
+
+    /// `async_await`: creates a task whose execution is predicated on the
+    /// satisfaction of `dep`. The task is registered with the *current*
+    /// finish scope immediately (so an enclosing `finish` waits for it even
+    /// though it only becomes eligible later).
+    pub fn spawn_await<D: Send + 'static>(
+        &self,
+        dep: &Future<D>,
+        f: impl FnOnce() + Send + 'static,
+    ) {
+        self.spawn_await_at(self.here(), dep, f);
+    }
+
+    /// `async_await` at a specific place.
+    pub fn spawn_await_at<D: Send + 'static>(
+        &self,
+        place: PlaceId,
+        dep: &Future<D>,
+        f: impl FnOnce() + Send + 'static,
+    ) {
+        let scope = self.current_scope_checked_in();
+        let rt = self.clone();
+        dep.on_ready(move || {
+            rt.enqueue_prechecked(Task {
+                f: Box::new(f),
+                place,
+                scope,
+            });
+        });
+    }
+
+    /// `async_future_await`: predicated on `dep`, returns a future satisfied
+    /// on completion.
+    pub fn spawn_future_await<D: Send + 'static, T: Send + 'static>(
+        &self,
+        dep: &Future<D>,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> Future<T> {
+        let promise = Promise::new();
+        let future = promise.future();
+        self.spawn_await(dep, move || promise.put(f()));
+        future
+    }
+
+    /// Creates a task predicated on *all* of `deps`.
+    pub fn spawn_await_all(
+        &self,
+        deps: &[Future<()>],
+        f: impl FnOnce() + Send + 'static,
+    ) {
+        let all = crate::promise::when_all(deps);
+        self.spawn_await(&all, f);
+    }
+
+    /// `finish`: runs `f` inline and then blocks the calling *task* until
+    /// every task transitively created inside `f` has completed. On a worker
+    /// the block is help-first; on an external thread it parks.
+    pub fn finish<R>(&self, f: impl FnOnce() -> R) -> R {
+        let scope = FinishScope::new(Arc::clone(&self.inner.sched.event));
+        let prev = TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            match tls.as_mut() {
+                Some(t) if Arc::ptr_eq(&t.rt.inner, &self.inner) => {
+                    std::mem::replace(&mut t.scope, Some(Arc::clone(&scope)))
+                }
+                // Calling thread belongs to no runtime (or another runtime):
+                // install a fresh TLS frame so spawns inside `f` still see
+                // the scope.
+                _ => {
+                    *tls = Some(Tls {
+                        rt: self.clone(),
+                        worker: None,
+                        scope: Some(Arc::clone(&scope)),
+                        help_depth: 0,
+                    });
+                    None
+                }
+            }
+        });
+        let result = f();
+        TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(t) = tls.as_mut() {
+                if t.worker.is_none() && prev.is_none() {
+                    // Tear down the frame we installed, unless we are a
+                    // worker (workers keep their frame).
+                    if Arc::ptr_eq(&t.rt.inner, &self.inner) && t.scope.as_ref().map(|s| Arc::ptr_eq(s, &scope)).unwrap_or(false) {
+                        *tls = None;
+                        return;
+                    }
+                }
+                t.scope = prev;
+            }
+        });
+        scope.check_out(); // the body itself
+        self.wait_for(&mut || scope.is_done());
+        result
+    }
+
+    /// Blocks the logical task until `pred` becomes true: help-first on a
+    /// worker, parked on the scheduler event otherwise.
+    pub(crate) fn wait_for(&self, pred: &mut dyn FnMut() -> bool) {
+        if pred() {
+            return;
+        }
+        let is_worker = TLS.with(|tls| {
+            tls.borrow()
+                .as_ref()
+                .map(|t| t.worker.is_some())
+                .unwrap_or(false)
+        });
+        if is_worker {
+            self.help_until(pred);
+        } else {
+            let sched = &self.inner.sched;
+            loop {
+                if pred() {
+                    return;
+                }
+                sched.idle.fetch_add(1, Ordering::SeqCst);
+                let epoch = sched.event.epoch();
+                if !pred() {
+                    sched.event.wait_while(epoch, PARK_TIMEOUT);
+                }
+                sched.idle.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// The scheduler event of the runtime owning the current thread, if
+    /// any. Used by `Future::wait` to arrange a prompt wakeup.
+    pub(crate) fn current_sched_event() -> Option<Arc<crate::event::Event>> {
+        TLS.with(|tls| {
+            tls.borrow()
+                .as_ref()
+                .map(|t| Arc::clone(&t.rt.inner.sched.event))
+        })
+    }
+
+    /// If the current thread is a worker of *any* runtime, run its help loop
+    /// until `pred` holds and return true; otherwise return false. Called by
+    /// `Future::wait` so that blocking on any future keeps the core busy.
+    pub(crate) fn try_help_current(pred: &mut dyn FnMut() -> bool) -> bool {
+        let rt = TLS.with(|tls| {
+            tls.borrow()
+                .as_ref()
+                .filter(|t| t.worker.is_some())
+                .map(|t| t.rt.clone())
+        });
+        match rt {
+            Some(rt) => {
+                rt.help_until(pred);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Help-first blocking (worker threads only): execute eligible tasks
+    /// until `pred` holds. Bounded nesting; beyond [`MAX_HELP_DEPTH`] the
+    /// worker parks instead of recursing further.
+    fn help_until(&self, pred: &mut dyn FnMut() -> bool) {
+        let sched = Arc::clone(&self.inner.sched);
+        let (id, too_deep) = TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            let t = tls.as_mut().unwrap();
+            t.help_depth += 1;
+            (
+                t.worker.as_ref().unwrap().id,
+                t.help_depth > MAX_HELP_DEPTH,
+            )
+        });
+        loop {
+            if pred() {
+                break;
+            }
+            let task = if too_deep {
+                None
+            } else {
+                TLS.with(|tls| {
+                    let tls = tls.borrow();
+                    let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
+                    sched.find_task(id, &w.owned)
+                })
+            };
+            match task {
+                Some(task) => {
+                    sched.stats.help();
+                    self.execute_task(task);
+                }
+                None => {
+                    sched.idle.fetch_add(1, Ordering::SeqCst);
+                    let epoch = sched.event.epoch();
+                    if !pred() {
+                        sched.event.wait_while(epoch, PARK_TIMEOUT);
+                    }
+                    sched.idle.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+        TLS.with(|tls| {
+            tls.borrow_mut().as_mut().unwrap().help_depth -= 1;
+        });
+    }
+
+    /// Runs `f` on the pool and blocks the calling thread until it (and, via
+    /// an implicit finish, everything it spawns) completes. The conventional
+    /// SPMD main-function entry point.
+    pub fn block_on<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+        let rt = self.clone();
+        let slot = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&slot);
+        let fut = self.spawn_future(move || {
+            let r = rt.finish(f);
+            *out.lock() = Some(r);
+        });
+        // Wake the external waiter promptly on completion.
+        let event = Arc::clone(&self.inner.sched.event);
+        fut.on_ready(move || event.signal_all());
+        self.wait_for(&mut || fut.is_ready());
+        let result = slot
+            .lock()
+            .take()
+            .expect("block_on body completed without producing a value");
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// The "closest" place for spawns from the current thread.
+    pub fn here(&self) -> PlaceId {
+        TLS.with(|tls| {
+            tls.borrow()
+                .as_ref()
+                .filter(|t| Arc::ptr_eq(&t.rt.inner, &self.inner))
+                .and_then(|t| t.worker.as_ref())
+                .map(|w| self.inner.sched.homes[w.id])
+        })
+        .unwrap_or_else(|| self.inner.sched.homes[0])
+    }
+
+    /// Captures the current finish scope (if it belongs to this runtime) and
+    /// checks a new task into it.
+    fn current_scope_checked_in(&self) -> Option<Arc<FinishScope>> {
+        TLS.with(|tls| {
+            let tls = tls.borrow();
+            let t = tls.as_ref()?;
+            if !Arc::ptr_eq(&t.rt.inner, &self.inner) {
+                return None;
+            }
+            let scope = t.scope.as_ref()?;
+            scope.check_in();
+            Some(Arc::clone(scope))
+        })
+    }
+
+    /// Routes a fully-formed task to the right queue (its scope check-in has
+    /// already happened in `current_scope_checked_in`).
+    fn enqueue(&self, task: Task) {
+        self.enqueue_prechecked(task);
+    }
+
+    /// Enqueues a task whose scope check-in already happened (also the
+    /// continuation path of `spawn_await`).
+    pub(crate) fn enqueue_prechecked(&self, task: Task) {
+        let sched = &self.inner.sched;
+        let on_own_worker = TLS.with(|tls| {
+            let tls = tls.borrow();
+            matches!(tls.as_ref(), Some(t) if Arc::ptr_eq(&t.rt.inner, &self.inner) && t.worker.is_some())
+        });
+        if on_own_worker {
+            TLS.with(|tls| {
+                let tls = tls.borrow();
+                let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
+                sched.spawn_from_worker(&w.owned, task);
+            });
+        } else {
+            sched.spawn_external(task);
+        }
+    }
+
+    fn execute_task(&self, task: Task) {
+        let Task { f, scope, .. } = task;
+        let prev = TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            let t = tls.as_mut().expect("execute_task off-runtime");
+            std::mem::replace(&mut t.scope, scope.clone())
+        });
+        let result = catch_unwind(AssertUnwindSafe(f));
+        TLS.with(|tls| {
+            if let Some(t) = tls.borrow_mut().as_mut() {
+                t.scope = prev;
+            }
+        });
+        if let Some(scope) = scope {
+            scope.check_out();
+        }
+        self.inner.sched.stats.task_executed();
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            eprintln!("[hiper] task panicked (worker continues): {}", msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Finalizes modules (reverse registration order), stops the worker pool
+    /// and joins every worker thread. Tasks still queued are dropped;
+    /// applications should reach quiescence (e.g. with `finish`) first.
+    pub fn shutdown(&self) {
+        if self.inner.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let modules: Vec<_> = self.inner.modules.write().drain(..).collect();
+        for module in modules.iter().rev() {
+            module.finalize(self);
+        }
+        self.inner.sched.request_shutdown();
+        let handles: Vec<_> = self.inner.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.sched.workers
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("config", &self.inner.config.name)
+            .field("workers", &self.inner.sched.workers)
+            .finish()
+    }
+}

@@ -1,0 +1,173 @@
+//! The generalized work-stealing scheduler core (paper §II-B).
+//!
+//! Scheduling state is laid out exactly as the paper describes: every place
+//! in the platform model holds `N` task deques (`N` = worker count) plus an
+//! injector for off-pool spawns. Deque `i` at a place holds only eligible
+//! tasks spawned by worker `i`, so a worker can prefer its own tasks
+//! (locality, pop path) or others' tasks (load balance, steal path) purely by
+//! which deque end and index it looks at.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hiper_deque::{new_deque, Injector, Steal, Stealer, Worker};
+use hiper_platform::{PlaceId, PlatformConfig, WorkerPaths};
+
+use crate::event::Event;
+use crate::stats::SchedStats;
+use crate::task::Task;
+
+/// Per-place scheduling state.
+pub(crate) struct PlaceState {
+    /// Thief handles for the per-worker deques at this place; index `i` is
+    /// the deque owned (pushed/popped) by worker `i`.
+    pub stealers: Vec<Stealer<Task>>,
+    /// FIFO queue for tasks spawned by non-worker threads (network delivery
+    /// engine, GPU pollers, application threads) and for explicit yields.
+    pub injector: Injector<Task>,
+}
+
+/// The scheduler: shared state of one runtime instance's worker pool.
+pub(crate) struct Scheduler {
+    pub places: Vec<PlaceState>,
+    pub workers: usize,
+    pub paths: Vec<WorkerPaths>,
+    pub homes: Vec<PlaceId>,
+    /// Global wake-up event: bumped on spawns, promise puts, finish-scope
+    /// completions and shutdown.
+    pub event: Arc<Event>,
+    /// Set once by shutdown; workers drain and exit.
+    pub shutdown: AtomicBool,
+    /// Number of workers currently parked (used to skip needless signals).
+    pub idle: AtomicUsize,
+    pub stats: SchedStats,
+}
+
+impl Scheduler {
+    /// Builds scheduler state from a validated platform configuration.
+    /// Returns the shared scheduler plus, for each worker, the owner handles
+    /// of its deques (indexed by place id). The owner handles move into the
+    /// worker threads' TLS.
+    pub fn new(config: &PlatformConfig) -> (Arc<Scheduler>, Vec<Vec<Worker<Task>>>) {
+        let nplaces = config.graph.len();
+        let nworkers = config.workers;
+        let mut owned: Vec<Vec<Worker<Task>>> = (0..nworkers).map(|_| Vec::new()).collect();
+        let mut places = Vec::with_capacity(nplaces);
+        for _ in 0..nplaces {
+            let mut stealers = Vec::with_capacity(nworkers);
+            for w in 0..nworkers {
+                let (worker, stealer) = new_deque();
+                owned[w].push(worker);
+                stealers.push(stealer);
+            }
+            places.push(PlaceState {
+                stealers,
+                injector: Injector::new(),
+            });
+        }
+        let paths = WorkerPaths::generate_all(
+            &config.graph,
+            &config.worker_homes,
+            config.pop_policy,
+            config.steal_policy,
+        );
+        let sched = Arc::new(Scheduler {
+            places,
+            workers: nworkers,
+            paths,
+            homes: config.worker_homes.clone(),
+            event: Arc::new(Event::new()),
+            shutdown: AtomicBool::new(false),
+            idle: AtomicUsize::new(0),
+            stats: SchedStats::default(),
+        });
+        (sched, owned)
+    }
+
+    /// Enqueues a task from worker `w` (the calling thread), using the
+    /// worker's own deque at the task's place.
+    pub fn spawn_from_worker(&self, owned: &[Worker<Task>], task: Task) {
+        owned[task.place.index()].push(task);
+        self.wake();
+    }
+
+    /// Enqueues a task from outside the worker pool (or as an explicit
+    /// yield): goes to the place's FIFO injector.
+    pub fn spawn_external(&self, task: Task) {
+        self.places[task.place.index()].injector.push(task);
+        self.wake();
+    }
+
+    /// Wakes parked workers if any.
+    pub fn wake(&self) {
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            self.event.signal_all();
+        }
+    }
+
+    /// One full search for work on behalf of worker `me`:
+    /// 1. pop path — own deques (LIFO), newest-first for locality;
+    /// 2. steal path — place injectors, then other workers' deques (FIFO
+    ///    from the thief end), rotating the starting victim to spread
+    ///    contention.
+    pub fn find_task(&self, me: usize, owned: &[Worker<Task>]) -> Option<Task> {
+        // Pop path: only this worker's own tasks (paper §II-B3).
+        for &p in &self.paths[me].pop {
+            if let Some(task) = owned[p.index()].pop() {
+                self.stats.pop();
+                return Some(task);
+            }
+        }
+        // Steal path: only tasks created by others.
+        for &p in &self.paths[me].steal {
+            let place = &self.places[p.index()];
+            match place.injector.steal() {
+                Steal::Success(task) => {
+                    self.stats.injector_hit();
+                    return Some(task);
+                }
+                _ => {}
+            }
+            for k in 1..self.workers {
+                let victim = (me + k) % self.workers;
+                loop {
+                    match place.stealers[victim].steal() {
+                        Steal::Success(task) => {
+                            self.stats.steal();
+                            return Some(task);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// True if any queue this worker can reach may hold work. Used as a
+    /// quick recheck before parking.
+    pub fn maybe_has_work(&self, me: usize, owned: &[Worker<Task>]) -> bool {
+        self.paths[me].pop.iter().any(|p| !owned[p.index()].is_empty())
+            || self.paths[me].steal.iter().any(|&p| {
+                let place = &self.places[p.index()];
+                !place.injector.is_empty()
+                    || place
+                        .stealers
+                        .iter()
+                        .enumerate()
+                        .any(|(w, s)| w != me && !s.is_empty())
+            })
+    }
+
+    /// Requests shutdown and wakes everyone.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.event.signal_all();
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,236 @@
+//! Runtime and module statistics (paper §V).
+//!
+//! "Like any unified scheduler, the HiPER runtime is aware of all of the work
+//! executing on a system. Hooks have been added to the HiPER runtime which
+//! enable programmers to gather statistics on time spent in calls to
+//! different modules." This module is those hooks: scheduler-level counters
+//! (pops, steals, injector hits, parks, executed tasks) plus per-module call
+//! counts and cumulative time, all cheap relaxed atomics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+/// Scheduler-level counters. One instance per runtime, shared by workers.
+#[derive(Debug, Default)]
+pub struct SchedStats {
+    /// Tasks executed to completion.
+    pub tasks_executed: AtomicU64,
+    /// Tasks found on the worker's own pop path.
+    pub pops: AtomicU64,
+    /// Tasks taken from other workers' deques.
+    pub steals: AtomicU64,
+    /// Tasks taken from place injectors (off-pool spawns).
+    pub injector_hits: AtomicU64,
+    /// Times a worker parked for lack of work.
+    pub parks: AtomicU64,
+    /// Tasks executed inside blocking waits (help-first scheduling).
+    pub helped: AtomicU64,
+}
+
+macro_rules! bump {
+    ($field:expr) => {
+        $field.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+impl SchedStats {
+    pub(crate) fn task_executed(&self) {
+        bump!(self.tasks_executed);
+    }
+    pub(crate) fn pop(&self) {
+        bump!(self.pops);
+    }
+    pub(crate) fn steal(&self) {
+        bump!(self.steals);
+    }
+    pub(crate) fn injector_hit(&self) {
+        bump!(self.injector_hits);
+    }
+    pub(crate) fn park(&self) {
+        bump!(self.parks);
+    }
+    pub(crate) fn help(&self) {
+        bump!(self.helped);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> SchedStatsSnapshot {
+        SchedStatsSnapshot {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            pops: self.pops.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            injector_hits: self.injector_hits.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            helped: self.helped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`SchedStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStatsSnapshot {
+    pub tasks_executed: u64,
+    pub pops: u64,
+    pub steals: u64,
+    pub injector_hits: u64,
+    pub parks: u64,
+    pub helped: u64,
+}
+
+impl fmt::Display for SchedStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tasks={} pops={} steals={} injector={} parks={} helped={}",
+            self.tasks_executed, self.pops, self.steals, self.injector_hits, self.parks,
+            self.helped
+        )
+    }
+}
+
+/// Per-module accounting: how many API calls ran and how long they took.
+#[derive(Debug, Default)]
+struct ModuleCounters {
+    calls: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// Registry of per-module statistics, keyed by module name.
+#[derive(Debug, Default)]
+pub struct ModuleStats {
+    modules: RwLock<BTreeMap<&'static str, ModuleCounters>>,
+}
+
+impl ModuleStats {
+    /// Records one call of `dur` against `module`. Module API wrappers call
+    /// this around every user-facing entry point.
+    pub fn record(&self, module: &'static str, dur: Duration) {
+        {
+            let map = self.modules.read();
+            if let Some(c) = map.get(module) {
+                c.calls.fetch_add(1, Ordering::Relaxed);
+                c.nanos.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut map = self.modules.write();
+        let c = map.entry(module).or_default();
+        c.calls.fetch_add(1, Ordering::Relaxed);
+        c.nanos.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all modules: (name, calls, total time).
+    pub fn snapshot(&self) -> Vec<(String, u64, Duration)> {
+        self.modules
+            .read()
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.to_string(),
+                    c.calls.load(Ordering::Relaxed),
+                    Duration::from_nanos(c.nanos.load(Ordering::Relaxed)),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A guard that records elapsed time against a module when dropped.
+/// Usage: `let _t = stats.time("mpi");`
+pub struct ModuleTimer<'a> {
+    stats: &'a ModuleStats,
+    module: &'static str,
+    start: std::time::Instant,
+}
+
+impl ModuleStats {
+    /// Starts a timer attributed to `module`.
+    pub fn time(&self, module: &'static str) -> ModuleTimer<'_> {
+        ModuleTimer {
+            stats: self,
+            module,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for ModuleTimer<'_> {
+    fn drop(&mut self) {
+        self.stats.record(self.module, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_counters_accumulate() {
+        let s = SchedStats::default();
+        s.task_executed();
+        s.task_executed();
+        s.pop();
+        s.steal();
+        s.injector_hit();
+        s.park();
+        s.help();
+        let snap = s.snapshot();
+        assert_eq!(snap.tasks_executed, 2);
+        assert_eq!(snap.pops, 1);
+        assert_eq!(snap.steals, 1);
+        assert_eq!(snap.injector_hits, 1);
+        assert_eq!(snap.parks, 1);
+        assert_eq!(snap.helped, 1);
+        assert!(snap.to_string().contains("tasks=2"));
+    }
+
+    #[test]
+    fn module_stats_record_and_snapshot() {
+        let m = ModuleStats::default();
+        m.record("mpi", Duration::from_micros(5));
+        m.record("mpi", Duration::from_micros(7));
+        m.record("cuda", Duration::from_micros(1));
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        let mpi = snap.iter().find(|(n, _, _)| n == "mpi").unwrap();
+        assert_eq!(mpi.1, 2);
+        assert_eq!(mpi.2, Duration::from_micros(12));
+    }
+
+    #[test]
+    fn timer_guard_records_on_drop() {
+        let m = ModuleStats::default();
+        {
+            let _t = m.time("shmem");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = m.snapshot();
+        let shmem = snap.iter().find(|(n, _, _)| n == "shmem").unwrap();
+        assert_eq!(shmem.1, 1);
+        assert!(shmem.2 >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let m = std::sync::Arc::new(ModuleStats::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record("x", Duration::from_nanos(10));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap[0].1, 4000);
+    }
+}

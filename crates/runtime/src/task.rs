@@ -1,0 +1,136 @@
+//! Tasks and finish scopes.
+//!
+//! A HiPER task is a single-threaded stream of execution placed at a place in
+//! the platform model (paper §II-B1). In this implementation a task is a
+//! boxed closure plus its placement and the finish scope it was spawned
+//! under; suspension is expressed with continuations and help-first blocking
+//! rather than stack swapping (DESIGN.md §2.1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hiper_platform::PlaceId;
+
+use crate::event::Event;
+
+/// The closure a task executes.
+pub(crate) type TaskFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// A schedulable unit of work.
+pub(crate) struct Task {
+    /// The body to execute.
+    pub f: TaskFn,
+    /// Where in the platform model this task is placed.
+    pub place: PlaceId,
+    /// The innermost finish scope enclosing the spawn, if any. The task has
+    /// already been checked in; the executor checks it out on completion.
+    pub scope: Option<Arc<FinishScope>>,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task").field("place", &self.place).finish()
+    }
+}
+
+/// A `finish` scope: blocks its creator until every task transitively
+/// spawned inside it has completed (paper §II-B4).
+///
+/// The counter starts at 1 (the scope body itself); each spawn inside the
+/// scope checks in, each completed task checks out, and the body checks out
+/// when it returns. When the counter reaches zero the runtime event is
+/// signalled to release the (help-first or parked) waiter.
+pub struct FinishScope {
+    pending: AtomicUsize,
+    event: Arc<Event>,
+}
+
+impl FinishScope {
+    /// Creates a scope with the body's own check-in already counted.
+    pub(crate) fn new(event: Arc<Event>) -> Arc<FinishScope> {
+        Arc::new(FinishScope {
+            pending: AtomicUsize::new(1),
+            event,
+        })
+    }
+
+    /// Registers one more task under this scope.
+    pub(crate) fn check_in(&self) {
+        let prev = self.pending.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "check_in on a completed finish scope");
+    }
+
+    /// Marks one task (or the body) complete.
+    pub(crate) fn check_out(&self) {
+        let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "check_out underflow");
+        if prev == 1 {
+            self.event.signal_all();
+        }
+    }
+
+    /// True once every registered task has completed.
+    pub fn is_done(&self) -> bool {
+        self.pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Number of tasks still pending (including the body if it has not
+    /// returned yet). Diagnostic only; racy by nature.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for FinishScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FinishScope")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_counts_check_ins_and_outs() {
+        let event = Arc::new(Event::new());
+        let scope = FinishScope::new(Arc::clone(&event));
+        assert_eq!(scope.pending(), 1);
+        assert!(!scope.is_done());
+        scope.check_in();
+        scope.check_in();
+        assert_eq!(scope.pending(), 3);
+        scope.check_out();
+        scope.check_out();
+        assert!(!scope.is_done());
+        let before = event.epoch();
+        scope.check_out(); // body done
+        assert!(scope.is_done());
+        assert_eq!(event.epoch(), before + 1, "completion must signal");
+    }
+
+    #[test]
+    fn concurrent_check_in_out_balance() {
+        let event = Arc::new(Event::new());
+        let scope = FinishScope::new(event);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let scope = Arc::clone(&scope);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        scope.check_in();
+                        scope.check_out();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(scope.pending(), 1);
+        scope.check_out();
+        assert!(scope.is_done());
+    }
+}

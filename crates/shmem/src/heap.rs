@@ -1,0 +1,277 @@
+//! The symmetric heap.
+//!
+//! Every rank owns one heap of identical size; objects are allocated
+//! collectively (same SPMD order on every rank), so an offset is valid on
+//! every rank — the OpenSHMEM symmetric-address property. Remote puts/gets
+//! are *true one-sided accesses*: the delivery engine writes directly into
+//! the target heap with no involvement from the target's worker threads,
+//! modeling RDMA.
+//!
+//! Because remote writes genuinely race with local polling reads
+//! (`shmem_wait_until`), the heap is stored as a word array of `AtomicU64`;
+//! bulk transfers use relaxed word stores with release/acquire fences at the
+//! operation boundaries, and unaligned edges use CAS read-modify-write so
+//! neighboring bytes are never clobbered.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// One rank's symmetric heap.
+pub struct SymHeap {
+    words: Box<[AtomicU64]>,
+}
+
+impl SymHeap {
+    /// Allocates a zeroed heap of `bytes` (rounded up to a word multiple).
+    pub fn new(bytes: usize) -> SymHeap {
+        let nwords = bytes.div_ceil(8);
+        let words = (0..nwords).map(|_| AtomicU64::new(0)).collect();
+        SymHeap { words }
+    }
+
+    /// Heap capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// True for a zero-capacity heap.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Bulk write of `data` at byte `offset` (one-sided put target side).
+    pub fn write_bytes(&self, offset: usize, data: &[u8]) {
+        assert!(offset + data.len() <= self.len(), "heap write out of range");
+        let mut off = offset;
+        let mut src = data;
+        // Leading partial word.
+        if off % 8 != 0 {
+            let take = (8 - off % 8).min(src.len());
+            self.rmw_bytes(off, &src[..take]);
+            off += take;
+            src = &src[take..];
+        }
+        // Full words.
+        let mut chunks = src.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            self.words[off / 8].store(u64::from_le_bytes(w), Ordering::Relaxed);
+            off += 8;
+        }
+        // Trailing partial word.
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            self.rmw_bytes(off, rest);
+        }
+        // Publish the bulk write.
+        fence(Ordering::Release);
+    }
+
+    /// Bulk read of `out.len()` bytes at byte `offset`.
+    pub fn read_bytes(&self, offset: usize, out: &mut [u8]) {
+        assert!(offset + out.len() <= self.len(), "heap read out of range");
+        fence(Ordering::Acquire);
+        let mut off = offset;
+        let mut dst = &mut out[..];
+        while !dst.is_empty() {
+            let word = self.words[off / 8].load(Ordering::Relaxed).to_le_bytes();
+            let start = off % 8;
+            let take = (8 - start).min(dst.len());
+            dst[..take].copy_from_slice(&word[start..start + take]);
+            off += take;
+            dst = &mut dst[take..];
+        }
+    }
+
+    /// Read-modify-write of a partial word, preserving neighboring bytes.
+    fn rmw_bytes(&self, offset: usize, data: &[u8]) {
+        let word_idx = offset / 8;
+        let start = offset % 8;
+        debug_assert!(start + data.len() <= 8);
+        let word = &self.words[word_idx];
+        let mut current = word.load(Ordering::Relaxed);
+        loop {
+            let mut bytes = current.to_le_bytes();
+            bytes[start..start + data.len()].copy_from_slice(data);
+            match word.compare_exchange_weak(
+                current,
+                u64::from_le_bytes(bytes),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn word_at(&self, offset: usize) -> &AtomicU64 {
+        assert_eq!(offset % 8, 0, "atomic heap access must be 8-byte aligned");
+        &self.words[offset / 8]
+    }
+
+    /// Atomic 64-bit load (acquire).
+    pub fn load_u64(&self, offset: usize) -> u64 {
+        self.word_at(offset).load(Ordering::Acquire)
+    }
+
+    /// Atomic 64-bit store (release).
+    pub fn store_u64(&self, offset: usize, value: u64) {
+        self.word_at(offset).store(value, Ordering::Release);
+    }
+
+    /// Atomic fetch-add (AcqRel); returns the old value.
+    pub fn fetch_add_u64(&self, offset: usize, delta: u64) -> u64 {
+        self.word_at(offset).fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Atomic compare-and-swap (AcqRel); returns the old value.
+    pub fn compare_swap_u64(&self, offset: usize, expected: u64, desired: u64) -> u64 {
+        match self.word_at(offset).compare_exchange(
+            expected,
+            desired,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(old) => old,
+            Err(old) => old,
+        }
+    }
+
+    /// Signed 64-bit view helpers (OpenSHMEM's `long long` APIs).
+    pub fn load_i64(&self, offset: usize) -> i64 {
+        self.load_u64(offset) as i64
+    }
+
+    /// Atomic signed store.
+    pub fn store_i64(&self, offset: usize, value: i64) {
+        self.store_u64(offset, value as u64);
+    }
+}
+
+impl std::fmt::Debug for SymHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymHeap").field("bytes", &self.len()).finish()
+    }
+}
+
+/// A symmetric allocation: a (offset, length) pair valid on every rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymPtr {
+    /// Byte offset within every rank's heap.
+    pub offset: usize,
+    /// Allocation length in bytes.
+    pub len: usize,
+}
+
+impl SymPtr {
+    /// A sub-range of this allocation (byte granular).
+    pub fn slice(&self, from: usize, len: usize) -> SymPtr {
+        assert!(from + len <= self.len, "symmetric slice out of range");
+        SymPtr {
+            offset: self.offset + from,
+            len,
+        }
+    }
+
+    /// Byte offset of element `i` for 8-byte element types.
+    pub fn at64(&self, i: usize) -> usize {
+        let off = self.offset + i * 8;
+        assert!(off + 8 <= self.offset + self.len, "element index out of range");
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn aligned_roundtrip() {
+        let h = SymHeap::new(64);
+        h.write_bytes(0, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let mut out = [0u8; 10];
+        h.read_bytes(0, &mut out);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn unaligned_write_preserves_neighbors() {
+        let h = SymHeap::new(32);
+        h.write_bytes(0, &[0xFF; 32]);
+        h.write_bytes(3, &[0, 0, 0]);
+        let mut out = [0u8; 32];
+        h.read_bytes(0, &mut out);
+        assert_eq!(out[0..3], [0xFF; 3]);
+        assert_eq!(out[3..6], [0, 0, 0]);
+        assert_eq!(out[6..32], [0xFF; 26]);
+    }
+
+    #[test]
+    fn cross_word_unaligned_roundtrip() {
+        let h = SymHeap::new(64);
+        let data: Vec<u8> = (0..23).collect();
+        h.write_bytes(5, &data);
+        let mut out = vec![0u8; 23];
+        h.read_bytes(5, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn atomics() {
+        let h = SymHeap::new(32);
+        h.store_u64(8, 41);
+        assert_eq!(h.load_u64(8), 41);
+        assert_eq!(h.fetch_add_u64(8, 1), 41);
+        assert_eq!(h.load_u64(8), 42);
+        assert_eq!(h.compare_swap_u64(8, 42, 100), 42);
+        assert_eq!(h.load_u64(8), 100);
+        assert_eq!(h.compare_swap_u64(8, 42, 7), 100, "failed CAS returns current");
+        assert_eq!(h.load_u64(8), 100);
+        h.store_i64(16, -5);
+        assert_eq!(h.load_i64(16), -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_atomic_panics() {
+        let h = SymHeap::new(32);
+        h.load_u64(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_write_panics() {
+        let h = SymHeap::new(16);
+        h.write_bytes(10, &[0u8; 10]);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let h = Arc::new(SymHeap::new(16));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        h.fetch_add_u64(0, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.load_u64(0), 40_000);
+    }
+
+    #[test]
+    fn symptr_slicing() {
+        let p = SymPtr { offset: 64, len: 80 };
+        let s = p.slice(16, 8);
+        assert_eq!(s.offset, 80);
+        assert_eq!(s.len, 8);
+        assert_eq!(p.at64(2), 80);
+    }
+}

@@ -1,0 +1,23 @@
+//! HiPER OpenSHMEM module (paper §II-C2) plus the underlying SHMEM library.
+//!
+//! Layers, mirroring the paper's stack:
+//!
+//! * [`SymHeap`] / [`ShmemWorld`] — the symmetric heaps, shared across the
+//!   simulated cluster so one-sided operations are true direct memory
+//!   accesses (the RDMA model).
+//! * [`RawShmem`] — the SHMEM library itself (the role Cray SHMEM plays):
+//!   blocking put/get/atomics, `quiet`, `wait_until`, `barrier_all`,
+//!   reductions and the ISx count exchange. Blocking calls park the calling
+//!   OS thread.
+//! * [`ShmemModule`] — the pluggable HiPER module ("AsyncSHMEM"): taskified
+//!   standard APIs safe for multithreaded use, plus the paper's novel
+//!   future-returning extensions, most notably
+//!   [`ShmemModule::async_when`] (`shmem_async_when`).
+
+mod heap;
+mod module;
+mod raw;
+
+pub use heap::{SymHeap, SymPtr};
+pub use module::ShmemModule;
+pub use raw::{Cmp, RawShmem, ShmemWorld};

@@ -1,0 +1,748 @@
+//! The underlying OpenSHMEM library (the role Cray SHMEM plays in the
+//! paper): one-sided put/get, remote atomics, point-to-point synchronization
+//! (`wait_until`), `quiet`, and the collective calls the benchmarks use.
+//!
+//! Remote operations are active messages executed *at the target's heap* by
+//! the delivery engine — the target's compute threads are never involved,
+//! modeling RDMA. Per-pair FIFO delivery gives OpenSHMEM's put-ordering
+//! guarantees, and `quiet` is an acknowledged no-op that flushes each dirty
+//! link.
+//!
+//! Blocking calls park the calling OS thread (what the paper's flat-SHMEM
+//! baselines pay); the HiPER module in [`crate::module`] wraps these
+//! primitives in tasks and futures.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use hiper_netsim::{Channel, Message, Rank, Transport};
+use parking_lot::{Condvar, Mutex};
+
+use crate::heap::{SymHeap, SymPtr};
+
+/// Comparison operators for `wait_until` / `async_when` (OpenSHMEM
+/// `SHMEM_CMP_*`), evaluated on signed 64-bit values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl Cmp {
+    /// Evaluates `lhs <cmp> rhs`.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ne => lhs != rhs,
+            Cmp::Gt => lhs > rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+        }
+    }
+}
+
+// Wire opcodes (tag bits 56..64).
+mod op {
+    pub const PUT: u8 = 1;
+    pub const GET_REQ: u8 = 2;
+    pub const GET_REP: u8 = 3;
+    pub const AMO_REQ: u8 = 4;
+    pub const AMO_REP: u8 = 5;
+    pub const ACK_REQ: u8 = 6;
+    pub const ACK_REP: u8 = 7;
+    pub const COLL: u8 = 8;
+}
+
+// Atomic sub-opcodes (tag bits 48..56 of AMO_REQ).
+mod amo {
+    pub const FADD: u8 = 1;
+    pub const CSWAP: u8 = 2;
+}
+
+mod collop {
+    pub const BARRIER: u8 = 1;
+    pub const BCAST: u8 = 2;
+    pub const REDUCE: u8 = 3;
+    pub const ALLTOALL: u8 = 4;
+}
+
+fn tag(opcode: u8, aux: u8, low: u64) -> u64 {
+    ((opcode as u64) << 56) | ((aux as u64) << 48) | (low & 0xFFFF_FFFF_FFFF)
+}
+
+fn tag_opcode(t: u64) -> u8 {
+    (t >> 56) as u8
+}
+
+fn tag_aux(t: u64) -> u8 {
+    (t >> 48) as u8
+}
+
+fn tag_low(t: u64) -> u64 {
+    t & 0xFFFF_FFFF_FFFF
+}
+
+fn coll_tag(cop: u8, round: u8, seq: u64) -> u64 {
+    tag(op::COLL, cop, ((round as u64) << 40) | (seq & 0xFF_FFFF_FFFF))
+}
+
+/// One-shot reply slot: completed exactly once with the reply payload;
+/// consumers either block (`wait`) or attach a callback.
+pub(crate) struct OneShot {
+    state: Mutex<OneShotState>,
+    cond: Condvar,
+}
+
+enum OneShotState {
+    Waiting(Option<Box<dyn FnOnce(Bytes) + Send>>),
+    Done(Bytes),
+}
+
+impl OneShot {
+    fn new() -> Arc<OneShot> {
+        Arc::new(OneShot {
+            state: Mutex::new(OneShotState::Waiting(None)),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn with_callback(cb: Box<dyn FnOnce(Bytes) + Send>) -> Arc<OneShot> {
+        Arc::new(OneShot {
+            state: Mutex::new(OneShotState::Waiting(Some(cb))),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, data: Bytes) {
+        let mut st = self.state.lock();
+        match std::mem::replace(&mut *st, OneShotState::Done(data.clone())) {
+            OneShotState::Waiting(Some(cb)) => {
+                drop(st);
+                cb(data);
+            }
+            OneShotState::Waiting(None) => {
+                self.cond.notify_all();
+            }
+            OneShotState::Done(_) => panic!("reply slot completed twice"),
+        }
+    }
+
+    fn wait(&self) -> Bytes {
+        let mut st = self.state.lock();
+        loop {
+            if let OneShotState::Done(data) = &*st {
+                return data.clone();
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+}
+
+/// A registered `async_when` predicate.
+struct WhenEntry {
+    offset: usize,
+    cmp: Cmp,
+    value: i64,
+    fire: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// Cluster-wide shared symmetric heaps. Create one per cluster, clone into
+/// each rank's setup.
+#[derive(Clone)]
+pub struct ShmemWorld {
+    heaps: Arc<Vec<Arc<SymHeap>>>,
+}
+
+impl ShmemWorld {
+    /// Allocates `nranks` heaps of `heap_bytes` each.
+    pub fn new(nranks: usize, heap_bytes: usize) -> ShmemWorld {
+        ShmemWorld {
+            heaps: Arc::new((0..nranks).map(|_| Arc::new(SymHeap::new(heap_bytes))).collect()),
+        }
+    }
+
+    /// The heap of `rank`.
+    pub fn heap(&self, rank: Rank) -> &Arc<SymHeap> {
+        &self.heaps[rank]
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.heaps.len()
+    }
+}
+
+/// One rank's endpoint of the raw SHMEM library.
+pub struct RawShmem {
+    world: ShmemWorld,
+    transport: Transport,
+    alloc_next: Mutex<usize>,
+    slots: Mutex<HashMap<u64, Arc<OneShot>>>,
+    next_slot: AtomicU64,
+    dirty: Mutex<HashSet<Rank>>,
+    /// Local-change notification: epoch bumped whenever this rank's heap is
+    /// mutated by a remote op (or an explicit signalled local store).
+    change_epoch: Mutex<u64>,
+    change_cond: Condvar,
+    whens: Mutex<Vec<WhenEntry>>,
+    coll: Mutex<HashMap<(Rank, u64), VecDeque<Bytes>>>,
+    coll_cond: Condvar,
+    coll_seq: AtomicU64,
+}
+
+impl RawShmem {
+    /// Creates the endpoint and registers its delivery handler.
+    pub fn new(world: ShmemWorld, transport: Transport) -> Arc<RawShmem> {
+        assert_eq!(
+            world.nranks(),
+            transport.nranks(),
+            "world size must match cluster size"
+        );
+        let raw = Arc::new(RawShmem {
+            world,
+            transport: transport.clone(),
+            alloc_next: Mutex::new(0),
+            slots: Mutex::new(HashMap::new()),
+            next_slot: AtomicU64::new(1),
+            dirty: Mutex::new(HashSet::new()),
+            change_epoch: Mutex::new(0),
+            change_cond: Condvar::new(),
+            whens: Mutex::new(Vec::new()),
+            coll: Mutex::new(HashMap::new()),
+            coll_cond: Condvar::new(),
+            coll_seq: AtomicU64::new(0),
+        });
+        let raw2 = Arc::clone(&raw);
+        transport.register_handler(Channel::SHMEM, Box::new(move |m| raw2.on_message(m)));
+        raw
+    }
+
+    /// This rank (`shmem_my_pe`).
+    pub fn rank(&self) -> Rank {
+        self.transport.rank()
+    }
+
+    /// Cluster size (`shmem_n_pes`).
+    pub fn nranks(&self) -> usize {
+        self.transport.nranks()
+    }
+
+    /// This rank's heap (for local symmetric-object access).
+    pub fn heap(&self) -> &Arc<SymHeap> {
+        self.world.heap(self.rank())
+    }
+
+    /// Symmetric allocation (`shmem_malloc`): every rank must call in the
+    /// same order with the same size. 16-byte aligned.
+    pub fn malloc(&self, nbytes: usize) -> SymPtr {
+        let mut next = self.alloc_next.lock();
+        let offset = (*next + 15) & !15;
+        assert!(
+            offset + nbytes <= self.heap().len(),
+            "symmetric heap exhausted ({} + {} > {})",
+            offset,
+            nbytes,
+            self.heap().len()
+        );
+        *next = offset + nbytes;
+        SymPtr { offset, len: nbytes }
+    }
+
+    /// Symmetric allocation of `n` 64-bit elements.
+    pub fn malloc64(&self, n: usize) -> SymPtr {
+        self.malloc(n * 8)
+    }
+
+    /// Resets the symmetric allocator to `watermark` (a value previously
+    /// returned by [`alloc_watermark`](Self::alloc_watermark)). For
+    /// benchmark harnesses that re-run an allocation-heavy phase many times;
+    /// must be called collectively (all ranks, between barriers) and
+    /// invalidates every allocation made after the watermark.
+    pub fn reset_alloc(&self, watermark: usize) {
+        *self.alloc_next.lock() = watermark;
+    }
+
+    /// Current allocator position, for later [`reset_alloc`](Self::reset_alloc).
+    pub fn alloc_watermark(&self) -> usize {
+        *self.alloc_next.lock()
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling (runs on the delivery-engine thread)
+    // ------------------------------------------------------------------
+
+    fn on_message(&self, msg: Message) {
+        let t = msg.tag;
+        match tag_opcode(t) {
+            op::PUT => {
+                let (offset, data) = split_header(&msg.payload);
+                self.heap().write_bytes(offset as usize, data);
+                self.notify_local_change();
+            }
+            op::GET_REQ => {
+                let mut hdr = [0u8; 16];
+                hdr.copy_from_slice(&msg.payload[..16]);
+                let offset = u64::from_le_bytes(hdr[..8].try_into().unwrap()) as usize;
+                let nbytes = u64::from_le_bytes(hdr[8..].try_into().unwrap()) as usize;
+                let mut out = vec![0u8; nbytes];
+                self.heap().read_bytes(offset, &mut out);
+                self.transport.send(
+                    msg.src,
+                    Channel::SHMEM,
+                    tag(op::GET_REP, 0, tag_low(t)),
+                    Bytes::from(out),
+                );
+            }
+            op::AMO_REQ => {
+                let p = &msg.payload;
+                let offset = u64::from_le_bytes(p[..8].try_into().unwrap()) as usize;
+                let a = u64::from_le_bytes(p[8..16].try_into().unwrap());
+                let b = u64::from_le_bytes(p[16..24].try_into().unwrap());
+                let old = match tag_aux(t) {
+                    amo::FADD => self.heap().fetch_add_u64(offset, a),
+                    amo::CSWAP => self.heap().compare_swap_u64(offset, a, b),
+                    other => panic!("unknown atomic sub-op {}", other),
+                };
+                self.notify_local_change();
+                self.transport.send(
+                    msg.src,
+                    Channel::SHMEM,
+                    tag(op::AMO_REP, 0, tag_low(t)),
+                    Bytes::copy_from_slice(&old.to_le_bytes()),
+                );
+            }
+            op::ACK_REQ => {
+                self.transport.send(
+                    msg.src,
+                    Channel::SHMEM,
+                    tag(op::ACK_REP, 0, tag_low(t)),
+                    Bytes::new(),
+                );
+            }
+            op::GET_REP | op::AMO_REP | op::ACK_REP => {
+                let slot = self.slots.lock().remove(&tag_low(t));
+                if let Some(slot) = slot {
+                    slot.complete(msg.payload);
+                }
+            }
+            op::COLL => {
+                let mut coll = self.coll.lock();
+                coll.entry((msg.src, t)).or_default().push_back(msg.payload);
+                self.coll_cond.notify_all();
+            }
+            other => panic!("unknown SHMEM opcode {}", other),
+        }
+    }
+
+    fn notify_local_change(&self) {
+        {
+            let mut epoch = self.change_epoch.lock();
+            *epoch += 1;
+            self.change_cond.notify_all();
+        }
+        // Sweep async_when registrations.
+        let fired: Vec<Box<dyn FnOnce() + Send>> = {
+            let heap = self.heap();
+            let mut whens = self.whens.lock();
+            let mut fired = Vec::new();
+            whens.retain_mut(|w| {
+                if w.cmp.eval(heap.load_i64(w.offset), w.value) {
+                    if let Some(f) = w.fire.take() {
+                        fired.push(f);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            fired
+        };
+        for f in fired {
+            f();
+        }
+    }
+
+    fn new_slot(&self, cb: Option<Box<dyn FnOnce(Bytes) + Send>>) -> (u64, Arc<OneShot>) {
+        let id = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        let slot = match cb {
+            Some(cb) => OneShot::with_callback(cb),
+            None => OneShot::new(),
+        };
+        self.slots.lock().insert(id, Arc::clone(&slot));
+        (id, slot)
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided operations
+    // ------------------------------------------------------------------
+
+    /// `shmem_putmem`: copies `data` into `target`'s heap at `offset`.
+    /// Completes locally as soon as the payload is handed to the transport
+    /// (buffered put); use [`quiet`](Self::quiet) or a barrier for remote
+    /// completion.
+    pub fn put(&self, target: Rank, offset: usize, data: &[u8]) {
+        let mut payload = BytesMut::with_capacity(8 + data.len());
+        payload.put_u64_le(offset as u64);
+        payload.put_slice(data);
+        self.dirty.lock().insert(target);
+        self.transport
+            .send(target, Channel::SHMEM, tag(op::PUT, 0, 0), payload.freeze());
+    }
+
+    /// Typed put of 64-bit values.
+    pub fn put64(&self, target: Rank, offset: usize, values: &[u64]) {
+        self.put(target, offset, &hiper_netsim::pod::to_bytes(values));
+    }
+
+    /// `shmem_getmem` with a completion callback (runs on the delivery
+    /// thread; must be cheap).
+    pub fn get_cb(
+        &self,
+        target: Rank,
+        offset: usize,
+        nbytes: usize,
+        cb: Box<dyn FnOnce(Bytes) + Send>,
+    ) {
+        if target == self.rank() {
+            // Local fast path.
+            let mut out = vec![0u8; nbytes];
+            self.heap().read_bytes(offset, &mut out);
+            cb(Bytes::from(out));
+            return;
+        }
+        let (id, _slot) = self.new_slot(Some(cb));
+        let mut payload = BytesMut::with_capacity(16);
+        payload.put_u64_le(offset as u64);
+        payload.put_u64_le(nbytes as u64);
+        self.transport
+            .send(target, Channel::SHMEM, tag(op::GET_REQ, 0, id), payload.freeze());
+    }
+
+    /// Blocking `shmem_getmem`.
+    pub fn get(&self, target: Rank, offset: usize, nbytes: usize) -> Bytes {
+        if target == self.rank() {
+            let mut out = vec![0u8; nbytes];
+            self.heap().read_bytes(offset, &mut out);
+            return Bytes::from(out);
+        }
+        let (id, slot) = self.new_slot(None);
+        let mut payload = BytesMut::with_capacity(16);
+        payload.put_u64_le(offset as u64);
+        payload.put_u64_le(nbytes as u64);
+        self.transport
+            .send(target, Channel::SHMEM, tag(op::GET_REQ, 0, id), payload.freeze());
+        slot.wait()
+    }
+
+    fn amo(&self, target: Rank, sub: u8, offset: usize, a: u64, b: u64,
+           cb: Option<Box<dyn FnOnce(Bytes) + Send>>) -> Option<Arc<OneShot>> {
+        let (id, slot) = self.new_slot(cb);
+        let mut payload = BytesMut::with_capacity(24);
+        payload.put_u64_le(offset as u64);
+        payload.put_u64_le(a);
+        payload.put_u64_le(b);
+        self.dirty.lock().insert(target);
+        self.transport
+            .send(target, Channel::SHMEM, tag(op::AMO_REQ, sub, id), payload.freeze());
+        Some(slot)
+    }
+
+    /// Blocking `shmem_atomic_fetch_add` on a remote 64-bit value.
+    pub fn fadd(&self, target: Rank, offset: usize, delta: u64) -> u64 {
+        if target == self.rank() {
+            let old = self.heap().fetch_add_u64(offset, delta);
+            self.notify_local_change();
+            return old;
+        }
+        let slot = self.amo(target, amo::FADD, offset, delta, 0, None).unwrap();
+        u64::from_le_bytes(slot.wait()[..8].try_into().unwrap())
+    }
+
+    /// Fetch-add with a completion callback.
+    pub fn fadd_cb(&self, target: Rank, offset: usize, delta: u64,
+                   cb: Box<dyn FnOnce(u64) + Send>) {
+        if target == self.rank() {
+            let old = self.heap().fetch_add_u64(offset, delta);
+            self.notify_local_change();
+            cb(old);
+            return;
+        }
+        self.amo(
+            target,
+            amo::FADD,
+            offset,
+            delta,
+            0,
+            Some(Box::new(move |b: Bytes| {
+                cb(u64::from_le_bytes(b[..8].try_into().unwrap()))
+            })),
+        );
+    }
+
+    /// Blocking `shmem_atomic_compare_swap`; returns the old value.
+    pub fn cswap(&self, target: Rank, offset: usize, expected: u64, desired: u64) -> u64 {
+        if target == self.rank() {
+            let old = self.heap().compare_swap_u64(offset, expected, desired);
+            self.notify_local_change();
+            return old;
+        }
+        let slot = self
+            .amo(target, amo::CSWAP, offset, expected, desired, None)
+            .unwrap();
+        u64::from_le_bytes(slot.wait()[..8].try_into().unwrap())
+    }
+
+    /// Signalled local store: writes a local symmetric 64-bit value and
+    /// wakes local `wait_until`/`async_when` registrations.
+    pub fn store_local_i64(&self, offset: usize, value: i64) {
+        self.heap().store_i64(offset, value);
+        self.notify_local_change();
+    }
+
+    /// `shmem_quiet`: blocks until every outstanding put/atomic issued by
+    /// this rank has been applied at its target (flush of dirty links via
+    /// acknowledged no-ops behind the FIFO traffic).
+    pub fn quiet(&self) {
+        // Self is included: puts to self also traverse the (loopback)
+        // transport, so they too need flushing.
+        let targets: Vec<Rank> = self.dirty.lock().drain().collect();
+        let slots: Vec<Arc<OneShot>> = targets
+            .into_iter()
+            .map(|t| {
+                let (id, slot) = self.new_slot(None);
+                self.transport
+                    .send(t, Channel::SHMEM, tag(op::ACK_REQ, 0, id), Bytes::new());
+                slot
+            })
+            .collect();
+        for slot in slots {
+            slot.wait();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point synchronization
+    // ------------------------------------------------------------------
+
+    /// Blocking `shmem_wait_until` on a local symmetric 64-bit value. Parks
+    /// the calling OS thread (the blocking behaviour the paper's
+    /// `shmem_async_when` was invented to avoid, §II-C2).
+    pub fn wait_until(&self, offset: usize, cmp: Cmp, value: i64) {
+        loop {
+            if cmp.eval(self.heap().load_i64(offset), value) {
+                return;
+            }
+            let mut epoch = self.change_epoch.lock();
+            // Re-check under the lock to avoid a lost wakeup.
+            if cmp.eval(self.heap().load_i64(offset), value) {
+                return;
+            }
+            let seen = *epoch;
+            while *epoch == seen {
+                self.change_cond.wait(&mut epoch);
+            }
+        }
+    }
+
+    /// Registers `fire` to run (on the delivery thread) once the local
+    /// 64-bit value at `offset` satisfies `cmp value`. Fires immediately if
+    /// it already does. Building block of the module's `shmem_async_when`.
+    pub fn register_when(&self, offset: usize, cmp: Cmp, value: i64,
+                         fire: Box<dyn FnOnce() + Send>) {
+        {
+            let mut whens = self.whens.lock();
+            if !cmp.eval(self.heap().load_i64(offset), value) {
+                whens.push(WhenEntry {
+                    offset,
+                    cmp,
+                    value,
+                    fire: Some(fire),
+                });
+                return;
+            }
+        }
+        fire();
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    fn next_seq(&self) -> u64 {
+        self.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn coll_send(&self, dst: Rank, t: u64, data: Bytes) {
+        self.transport.send(dst, Channel::SHMEM, t, data);
+    }
+
+    fn coll_recv(&self, src: Rank, t: u64) -> Bytes {
+        let mut coll = self.coll.lock();
+        loop {
+            if let Some(queue) = coll.get_mut(&(src, t)) {
+                if let Some(data) = queue.pop_front() {
+                    if queue.is_empty() {
+                        coll.remove(&(src, t));
+                    }
+                    return data;
+                }
+            }
+            self.coll_cond.wait(&mut coll);
+        }
+    }
+
+    /// `shmem_barrier_all`: quiet + dissemination barrier.
+    pub fn barrier_all(&self) {
+        self.quiet();
+        let seq = self.next_seq();
+        let p = self.nranks();
+        let me = self.rank();
+        let mut dist = 1usize;
+        let mut round = 0u8;
+        while dist < p {
+            let dst = (me + dist) % p;
+            let src = (me + p - dist) % p;
+            self.coll_send(dst, coll_tag(collop::BARRIER, round, seq), Bytes::new());
+            let _ = self.coll_recv(src, coll_tag(collop::BARRIER, round, seq));
+            dist <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Binomial broadcast of a byte payload from `root`.
+    pub fn broadcast(&self, root: Rank, data: Bytes) -> Bytes {
+        let seq = self.next_seq();
+        let p = self.nranks();
+        let me = self.rank();
+        if p == 1 {
+            return data;
+        }
+        let rel = (me + p - root) % p;
+        let mut buf = data;
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                let src = (me + p - mask) % p;
+                buf = self.coll_recv(src, coll_tag(collop::BCAST, 0, seq));
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < p {
+                let dst = (me + mask) % p;
+                self.coll_send(dst, coll_tag(collop::BCAST, 0, seq), buf.clone());
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// Reduce-to-zero + broadcast with a caller combine (`*_to_all`).
+    pub fn to_all_bytes(&self, mine: Bytes, combine: &dyn Fn(&[u8], &[u8]) -> Bytes) -> Bytes {
+        let seq = self.next_seq();
+        let p = self.nranks();
+        let me = self.rank();
+        let mut acc = mine;
+        let mut mask = 1usize;
+        let mut reduced = true;
+        while mask < p {
+            if me & mask != 0 {
+                self.coll_send(me - mask, coll_tag(collop::REDUCE, 0, seq), acc.clone());
+                reduced = false;
+                break;
+            }
+            let src = me + mask;
+            if src < p {
+                let other = self.coll_recv(src, coll_tag(collop::REDUCE, 0, seq));
+                acc = combine(&acc, &other);
+            }
+            mask <<= 1;
+        }
+        let _ = reduced;
+        self.broadcast(0, if me == 0 { acc } else { Bytes::new() })
+    }
+
+    /// `shmem_longlong_sum_to_all` over a u64 vector.
+    pub fn sum_to_all_u64(&self, mine: &[u64]) -> Vec<u64> {
+        let out = self.to_all_bytes(hiper_netsim::pod::to_bytes(mine), &|a, b| {
+            let mut av: Vec<u64> = hiper_netsim::pod::from_bytes(a);
+            let bv: Vec<u64> = hiper_netsim::pod::from_bytes(b);
+            for (x, y) in av.iter_mut().zip(bv) {
+                *x = x.wrapping_add(y);
+            }
+            hiper_netsim::pod::to_bytes(&av)
+        });
+        hiper_netsim::pod::from_bytes(&out)
+    }
+
+    /// `shmem_double_sum_to_all`.
+    pub fn sum_to_all_f64(&self, mine: &[f64]) -> Vec<f64> {
+        let out = self.to_all_bytes(hiper_netsim::pod::to_bytes(mine), &|a, b| {
+            let mut av: Vec<f64> = hiper_netsim::pod::from_bytes(a);
+            let bv: Vec<f64> = hiper_netsim::pod::from_bytes(b);
+            for (x, y) in av.iter_mut().zip(bv) {
+                *x += y;
+            }
+            hiper_netsim::pod::to_bytes(&av)
+        });
+        hiper_netsim::pod::from_bytes(&out)
+    }
+
+    /// `shmem_longlong_max_to_all`.
+    pub fn max_to_all_i64(&self, mine: &[i64]) -> Vec<i64> {
+        let out = self.to_all_bytes(hiper_netsim::pod::to_bytes(mine), &|a, b| {
+            let mut av: Vec<i64> = hiper_netsim::pod::from_bytes(a);
+            let bv: Vec<i64> = hiper_netsim::pod::from_bytes(b);
+            for (x, y) in av.iter_mut().zip(bv) {
+                *x = (*x).max(y);
+            }
+            hiper_netsim::pod::to_bytes(&av)
+        });
+        hiper_netsim::pod::from_bytes(&out)
+    }
+
+    /// Element exchange: rank `d` receives `mine[d]` from every rank,
+    /// returned indexed by source (the count exchange of ISx).
+    pub fn alltoall64(&self, mine: &[u64]) -> Vec<u64> {
+        let seq = self.next_seq();
+        let p = self.nranks();
+        let me = self.rank();
+        assert_eq!(mine.len(), p);
+        let t = coll_tag(collop::ALLTOALL, 0, seq);
+        for (dst, &v) in mine.iter().enumerate() {
+            if dst != me {
+                self.coll_send(dst, t, Bytes::copy_from_slice(&v.to_le_bytes()));
+            }
+        }
+        (0..p)
+            .map(|src| {
+                if src == me {
+                    mine[me]
+                } else {
+                    let b = self.coll_recv(src, t);
+                    u64::from_le_bytes(b[..8].try_into().unwrap())
+                }
+            })
+            .collect()
+    }
+}
+
+fn split_header(payload: &Bytes) -> (u64, &[u8]) {
+    let header = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    (header, &payload[8..])
+}
+
+impl std::fmt::Debug for RawShmem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RawShmem(pe {}/{})", self.rank(), self.nranks())
+    }
+}

@@ -1,0 +1,297 @@
+//! SPMD tests for the raw SHMEM library and the AsyncSHMEM HiPER module.
+
+use std::sync::Arc;
+
+use hiper_netsim::{NetConfig, SpmdBuilder};
+use hiper_runtime::SchedulerModule;
+use hiper_shmem::{Cmp, ShmemModule, ShmemWorld};
+
+fn with_shmem<R: Send + 'static>(
+    n: usize,
+    workers: usize,
+    heap_bytes: usize,
+    main: impl Fn(hiper_netsim::RankEnv, Arc<ShmemModule>) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let world = ShmemWorld::new(n, heap_bytes);
+    SpmdBuilder::new(n)
+        .net(NetConfig::default())
+        .workers_per_rank(workers)
+        .run(
+            move |_rank, transport| {
+                let shmem = ShmemModule::new(world.clone(), transport);
+                (
+                    vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>],
+                    shmem,
+                )
+            },
+            main,
+        )
+}
+
+#[test]
+fn put_then_barrier_then_read() {
+    let results = with_shmem(4, 1, 1 << 16, |env, shmem| {
+        let raw = shmem.raw();
+        let buf = raw.malloc64(env.nranks);
+        // Everyone writes its rank into slot `me` of everyone's buffer.
+        for target in 0..env.nranks {
+            raw.put64(target, buf.at64(env.rank), &[env.rank as u64 + 1]);
+        }
+        raw.barrier_all();
+        // After the barrier every slot must be filled.
+        (0..env.nranks)
+            .map(|i| raw.heap().load_u64(buf.at64(i)))
+            .collect::<Vec<_>>()
+    });
+    for r in &results {
+        assert_eq!(r, &vec![1, 2, 3, 4]);
+    }
+}
+
+#[test]
+fn get_reads_remote_heap() {
+    let results = with_shmem(2, 1, 1 << 16, |env, shmem| {
+        let raw = shmem.raw();
+        let buf = raw.malloc64(1);
+        raw.heap().store_u64(buf.offset, 100 + env.rank as u64);
+        raw.barrier_all();
+        let peer = 1 - env.rank;
+        let data = raw.get(peer, buf.offset, 8);
+        u64::from_le_bytes(data[..8].try_into().unwrap())
+    });
+    assert_eq!(results, vec![101, 100]);
+}
+
+#[test]
+fn remote_atomics_serialize() {
+    let n = 4;
+    let results = with_shmem(n, 1, 1 << 16, move |env, shmem| {
+        let raw = shmem.raw();
+        let counter = raw.malloc64(1);
+        raw.barrier_all();
+        // Everyone hammers rank 0's counter.
+        let mut olds = Vec::new();
+        for _ in 0..50 {
+            olds.push(raw.fadd(0, counter.offset, 1));
+        }
+        raw.barrier_all();
+        let total = raw.heap().load_u64(counter.offset);
+        (olds, total, env.rank)
+    });
+    let (_, total, _) = &results[0];
+    assert_eq!(*total, 200);
+    // Old values across all ranks must be a permutation of 0..200.
+    let mut all_olds: Vec<u64> = results.iter().flat_map(|(o, _, _)| o.clone()).collect();
+    all_olds.sort_unstable();
+    assert_eq!(all_olds, (0..200).collect::<Vec<_>>());
+}
+
+#[test]
+fn cswap_elects_a_single_winner() {
+    let n = 4;
+    let results = with_shmem(n, 1, 1 << 16, move |env, shmem| {
+        let raw = shmem.raw();
+        let lock = raw.malloc64(1);
+        raw.barrier_all();
+        // Everyone tries to claim the lock with their rank+1.
+        let old = raw.cswap(0, lock.offset, 0, env.rank as u64 + 1);
+        raw.barrier_all();
+        (old == 0, raw.heap().load_u64(lock.offset))
+    });
+    let winners = results.iter().filter(|(won, _)| *won).count();
+    assert_eq!(winners, 1, "exactly one CAS must win");
+}
+
+#[test]
+fn wait_until_blocks_until_remote_put() {
+    let results = with_shmem(2, 1, 1 << 16, |env, shmem| {
+        let raw = shmem.raw();
+        let flag = raw.malloc64(1);
+        raw.barrier_all();
+        if env.rank == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            raw.put64(1, flag.offset, &[7]);
+            0
+        } else {
+            let start = std::time::Instant::now();
+            raw.wait_until(flag.offset, Cmp::Eq, 7);
+            assert!(start.elapsed() >= std::time::Duration::from_millis(25));
+            raw.heap().load_u64(flag.offset)
+        }
+    });
+    assert_eq!(results[1], 7);
+}
+
+#[test]
+fn quiet_flushes_outstanding_puts() {
+    let results = with_shmem(2, 1, 1 << 16, |env, shmem| {
+        let raw = shmem.raw();
+        let buf = raw.malloc64(1);
+        raw.barrier_all();
+        if env.rank == 0 {
+            raw.put64(1, buf.offset, &[99]);
+            raw.quiet();
+            // After quiet, the value is observable remotely.
+            let data = raw.get(1, buf.offset, 8);
+            u64::from_le_bytes(data[..8].try_into().unwrap())
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            0
+        }
+    });
+    assert_eq!(results[0], 99);
+}
+
+#[test]
+fn collectives_match_oracle() {
+    let n = 5;
+    let results = with_shmem(n, 1, 1 << 16, move |env, shmem| {
+        let raw = shmem.raw();
+        let me = env.rank as u64;
+        let sums = raw.sum_to_all_u64(&[me, 1]);
+        assert_eq!(sums, vec![(0..n as u64).sum::<u64>(), n as u64]);
+        let fsums = raw.sum_to_all_f64(&[me as f64 * 0.5]);
+        assert!((fsums[0] - (0..n as u64).sum::<u64>() as f64 * 0.5).abs() < 1e-12);
+        let maxes = raw.max_to_all_i64(&[me as i64 - 3]);
+        assert_eq!(maxes, vec![n as i64 - 4]);
+        let bc = raw.broadcast(
+            3,
+            bytes::Bytes::from(vec![env.rank as u8; 4]),
+        );
+        assert_eq!(&bc[..], &[3u8; 4]);
+        true
+    });
+    assert!(results.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn alltoall64_exchanges_counts() {
+    let n = 4;
+    let results = with_shmem(n, 1, 1 << 16, move |env, shmem| {
+        let raw = shmem.raw();
+        let mine: Vec<u64> = (0..n).map(|d| (env.rank * 10 + d) as u64).collect();
+        let got = raw.alltoall64(&mine);
+        (0..n).all(|s| got[s] == (s * 10 + env.rank) as u64)
+    });
+    assert!(results.into_iter().all(|ok| ok));
+}
+
+#[test]
+fn module_taskified_apis() {
+    let results = with_shmem(2, 2, 1 << 16, |env, shmem| {
+        let buf = shmem.malloc64(1);
+        shmem.barrier_all();
+        let peer = 1 - env.rank;
+        shmem.put64(peer, buf.offset, vec![env.rank as u64 + 10]);
+        shmem.barrier_all();
+        let local = shmem.heap().load_u64(buf.offset);
+        let remote = shmem.get(peer, buf.offset, 8);
+        let remote = u64::from_le_bytes(remote[..8].try_into().unwrap());
+        let sum = shmem.sum_to_all_u64(vec![local]);
+        (local, remote, sum[0])
+    });
+    assert_eq!(results[0].0, 11); // peer wrote 11 into rank 0
+    assert_eq!(results[1].0, 10);
+    assert_eq!(results[0].1, 10); // remote read of peer's heap
+    assert_eq!(results[0].2, 21);
+}
+
+#[test]
+fn async_when_fires_on_remote_put() {
+    let results = with_shmem(2, 1, 1 << 16, |env, shmem| {
+        let flag = shmem.malloc64(1);
+        let data = shmem.malloc64(1);
+        shmem.barrier_all();
+        if env.rank == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            // Put the payload, then set the flag (FIFO per pair: the flag
+            // put lands after the data put).
+            shmem.raw().put64(1, data.offset, &[555]);
+            shmem.raw().put64(1, flag.offset, &[1]);
+            0
+        } else {
+            let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let g = Arc::clone(&got);
+            let heap = Arc::clone(shmem.heap());
+            let off = data.offset;
+            hiper_runtime::api::finish(|| {
+                // The paper's novel API: body runs when flag becomes 1.
+                shmem.async_when(flag.offset, Cmp::Eq, 1, move || {
+                    g.store(heap.load_u64(off), std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+            got.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    });
+    assert_eq!(results[1], 555);
+}
+
+#[test]
+fn async_when_fires_immediately_if_already_true() {
+    let results = with_shmem(1, 1, 1 << 16, |_env, shmem| {
+        let flag = shmem.malloc64(1);
+        shmem.store_local_i64(flag.offset, 3);
+        let hit = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let h = Arc::clone(&hit);
+        hiper_runtime::api::finish(|| {
+            shmem.async_when(flag.offset, Cmp::Ge, 2, move || {
+                h.store(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        });
+        hit.load(std::sync::atomic::Ordering::SeqCst)
+    });
+    assert_eq!(results[0], 1);
+}
+
+#[test]
+fn until_future_composes_with_tasks() {
+    let results = with_shmem(2, 1, 1 << 16, |env, shmem| {
+        let flag = shmem.malloc64(1);
+        shmem.barrier_all();
+        if env.rank == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            shmem.raw().put64(1, flag.offset, &[2]);
+            0u64
+        } else {
+            let fut = shmem.until_future(flag.offset, Cmp::Eq, 2);
+            let chained = hiper_runtime::api::async_future_await(&fut, || 40u64);
+            chained.get() + 2
+        }
+    });
+    assert_eq!(results[1], 42);
+}
+
+#[test]
+fn get_nbi_and_fadd_nbi() {
+    let results = with_shmem(2, 1, 1 << 16, |env, shmem| {
+        let buf = shmem.malloc64(1);
+        shmem.heap().store_u64(buf.offset, env.rank as u64 + 30);
+        shmem.barrier_all();
+        let peer = 1 - env.rank;
+        let gf = shmem.get_nbi(peer, buf.offset, 8);
+        let af = shmem.fadd_nbi(peer, buf.offset, 100);
+        let got = gf.get();
+        let got = u64::from_le_bytes(got[..8].try_into().unwrap());
+        let old = af.get();
+        shmem.barrier_all();
+        (got, old, shmem.heap().load_u64(buf.offset))
+    });
+    // get_nbi and fadd_nbi race benignly; both observe either the original
+    // or the post-add value.
+    assert!(results[0].0 == 31 || results[0].0 == 131);
+    assert!(results[0].1 == 31 || results[0].1 == 131);
+    // After both fadds, each heap value is original + 100.
+    assert_eq!(results[0].2, 130);
+    assert_eq!(results[1].2, 131);
+}
+
+#[test]
+fn heap_exhaustion_panics() {
+    let world = ShmemWorld::new(1, 64);
+    let cluster = hiper_netsim::Cluster::start(1, NetConfig::instant());
+    let raw = hiper_shmem::RawShmem::new(world, cluster.transport(0));
+    let _a = raw.malloc(32);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| raw.malloc(64)));
+    assert!(result.is_err());
+    cluster.stop();
+}

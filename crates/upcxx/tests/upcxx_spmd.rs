@@ -1,0 +1,170 @@
+//! SPMD tests for the UPC++ module.
+
+use std::sync::Arc;
+
+use hiper_netsim::{NetConfig, SpmdBuilder};
+use hiper_runtime::SchedulerModule;
+use hiper_upcxx::{UpcxxBarrier, UpcxxModule, UpcxxReduce, UpcxxWorld};
+
+struct Ctx {
+    upcxx: Arc<UpcxxModule>,
+    barrier: UpcxxBarrier,
+    reduce: UpcxxReduce,
+}
+
+fn with_upcxx<R: Send + 'static>(
+    n: usize,
+    main: impl Fn(hiper_netsim::RankEnv, Ctx) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let world = UpcxxWorld::new(n, 1 << 20);
+    let barrier = UpcxxBarrier::new();
+    let reduce = UpcxxReduce::new();
+    SpmdBuilder::new(n)
+        .net(NetConfig::default())
+        .workers_per_rank(2)
+        .run(
+            move |_rank, transport| {
+                let upcxx = UpcxxModule::new(world.clone(), transport);
+                (
+                    vec![Arc::clone(&upcxx) as Arc<dyn SchedulerModule>],
+                    Ctx {
+                        upcxx,
+                        barrier: barrier.clone(),
+                        reduce: reduce.clone(),
+                    },
+                )
+            },
+            main,
+        )
+}
+
+#[test]
+fn rput_rget_roundtrip() {
+    let results = with_upcxx(2, |env, ctx| {
+        let u = &ctx.upcxx;
+        let mine = u.alloc(64);
+        u.local_with_mut(mine, |bytes| bytes.fill(env.rank as u8 + 1));
+        u.barrier(&ctx.barrier);
+        // Learn the peer's pointer (deterministic allocation order: same
+        // offset on every rank).
+        let peer = 1 - env.rank;
+        let remote = hiper_upcxx::GlobalPtr {
+            rank: peer,
+            offset: mine.offset,
+            len: 64,
+        };
+        // rget the peer's data.
+        let data = u.rget(remote).get();
+        assert!(data.iter().all(|&b| b == peer as u8 + 1));
+        // rput our marker into the peer's second half.
+        u.rput(&[9u8; 16], remote.slice(48, 16)).wait();
+        u.barrier(&ctx.barrier);
+        u.local_with(mine, |bytes| (bytes[0], bytes[63]))
+    });
+    for (r, (first, last)) in results.iter().enumerate() {
+        assert_eq!(*first, r as u8 + 1);
+        assert_eq!(*last, 9);
+    }
+}
+
+#[test]
+fn rpc_executes_remotely_and_returns() {
+    let results = with_upcxx(3, |env, ctx| {
+        let u = &ctx.upcxx;
+        let target = (env.rank + 1) % env.nranks;
+        let fut = u.rpc(target, move || target * 100);
+        fut.get()
+    });
+    assert_eq!(results, vec![100, 200, 0]);
+}
+
+#[test]
+fn rpc_composes_with_tasks() {
+    let results = with_upcxx(2, |env, ctx| {
+        let u = &ctx.upcxx;
+        let fut = u.rpc(1 - env.rank, || 21u64);
+        let fut2 = fut.clone();
+        let doubled = hiper_runtime::api::async_future_await(&fut, move || fut2.get() * 2);
+        doubled.get()
+    });
+    assert_eq!(results, vec![42, 42]);
+}
+
+#[test]
+fn barrier_synchronizes_ranks() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&counter);
+    let results = with_upcxx(4, move |env, ctx| {
+        std::thread::sleep(std::time::Duration::from_millis(env.rank as u64 * 8));
+        c.fetch_add(1, Ordering::SeqCst);
+        ctx.upcxx.barrier(&ctx.barrier);
+        c.load(Ordering::SeqCst)
+    });
+    assert!(results.iter().all(|&r| r == 4), "{:?}", results);
+}
+
+#[test]
+fn allreduce_sums_across_ranks() {
+    let results = with_upcxx(4, |env, ctx| {
+        let vals = vec![env.rank as f64, 1.0];
+        let fut = ctx.upcxx.allreduce_sum_f64(&ctx.reduce, &vals);
+        fut.get()
+    });
+    for r in results {
+        assert_eq!(r, vec![6.0, 4.0]);
+    }
+}
+
+#[test]
+fn rget_f64_typed() {
+    let results = with_upcxx(2, |env, ctx| {
+        let u = &ctx.upcxx;
+        let mine = u.alloc(4 * 8);
+        u.local_with_mut(mine, |bytes| {
+            for i in 0..4 {
+                bytes[i * 8..i * 8 + 8]
+                    .copy_from_slice(&(env.rank as f64 + i as f64).to_le_bytes());
+            }
+        });
+        u.barrier(&ctx.barrier);
+        let peer = 1 - env.rank;
+        let remote = hiper_upcxx::GlobalPtr {
+            rank: peer,
+            offset: mine.offset,
+            len: 4 * 8,
+        };
+        ctx.upcxx.rget_f64(remote).get()
+    });
+    assert_eq!(results[0], vec![1.0, 2.0, 3.0, 4.0]);
+    assert_eq!(results[1], vec![0.0, 1.0, 2.0, 3.0]);
+}
+
+#[test]
+fn many_overlapping_rputs() {
+    let results = with_upcxx(2, |env, ctx| {
+        let u = &ctx.upcxx;
+        let mine = u.alloc(8 * 100);
+        u.barrier(&ctx.barrier);
+        let peer = 1 - env.rank;
+        let remote = hiper_upcxx::GlobalPtr {
+            rank: peer,
+            offset: mine.offset,
+            len: 8 * 100,
+        };
+        // 100 overlapping one-sided writes; wait on all futures.
+        let futs: Vec<_> = (0..100)
+            .map(|i| u.rput(&(i as u64).to_le_bytes(), remote.slice(i * 8, 8)))
+            .collect();
+        for f in &futs {
+            f.wait();
+        }
+        u.barrier(&ctx.barrier);
+        u.local_with(mine, |bytes| {
+            (0..100).all(|i| {
+                u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap()) == i as u64
+            })
+        })
+    });
+    assert!(results.into_iter().all(|ok| ok));
+}

@@ -1,0 +1,62 @@
+//! The paper's Figure 2 platform model: build it, serialize it to JSON,
+//! reload it, and walk pop/steal paths over it.
+//!
+//! Run with: `cargo run --example platform_model`
+
+use hiper::platform::{autogen, PathPolicy, PlatformConfig};
+
+fn main() {
+    // Build the Figure 2 model: two NUMA domains, two GPUs, interconnect,
+    // NVM and local disk (paper §II-A).
+    let config = autogen::figure2(12); // Edison-like 2 x 12 cores
+    println!("=== platform '{}' ===", config.name);
+    for place in config.graph.places() {
+        let neighbors: Vec<String> = config
+            .graph
+            .neighbors(place.id)
+            .iter()
+            .map(|n| config.graph.place(*n).name.clone())
+            .collect();
+        println!(
+            "  {:<14} kind={:<12} edges -> {}",
+            place.name,
+            place.kind.to_string(),
+            neighbors.join(", ")
+        );
+    }
+
+    // JSON roundtrip: the on-disk format HiPER loads at initialization.
+    let json = config.to_json();
+    println!("\n=== JSON ({} bytes) ===\n{}", json.len(), &json[..400.min(json.len())]);
+    let reloaded = PlatformConfig::from_json(&json).expect("roundtrip must parse");
+    assert_eq!(reloaded.graph.len(), config.graph.len());
+    assert_eq!(reloaded.graph.edges(), config.graph.edges());
+    println!("... roundtrip OK ({} places, {} edges)", reloaded.graph.len(), reloaded.graph.edges().len());
+
+    // Pop/steal paths: the flexible encoding of load-balancing policies
+    // (paper §II-B3). Show how the hierarchy-aware policy orders places by
+    // platform-graph distance for a worker homed at each NUMA domain.
+    println!("\n=== hierarchical steal paths ===");
+    for worker in [0, config.workers - 1] {
+        let home = config.worker_homes[worker];
+        let path = PathPolicy::Hierarchical.generate(&config.graph, worker, home);
+        let names: Vec<&str> = path
+            .iter()
+            .map(|p| config.graph.place(*p).name.as_str())
+            .collect();
+        println!(
+            "  worker {:>2} (home {}): {}",
+            worker,
+            config.graph.place(home).name,
+            names.join(" -> ")
+        );
+    }
+
+    // Save to configs/ so the file ships with the repo.
+    let out = std::path::Path::new("configs/fig2_platform.json");
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    autogen::write_config(&config, out).expect("write config");
+    println!("\nwrote {}", out.display());
+}

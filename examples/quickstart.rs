@@ -1,0 +1,61 @@
+//! Quickstart: the HiPER task model in one file.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hiper::prelude::*;
+
+fn main() {
+    // A flat SMP platform model with one worker per (discovered) core.
+    let config = hiper::platform::autogen::discover();
+    println!(
+        "platform '{}': {} places, {} workers",
+        config.name,
+        config.graph.len(),
+        config.workers
+    );
+    let rt = Runtime::new(config);
+
+    let rt2 = rt.clone();
+    rt.block_on(move || {
+        // --- async / finish: bulk task synchronization (paper §II-B4) ---
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let c = counter.clone();
+        finish(|| {
+            for _ in 0..1000 {
+                let c = c.clone();
+                async_(move || {
+                    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        println!("finish waited for {} tasks", counter.load(std::sync::atomic::Ordering::SeqCst));
+
+        // --- promises & futures: point-to-point synchronization ---
+        let p = Promise::new();
+        let f = p.future();
+        async_(move || p.put("payload".to_string()));
+        async_await(&f, || println!("a task ran strictly after the put"));
+        println!("future carried: {}", f.get());
+
+        // --- future chains ---
+        let a = async_future(|| 2);
+        let b = async_future_await(&a, || 3);
+        println!("chained futures: {} then {}", a.get(), b.get());
+
+        // --- forasync: data parallelism over the work-stealing pool ---
+        let n = 1 << 16;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let data = std::sync::Arc::new(std::sync::Mutex::new(data));
+        let d = data.clone();
+        forasync_1d(n, 1024, move |i| {
+            d.lock().unwrap()[i] *= 2.0;
+        });
+        let sum: f64 = data.lock().unwrap().iter().sum();
+        println!("forasync doubled {} elements, sum = {}", n, sum);
+
+        // --- scheduler statistics (paper §V hooks) ---
+        println!("scheduler: {}", rt2.sched_stats());
+    });
+
+    rt.shutdown();
+}

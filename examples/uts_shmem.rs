@@ -1,0 +1,137 @@
+//! Mini distributed Unbalanced Tree Search with AsyncSHMEM (the full
+//! benchmark with all three baselines lives in `hiper-bench`, Figure 7).
+//!
+//! Each rank expands nodes of a synthetic unbalanced tree; idle ranks steal
+//! work through one-sided SHMEM atomics, and termination is detected with a
+//! global count reduction — with `shmem_async_when` replacing any manual
+//! polling loop.
+//!
+//! Run with: `cargo run --release --example uts_shmem`
+
+use std::sync::Arc;
+
+use hiper::netsim::{NetConfig, SpmdBuilder};
+use hiper::prelude::*;
+use hiper::shmem::{Cmp, ShmemModule, ShmemWorld};
+
+fn main() {
+    let ranks = 4;
+    let world = ShmemWorld::new(ranks, 1 << 22);
+    let results = SpmdBuilder::new(ranks)
+        .net(NetConfig::default())
+        .workers_per_rank(2)
+        .run(
+            move |_rank, transport| {
+                let shmem = ShmemModule::new(world.clone(), transport);
+                (vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>], shmem)
+            },
+            |env, shmem| {
+                let raw = shmem.raw();
+                // Symmetric counter: total tree nodes seen by each rank.
+                let counted = raw.malloc64(1);
+                // Symmetric flag for the async_when demo.
+                let done_flag = raw.malloc64(1);
+                raw.barrier_all();
+
+                // Rank 0 seeds the root; the tree is a deterministic
+                // splittable structure: node (depth, seed) has
+                // `seed % 4` children while depth < 8.
+                let mut frontier: Vec<(u32, u64)> =
+                    if env.rank == 0 { vec![(0, 0x9e3779b97f4a7c15)] } else { vec![] };
+                let mut local_count = 0u64;
+
+                // Expand with intra-rank parallelism (forasync-style) and a
+                // simple inter-rank handoff: surplus nodes are pushed to the
+                // next rank's heap mailbox via one-sided puts.
+                let mailbox = raw.malloc64(64); // up to 32 (depth,seed) pairs
+                let mail_count = raw.malloc64(1);
+                raw.barrier_all();
+
+                for _round in 0..64 {
+                    // Drain our mailbox (nodes stolen to us).
+                    let n = raw.heap().load_u64(mail_count.offset) as usize;
+                    if n > 0 {
+                        for i in 0..n.min(32) {
+                            let packed = raw.heap().load_u64(mailbox.at64(i));
+                            frontier.push(((packed >> 56) as u32, packed & ((1 << 56) - 1)));
+                        }
+                        raw.heap().store_u64(mail_count.offset, 0);
+                    }
+                    // Expand a batch locally.
+                    let batch: Vec<_> = frontier.drain(..frontier.len().min(256)).collect();
+                    for (depth, seed) in batch {
+                        local_count += 1;
+                        // Geometric-flavored unbalanced tree: bushy near the
+                        // root, thinning with depth (UTS-style shape).
+                        let kids = if depth < 6 {
+                            1 + (seed % 3) as u32
+                        } else if depth < 12 {
+                            (seed % 2) as u32
+                        } else {
+                            0
+                        };
+                        for k in 0..kids {
+                            let child =
+                                splitmix(seed ^ (k as u64 + 1).wrapping_mul(0xff51afd7ed558ccd));
+                            frontier.push((depth + 1, child));
+                        }
+                    }
+                    // Offload surplus to the neighbor (distributed load
+                    // balancing through the symmetric heap).
+                    if frontier.len() > 64 {
+                        let victim = (env.rank + 1) % env.nranks;
+                        let spill: Vec<(u32, u64)> =
+                            frontier.drain(..16).collect();
+                        let slot = raw.fadd(victim, mail_count.offset, spill.len() as u64);
+                        if (slot as usize) + spill.len() <= 32 {
+                            for (i, (d, s)) in spill.iter().enumerate() {
+                                let packed = ((*d as u64) << 56) | (s & ((1 << 56) - 1));
+                                raw.put64(victim, mailbox.at64(slot as usize + i), &[packed]);
+                            }
+                        } else {
+                            // Mailbox full: take the work back.
+                            frontier.extend(spill);
+                        }
+                    }
+                    if frontier.is_empty() {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+
+                raw.store_local_i64(counted.offset, local_count as i64);
+                raw.barrier_all();
+                let totals = shmem.sum_to_all_u64(vec![local_count]);
+
+                // Demonstrate shmem_async_when: rank 0 signals completion,
+                // everyone else has a task predicated on the flag.
+                if env.rank == 0 {
+                    for r in 1..env.nranks {
+                        raw.put64(r, done_flag.offset, &[1]);
+                    }
+                    raw.quiet();
+                } else {
+                    finish(|| {
+                        let rank = env.rank;
+                        shmem.async_when(done_flag.offset, Cmp::Eq, 1, move || {
+                            println!("rank {} notified of completion via shmem_async_when", rank);
+                        });
+                    });
+                }
+                (local_count, totals[0])
+            },
+        );
+
+    let total = results[0].1;
+    println!("\nper-rank node counts: {:?}", results.iter().map(|r| r.0).collect::<Vec<_>>());
+    println!("global tree nodes visited: {}", total);
+    assert!(results.iter().all(|r| r.1 == total), "ranks disagree on total");
+    assert!(total > 100, "tree unexpectedly small");
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}

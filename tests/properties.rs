@@ -1,0 +1,142 @@
+//! Cross-crate property tests: randomized SPMD communication patterns
+//! checked against sequential oracles.
+
+use std::sync::Arc;
+
+use hiper::mpi::MpiModule;
+use hiper::netsim::{NetConfig, SpmdBuilder};
+use hiper::prelude::*;
+use hiper::shmem::{RawShmem, ShmemWorld};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // SPMD cases are heavyweight; few but deep
+        .. ProptestConfig::default()
+    })]
+
+    /// Arbitrary all-to-all payload matrices are delivered exactly.
+    #[test]
+    fn alltoallv_arbitrary_matrix(
+        n in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let sizes: Vec<Vec<usize>> = (0..n)
+            .map(|s| (0..n).map(|t| ((seed >> ((s * n + t) % 48)) % 64) as usize).collect())
+            .collect();
+        let sizes2 = sizes.clone();
+        let results = SpmdBuilder::new(n)
+            .net(NetConfig::default())
+            .workers_per_rank(1)
+            .run(
+                |_r, t| {
+                    let mpi = MpiModule::new(t);
+                    (vec![Arc::clone(&mpi) as Arc<dyn SchedulerModule>], mpi)
+                },
+                move |env, mpi| {
+                    let parts: Vec<Vec<u64>> = (0..env.nranks)
+                        .map(|t| {
+                            (0..sizes2[env.rank][t])
+                                .map(|i| (env.rank * 1000 + t * 100 + i) as u64)
+                                .collect()
+                        })
+                        .collect();
+                    mpi.raw().alltoallv_vec::<u64>(parts)
+                },
+            );
+        for (t, got) in results.iter().enumerate() {
+            for (s, part) in got.iter().enumerate() {
+                prop_assert_eq!(part.len(), sizes[s][t]);
+                for (i, v) in part.iter().enumerate() {
+                    prop_assert_eq!(*v, (s * 1000 + t * 100 + i) as u64);
+                }
+            }
+        }
+    }
+
+    /// Random one-sided put schedules agree with a sequential memory model
+    /// after a barrier (last-writer-per-cell is deterministic here because
+    /// each cell has exactly one writer).
+    #[test]
+    fn shmem_put_schedule_matches_model(
+        n in 2usize..5,
+        cells in 8usize..64,
+        seed in any::<u64>(),
+    ) {
+        let world = ShmemWorld::new(n, 1 << 16);
+        let results = SpmdBuilder::new(n)
+            .net(NetConfig::default())
+            .workers_per_rank(1)
+            .run(
+                move |_r, t| (Vec::new(), RawShmem::new(world.clone(), t)),
+                move |env, raw| {
+                    let buf = raw.malloc64(cells);
+                    raw.barrier_all();
+                    // Rank r writes every cell c with c % n == r, on every
+                    // rank (single writer per cell).
+                    for target in 0..env.nranks {
+                        for c in 0..cells {
+                            if c % env.nranks == env.rank {
+                                let value = seed
+                                    .wrapping_mul(c as u64 + 1)
+                                    .wrapping_add(target as u64);
+                                raw.put64(target, buf.at64(c), &[value]);
+                            }
+                        }
+                    }
+                    raw.barrier_all();
+                    (0..cells)
+                        .map(|c| raw.heap().load_u64(buf.at64(c)))
+                        .collect::<Vec<_>>()
+                },
+            );
+        for (target, got) in results.iter().enumerate() {
+            for (c, v) in got.iter().enumerate() {
+                let expect = seed.wrapping_mul(c as u64 + 1).wrapping_add(target as u64);
+                prop_assert_eq!(*v, expect);
+            }
+        }
+    }
+
+    /// finish + arbitrary spawn trees always complete with an exact count.
+    #[test]
+    fn finish_counts_arbitrary_spawn_trees(
+        widths in proptest::collection::vec(1usize..6, 1..4),
+    ) {
+        let rt = Runtime::new(hiper::platform::autogen::smp(2));
+        let count = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let expected: u64 = {
+            // Σ over levels of Π widths (a complete tree of given widths).
+            let mut total = 0u64;
+            let mut layer = 1u64;
+            for w in &widths {
+                layer *= *w as u64;
+                total += layer;
+            }
+            total
+        };
+        let c = Arc::clone(&count);
+        let w2 = widths.clone();
+        rt.block_on(move || {
+            fn spawn_level(
+                widths: &[usize],
+                count: &Arc<std::sync::atomic::AtomicU64>,
+            ) {
+                if widths.is_empty() {
+                    return;
+                }
+                for _ in 0..widths[0] {
+                    let rest = widths[1..].to_vec();
+                    let count = Arc::clone(count);
+                    async_(move || {
+                        count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        spawn_level(&rest, &count);
+                    });
+                }
+            }
+            finish(|| spawn_level(&w2, &c));
+        });
+        prop_assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), expected);
+        rt.shutdown();
+    }
+}
