@@ -105,12 +105,8 @@ fn bench_shmem(c: &mut Criterion) {
             a.quiet();
         })
     });
-    c.bench_function("shmem_get8", |b| {
-        b.iter(|| a.get(1, buf.offset, 8))
-    });
-    c.bench_function("shmem_fadd", |b| {
-        b.iter(|| a.fadd(1, buf.offset, 1))
-    });
+    c.bench_function("shmem_get8", |b| b.iter(|| a.get(1, buf.offset, 8)));
+    c.bench_function("shmem_fadd", |b| b.iter(|| a.fadd(1, buf.offset, 1)));
     cluster.stop();
 }
 

@@ -117,10 +117,7 @@ fn run_hiper(nodes: usize, keys_per_node: usize, reps: usize) -> Timing {
         .run(
             move |_r, t| {
                 let shmem = ShmemModule::new(world.clone(), t);
-                (
-                    vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>],
-                    shmem,
-                )
+                (vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>], shmem)
             },
             move |_env, shmem| {
                 let raw = Arc::clone(shmem.raw());

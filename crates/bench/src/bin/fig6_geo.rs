@@ -87,7 +87,10 @@ fn main() {
         steps,
     };
     println!("GEO weak scaling (paper Fig. 6)");
-    println!("slab {}x{}x{} per rank, {} steps, reps={}", n, n, n, steps, reps);
+    println!(
+        "slab {}x{}x{} per rank, {} steps, reps={}",
+        n, n, n, steps, reps
+    );
 
     let mut rows = Vec::new();
     let mut nodes = 1;

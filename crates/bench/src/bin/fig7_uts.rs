@@ -39,10 +39,7 @@ fn run_impl(which: Impl, nodes: usize, params: UtsParams, expected: u64, reps: u
         .run(
             move |_r, t| {
                 let shmem = ShmemModule::new(world.clone(), t);
-                (
-                    vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>],
-                    shmem,
-                )
+                (vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>], shmem)
             },
             move |_env, shmem| {
                 let raw: Arc<RawShmem> = Arc::clone(shmem.raw());
@@ -60,9 +57,7 @@ fn run_impl(which: Impl, nodes: usize, params: UtsParams, expected: u64, reps: u
                     let t0 = std::time::Instant::now();
                     let result = match which {
                         Impl::Omp => uts::run_omp(&raw, pool.as_ref().unwrap(), &params),
-                        Impl::OmpTasks => {
-                            uts::run_omp_tasks(&raw, pool.as_ref().unwrap(), &params)
-                        }
+                        Impl::OmpTasks => uts::run_omp_tasks(&raw, pool.as_ref().unwrap(), &params),
                         Impl::Hiper => uts::run_hiper(&shmem, &params),
                     };
                     shmem.barrier_all();

@@ -66,8 +66,7 @@ fn run_g500(
                         graph500::validate(&graph, &result, &oracle, root),
                         "BFS validation failed"
                     );
-                    let total_relaxed =
-                        shmem.sum_to_all_u64(vec![result.edges_relaxed])[0];
+                    let total_relaxed = shmem.sum_to_all_u64(vec![result.edges_relaxed])[0];
                     teps = total_relaxed as f64 / dt;
                     if rep > 0 {
                         samples.push(dt);
@@ -101,10 +100,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut nodes = 1;
     while nodes <= nodes_max {
-        let (reference, teps_ref) =
-            run_g500(nodes, params, root, Arc::clone(&oracle), false, reps);
-        let (hiper, teps_hiper) =
-            run_g500(nodes, params, root, Arc::clone(&oracle), true, reps);
+        let (reference, teps_ref) = run_g500(nodes, params, root, Arc::clone(&oracle), false, reps);
+        let (hiper, teps_hiper) = run_g500(nodes, params, root, Arc::clone(&oracle), true, reps);
         println!(
             "  {} nodes: {:.2} MTEPS (polling) vs {:.2} MTEPS (async_when)",
             nodes,

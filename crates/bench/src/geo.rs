@@ -77,8 +77,7 @@ pub fn init_slab(params: &GeoParams, rank: usize, nranks: usize) -> Vec<f64> {
             for i in 0..plane {
                 let x = i % params.nx;
                 let y = i / params.nx;
-                slab[zl * plane + i] =
-                    ((x as f64 * 0.7).sin() + (y as f64 * 0.3).cos()) * 50.0;
+                slab[zl * plane + i] = ((x as f64 * 0.7).sin() + (y as f64 * 0.3).cos()) * 50.0;
             }
         }
     }
@@ -96,9 +95,17 @@ pub fn kernel(params: &GeoParams, old: &[f64], new: &mut [f64], zlo: usize, zhi:
             for x in 0..nx {
                 let c = old[idx(x, y, z)];
                 let xm = if x > 0 { old[idx(x - 1, y, z)] } else { 0.0 };
-                let xp = if x + 1 < nx { old[idx(x + 1, y, z)] } else { 0.0 };
+                let xp = if x + 1 < nx {
+                    old[idx(x + 1, y, z)]
+                } else {
+                    0.0
+                };
                 let ym = if y > 0 { old[idx(x, y - 1, z)] } else { 0.0 };
-                let yp = if y + 1 < params.ny { old[idx(x, y + 1, z)] } else { 0.0 };
+                let yp = if y + 1 < params.ny {
+                    old[idx(x, y + 1, z)]
+                } else {
+                    0.0
+                };
                 let zm = old[idx(x, y, z - 1)];
                 let zp = old[idx(x, y, z + 1)];
                 new[idx(x, y, z)] = c + DAMP * (xm + xp + ym + yp + zm + zp - 6.0 * c);
@@ -160,10 +167,7 @@ fn device_kernel(
         // bit-identical grids.
         let plane = params.plane();
         let nzr = zhi - zlo + 1;
-        let rdims = GeoParams {
-            nz: nzr,
-            ..params
-        };
+        let rdims = GeoParams { nz: nzr, ..params };
         let mut old_region = vec![0.0f64; (nzr + 2) * plane];
         old.with(|bytes| {
             let base = (zlo - 1) * plane * 8;
@@ -212,7 +216,11 @@ pub fn run_reference(
 ) -> (DeviceSlabs, Vec<f64>) {
     let raw = Arc::clone(mpi.raw());
     let mut slabs = upload(gpu, params, rank, nranks);
-    let up = if rank + 1 < nranks { Some(rank + 1) } else { None };
+    let up = if rank + 1 < nranks {
+        Some(rank + 1)
+    } else {
+        None
+    };
     let down = if rank > 0 { Some(rank - 1) } else { None };
     let pb = plane_bytes(params);
 
@@ -260,7 +268,11 @@ pub fn run_hiper(
     nranks: usize,
 ) -> (DeviceSlabs, Vec<f64>) {
     let mut slabs = upload(gpu, params, rank, nranks);
-    let up = if rank + 1 < nranks { Some(rank + 1) } else { None };
+    let up = if rank + 1 < nranks {
+        Some(rank + 1)
+    } else {
+        None
+    };
     let down = if rank > 0 { Some(rank - 1) } else { None };
     let pb = plane_bytes(params);
 
@@ -428,10 +440,7 @@ mod tests {
         }
     }
 
-    fn spmd_geo(
-        nranks: usize,
-        run_hiper_impl: bool,
-    ) -> Vec<(usize, Vec<f64>)> {
+    fn spmd_geo(nranks: usize, run_hiper_impl: bool) -> Vec<(usize, Vec<f64>)> {
         let params = tiny();
         SpmdBuilder::new(nranks)
             .net(NetConfig::default())

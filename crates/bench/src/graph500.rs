@@ -162,7 +162,7 @@ pub fn build_graph(comm: &RawComm, params: &G500Params) -> LocalGraph {
 
     let nglobal = params.nvertices();
     let nowned = (nglobal as usize).div_ceil(p)
-        - if (nglobal as usize % p) != 0 && me >= nglobal as usize % p {
+        - if !(nglobal as usize).is_multiple_of(p) && me >= nglobal as usize % p {
             1
         } else {
             0
@@ -323,11 +323,11 @@ pub fn run_reference_polling(
         let mut seen = vec![false; p];
         let mut remaining = p;
         while remaining > 0 {
-            for s in 0..p {
-                if !seen[s] {
+            for (s, seen_s) in seen.iter_mut().enumerate() {
+                if !*seen_s {
                     let flag = raw.heap().load_i64(arena.flags.at64(s));
                     if flag >= 0 {
-                        seen[s] = true;
+                        *seen_s = true;
                         remaining -= 1;
                         if flag > 0 {
                             let pairs = read_batch(raw, arena, s, flag as usize);
@@ -384,14 +384,15 @@ pub fn run_hiper(
         shmem.barrier_all();
         send_discoveries(&raw, graph, arena, &frontier, &mut edges_relaxed);
 
-        // Claims are funneled through per-level shared state; each arrival
-        // batch is an independent task released by shmem_async_when.
-        let claims: Arc<parking_lot::Mutex<(Vec<u64>, Vec<u32>, Vec<usize>)>> =
-            Arc::new(parking_lot::Mutex::new((
-                std::mem::take(&mut parent),
-                std::mem::take(&mut level),
-                Vec::new(),
-            )));
+        // Claims are funneled through per-level shared state (parent vector,
+        // level vector, next-frontier accumulator); each arrival batch is an
+        // independent task released by shmem_async_when.
+        type LevelClaims = (Vec<u64>, Vec<u32>, Vec<usize>);
+        let claims: Arc<parking_lot::Mutex<LevelClaims>> = Arc::new(parking_lot::Mutex::new((
+            std::mem::take(&mut parent),
+            std::mem::take(&mut level),
+            Vec::new(),
+        )));
         api::finish(|| {
             for s in 0..p {
                 let raw = Arc::clone(&raw);
@@ -480,12 +481,7 @@ pub fn pick_root(params: &G500Params) -> u64 {
 /// Graph500-style validation of a distributed BFS result. Call on every
 /// rank; checks this rank's owned vertices against the serial oracle and
 /// the tree-edge rules.
-pub fn validate(
-    graph: &LocalGraph,
-    result: &BfsResult,
-    oracle_levels: &[u32],
-    root: u64,
-) -> bool {
+pub fn validate(graph: &LocalGraph, result: &BfsResult, oracle_levels: &[u32], root: u64) -> bool {
     for l in 0..graph.nowned() {
         let v = graph.global_of(l);
         let expect = oracle_levels[v as usize];

@@ -73,7 +73,11 @@ pub struct MgParams {
 impl Default for MgParams {
     fn default() -> Self {
         MgParams {
-            fine: Dims { nx: 16, ny: 16, nz: 8 },
+            fine: Dims {
+                nx: 16,
+                ny: 16,
+                nz: 8,
+            },
             vcycles: 5,
             smooth_sweeps: 2,
             bottom_sweeps: 100,
@@ -166,7 +170,11 @@ fn jacobi_plane(dims: Dims, h: f64, u: &[f64], f: &[f64], out: &mut [f64], z: us
             let xm = if x > 0 { u[idx(x - 1, y, z)] } else { 0.0 };
             let xp = if x + 1 < nx { u[idx(x + 1, y, z)] } else { 0.0 };
             let ym = if y > 0 { u[idx(x, y - 1, z)] } else { 0.0 };
-            let yp = if y + 1 < dims.ny { u[idx(x, y + 1, z)] } else { 0.0 };
+            let yp = if y + 1 < dims.ny {
+                u[idx(x, y + 1, z)]
+            } else {
+                0.0
+            };
             let zm = u[idx(x, y, z - 1)];
             let zp = u[idx(x, y, z + 1)];
             // -Δu = f  =>  u* = (h²f + Σ neighbors) / 6
@@ -188,11 +196,14 @@ fn residual_plane(dims: Dims, h: f64, u: &[f64], f: &[f64], out: &mut [f64], z: 
             let xm = if x > 0 { u[idx(x - 1, y, z)] } else { 0.0 };
             let xp = if x + 1 < nx { u[idx(x + 1, y, z)] } else { 0.0 };
             let ym = if y > 0 { u[idx(x, y - 1, z)] } else { 0.0 };
-            let yp = if y + 1 < dims.ny { u[idx(x, y + 1, z)] } else { 0.0 };
+            let yp = if y + 1 < dims.ny {
+                u[idx(x, y + 1, z)]
+            } else {
+                0.0
+            };
             let zm = u[idx(x, y, z - 1)];
             let zp = u[idx(x, y, z + 1)];
-            out[idx(x, y, z)] =
-                f[idx(x, y, z)] - (6.0 * c - xm - xp - ym - yp - zm - zp) / h2;
+            out[idx(x, y, z)] = f[idx(x, y, z)] - (6.0 * c - xm - xp - ym - yp - zm - zp) / h2;
         }
     }
 }
@@ -421,8 +432,11 @@ impl MgBackend for MpiOmpBackend {
         // Blocking sends then blocking receives (eager sends cannot
         // deadlock).
         if let Some(up) = up {
-            self.raw
-                .send_slice(up, HALO_TAG_UP, &slab[dims.nz * plane..(dims.nz + 1) * plane]);
+            self.raw.send_slice(
+                up,
+                HALO_TAG_UP,
+                &slab[dims.nz * plane..(dims.nz + 1) * plane],
+            );
         }
         if let Some(down) = down {
             self.raw
@@ -495,7 +509,11 @@ impl MgBackend for HiperBackend {
         let recv_down = down.map(|d| self.mpi.irecv::<f64>(Some(d), Some(HALO_TAG_UP)));
         if let Some(up) = up {
             self.mpi
-                .isend(up, HALO_TAG_UP, &slab[dims.nz * plane..(dims.nz + 1) * plane])
+                .isend(
+                    up,
+                    HALO_TAG_UP,
+                    &slab[dims.nz * plane..(dims.nz + 1) * plane],
+                )
                 .wait();
         }
         if let Some(down) = down {
@@ -572,7 +590,11 @@ mod tests {
 
     fn tiny() -> MgParams {
         MgParams {
-            fine: Dims { nx: 16, ny: 16, nz: 8 },
+            fine: Dims {
+                nx: 16,
+                ny: 16,
+                nz: 8,
+            },
             vcycles: 4,
             smooth_sweeps: 2,
             bottom_sweeps: 60,
@@ -586,10 +608,7 @@ mod tests {
             .run(
                 |_r, t| {
                     let mpi = MpiModule::new(t);
-                    (
-                        vec![Arc::clone(&mpi) as Arc<dyn SchedulerModule>],
-                        mpi,
-                    )
+                    (vec![Arc::clone(&mpi) as Arc<dyn SchedulerModule>], mpi)
                 },
                 move |env, mpi| {
                     let backend = MpiOmpBackend {
@@ -667,7 +686,11 @@ mod tests {
         // 2 ranks with nz=8 each == 1 rank with nz=16 (same global grid).
         let p2 = tiny();
         let p1 = MgParams {
-            fine: Dims { nx: 16, ny: 16, nz: 16 },
+            fine: Dims {
+                nx: 16,
+                ny: 16,
+                nz: 16,
+            },
             ..p2
         };
         let two = run_ref(2, p2);
@@ -691,14 +714,18 @@ mod tests {
         let l1 = build_levels(&params, 1, 2);
         let total: f64 = l0[0].f.iter().sum::<f64>() + l1[0].f.iter().sum::<f64>();
         assert!((total - 0.0).abs() < 1e-12, "sources must cancel");
-        let nonzero =
-            l0[0].f.iter().filter(|v| **v != 0.0).count() + l1[0].f.iter().filter(|v| **v != 0.0).count();
+        let nonzero = l0[0].f.iter().filter(|v| **v != 0.0).count()
+            + l1[0].f.iter().filter(|v| **v != 0.0).count();
         assert_eq!(nonzero, 2);
     }
 
     #[test]
     fn restriction_and_prolongation_adjoint_shapes() {
-        let fine = Dims { nx: 8, ny: 8, nz: 4 };
+        let fine = Dims {
+            nx: 8,
+            ny: 8,
+            nz: 4,
+        };
         let coarse = fine.coarsen();
         let mut f = vec![0.0; fine.slab()];
         for (i, v) in f.iter_mut().enumerate() {
@@ -724,7 +751,7 @@ mod tests {
             .sum::<f64>()
                 / 8.0
         };
-        assert_eq!(c[coarse.plane() + 0], manual);
+        assert_eq!(c[coarse.plane()], manual);
         // Prolongation adds the coarse value to all 8 children.
         let mut back = vec![0.0; fine.slab()];
         prolong_add(coarse, &c, fine, &mut back);

@@ -102,13 +102,12 @@ mod tests {
             "a9993e364706816aba3e25717850c26c9cd0d89d"
         );
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
-        assert_eq!(
-            hex(&sha1(b"")),
-            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
-        );
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
         // One-million 'a's (streaming not needed; build the buffer).
         let million = vec![b'a'; 1_000_000];
         assert_eq!(
@@ -121,9 +120,7 @@ mod tests {
     fn boundary_lengths() {
         // Lengths around the 55/56/64-byte padding boundaries must not
         // panic and must differ.
-        let digests: Vec<String> = (50..70)
-            .map(|n| hex(&sha1(&vec![0x5a; n])))
-            .collect();
+        let digests: Vec<String> = (50..70).map(|n| hex(&sha1(&vec![0x5a; n]))).collect();
         for w in digests.windows(2) {
             assert_ne!(w[0], w[1]);
         }

@@ -149,9 +149,17 @@ mod tests {
 
     #[test]
     fn timing_display_switches_units() {
-        let ms = Timing { mean: 0.05, ci95: 0.001, reps: 3 };
+        let ms = Timing {
+            mean: 0.05,
+            ci95: 0.001,
+            reps: 3,
+        };
         assert!(ms.to_string().contains("ms"));
-        let s = Timing { mean: 2.0, ci95: 0.1, reps: 3 };
+        let s = Timing {
+            mean: 2.0,
+            ci95: 0.1,
+            reps: 3,
+        };
         assert!(s.to_string().contains(" s "));
     }
 }

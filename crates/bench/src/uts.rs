@@ -227,9 +227,7 @@ impl LocalState {
 
     /// Rank 0 only: when the counter hits zero, broadcast the done flag.
     fn maybe_announce_done(&self) {
-        if self.raw.rank() == 0
-            && self.raw.heap().load_i64(self.arena.outstanding.offset) == 0
-        {
+        if self.raw.rank() == 0 && self.raw.heap().load_i64(self.arena.outstanding.offset) == 0 {
             for r in 0..self.raw.nranks() {
                 self.raw.put64(r, self.arena.done.offset, &[1]);
             }
@@ -238,8 +236,7 @@ impl LocalState {
     }
 
     fn is_done(&self) -> bool {
-        self.done.load(Ordering::Acquire)
-            || self.raw.heap().load_i64(self.arena.done.offset) == 1
+        self.done.load(Ordering::Acquire) || self.raw.heap().load_i64(self.arena.done.offset) == 1
     }
 
     /// Exports surplus nodes into the local surplus buffer for thieves.
@@ -280,14 +277,14 @@ impl LocalState {
         let count = u64::from_le_bytes(count_bytes[..8].try_into().unwrap()) as usize;
         let mut stolen = Vec::new();
         if count > 0 {
-            let data = self
-                .raw
-                .get(victim, self.arena.buf.offset, count * 4 * 8);
+            let data = self.raw.get(victim, self.arena.buf.offset, count * 4 * 8);
             for i in 0..count {
                 let mut w = [0u64; 4];
                 for (j, word) in w.iter_mut().enumerate() {
                     *word = u64::from_le_bytes(
-                        data[(i * 4 + j) * 8..(i * 4 + j) * 8 + 8].try_into().unwrap(),
+                        data[(i * 4 + j) * 8..(i * 4 + j) * 8 + 8]
+                            .try_into()
+                            .unwrap(),
                     );
                 }
                 stolen.push(Node::unpack(&w));
@@ -384,9 +381,7 @@ pub fn run_omp(raw: &Arc<RawShmem>, pool: &Arc<Pool>, params: &UtsParams) -> Uts
             }
             continue;
         }
-        let batch: Vec<Node> = frontier
-            .drain(..frontier.len().min(1024))
-            .collect();
+        let batch: Vec<Node> = frontier.drain(..frontier.len().min(1024)).collect();
         let children: Arc<parking_lot::Mutex<Vec<Node>>> =
             Arc::new(parking_lot::Mutex::new(Vec::new()));
         {
@@ -499,7 +494,7 @@ pub fn run_hiper(shmem: &Arc<ShmemModule>, params: &UtsParams) -> UtsResult {
         // balancing via the work-stealing deques).
         let surplus: Arc<parking_lot::Mutex<Vec<Node>>> =
             Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let roots: Vec<Node> = frontier.drain(..).collect();
+        let roots: Vec<Node> = std::mem::take(&mut frontier);
         api::finish(|| {
             spawn_expand(roots, *params, Arc::clone(&state), Arc::clone(&surplus));
         });
@@ -688,10 +683,7 @@ mod tests {
             .run(
                 move |_r, t| {
                     let shmem = ShmemModule::new(world.clone(), t);
-                    (
-                        vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>],
-                        shmem,
-                    )
+                    (vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>], shmem)
                 },
                 move |_env, shmem| {
                     let pool = Pool::new(2);

@@ -173,7 +173,10 @@ impl CheckpointModule {
             let entry = entry.ok()?;
             let fname = entry.file_name().into_string().ok()?;
             if let Some(rest) = fname.strip_prefix(&prefix) {
-                if let Some(v) = rest.strip_suffix(".ckpt").and_then(|s| s.parse::<u64>().ok()) {
+                if let Some(v) = rest
+                    .strip_suffix(".ckpt")
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
                     best = Some(best.map_or(v, |b: u64| b.max(v)));
                 }
             }
@@ -330,7 +333,11 @@ mod tests {
             fut.wait();
             start.elapsed()
         });
-        assert!(elapsed < Duration::from_millis(85), "no overlap: {:?}", elapsed);
+        assert!(
+            elapsed < Duration::from_millis(85),
+            "no overlap: {:?}",
+            elapsed
+        );
         rt.shutdown();
     }
 

@@ -21,6 +21,11 @@ use crate::Steal;
 /// Initial buffer capacity. Must be a power of two.
 const MIN_CAP: usize = 64;
 
+/// Upper bound on how many elements one [`Stealer::steal_batch_and_pop`] call
+/// may take. Bounds the time the thief spends transferring (it claims one
+/// element per CAS) and leaves work behind for other thieves.
+pub const MAX_BATCH: usize = 32;
+
 /// A fixed-capacity ring buffer of `T` slots.
 struct Buffer<T> {
     /// Power-of-two capacity.
@@ -76,6 +81,9 @@ struct Inner<T> {
     /// Current buffer.
     buffer: AtomicPtr<Buffer<T>>,
     /// Buffers replaced by growth, kept alive until drop (see module docs).
+    /// The boxes are reconstituted from raw pointers handed out to stealers,
+    /// so the extra indirection is load-bearing, not accidental.
+    #[allow(clippy::vec_box)]
     retired: Mutex<Vec<Box<Buffer<T>>>>,
 }
 
@@ -292,6 +300,73 @@ impl<T> Stealer<T> {
         }
     }
 
+    /// Steals up to half the deque (capped at [`MAX_BATCH`]): the first
+    /// element is returned and the rest are pushed onto `dest`, the thief's
+    /// own deque.
+    ///
+    /// Elements are claimed *one CAS at a time*. A single bulk CAS of `top`
+    /// over a whole range would be unsound here: the owner pops interior
+    /// slots with plain reads (no CAS) whenever more than one element
+    /// remains, so a range claim could hand the same element to both sides.
+    /// Claiming element-by-element, re-reading `bottom` between claims,
+    /// keeps exactly the pairwise race the single-element protocol already
+    /// resolves. A lost CAS ends the batch early with whatever was claimed.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let inner = &*self.inner;
+        let mut t = inner.top.load(Ordering::Acquire);
+        // Order the top load before the bottom load (pairs with the fence in
+        // pop()), exactly as in steal().
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        let len = b - t;
+        if len <= 0 {
+            return Steal::Empty;
+        }
+        // Take half of what is visible, rounded up, so a deque of one still
+        // yields one.
+        let target = (((len + 1) / 2) as usize).min(MAX_BATCH);
+
+        let mut first: Option<T> = None;
+        let mut claimed = 0;
+        while claimed < target {
+            // Re-load the buffer every round: the owner may grow it between
+            // our claims.
+            let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+            // Read before CAS, same as steal(): the slot may be overwritten
+            // by a racing push the moment top moves past it.
+            let value = unsafe { buf.read(t) };
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                // Another thief (or the owner's last-element CAS) won this
+                // slot; the value belongs to the winner.
+                std::mem::forget(value);
+                break;
+            }
+            match first {
+                None => first = Some(value),
+                Some(_) => dest.push(value),
+            }
+            claimed += 1;
+            t += 1;
+            if claimed < target {
+                // The owner pops by decrementing bottom; re-check that the
+                // next slot still exists before reading it.
+                fence(Ordering::SeqCst);
+                let b = inner.bottom.load(Ordering::Acquire);
+                if t >= b {
+                    break;
+                }
+            }
+        }
+        match first {
+            Some(v) => Steal::Success(v),
+            None => Steal::Retry,
+        }
+    }
+
     /// Approximate number of elements in the deque.
     pub fn len(&self) -> usize {
         let t = self.inner.top.load(Ordering::Relaxed);
@@ -423,8 +498,9 @@ mod tests {
         const THIEVES: usize = 3;
         let (w, s) = new();
         let popped = Arc::new(Mutex::new(Vec::new()));
-        let stolen: Vec<Arc<Mutex<Vec<usize>>>> =
-            (0..THIEVES).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let stolen: Vec<Arc<Mutex<Vec<usize>>>> = (0..THIEVES)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
         let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
 
         let handles: Vec<_> = (0..THIEVES)

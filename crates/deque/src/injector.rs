@@ -6,19 +6,22 @@
 //! completion poller, or application code running before `Runtime::start` —
 //! are pushed here, and workers drain it as part of their steal path.
 //!
-//! Built on `crossbeam`'s Michael–Scott-style segmented queue, with a length
-//! counter maintained for scheduler statistics (the underlying queue's `len`
-//! is O(segments)).
+//! A mutex-protected `VecDeque` with a separately-maintained atomic length:
+//! the length counter lets the scheduler's hot path skip the queue entirely
+//! (no lock acquisition) when the injector appears empty, which is the common
+//! case. Workers that do find tasks here can drain a batch in one lock
+//! acquisition via [`Injector::steal_batch_and_pop`] instead of paying one
+//! lock round-trip per task.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use crossbeam::queue::SegQueue;
-
-use crate::Steal;
+use crate::{Steal, Worker};
 
 /// An unbounded MPMC FIFO queue for injecting tasks into the scheduler.
 pub struct Injector<T> {
-    queue: SegQueue<T>,
+    queue: Mutex<VecDeque<T>>,
     len: AtomicUsize,
 }
 
@@ -32,23 +35,61 @@ impl<T> Injector<T> {
     /// Creates a new empty injector.
     pub fn new() -> Self {
         Injector {
-            queue: SegQueue::new(),
+            queue: Mutex::new(VecDeque::new()),
             len: AtomicUsize::new(0),
         }
     }
 
     /// Pushes a task; callable from any thread.
     pub fn push(&self, value: T) {
-        self.queue.push(value);
-        self.len.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(value);
+        // Published while the lock is held, so `len` never over-reports
+        // relative to a consumer that subsequently takes the lock.
+        self.len.store(q.len(), Ordering::Release);
     }
 
     /// Attempts to take one task, FIFO order.
+    ///
+    /// Returns without touching the lock when the queue appears empty.
     pub fn steal(&self) -> Steal<T> {
-        match self.queue.pop() {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return Steal::Empty;
+        }
+        let mut q = self.queue.lock().unwrap();
+        match q.pop_front() {
             Some(v) => {
-                self.len.fetch_sub(1, Ordering::Relaxed);
+                self.len.store(q.len(), Ordering::Release);
                 Steal::Success(v)
+            }
+            None => Steal::Empty,
+        }
+    }
+
+    /// Takes up to `max` tasks in one lock acquisition: the first is
+    /// returned, the rest are pushed onto `dest` (the caller's own deque) in
+    /// FIFO order, so the caller pops them LIFO-last — i.e. it will run the
+    /// returned task first and the moved batch afterwards, oldest last.
+    ///
+    /// Returns without touching the lock when the queue appears empty.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>, max: usize) -> Steal<T> {
+        if max == 0 || self.len.load(Ordering::Acquire) == 0 {
+            return Steal::Empty;
+        }
+        let batch: Vec<T> = {
+            let mut q = self.queue.lock().unwrap();
+            let take = max.min(q.len());
+            let batch = q.drain(..take).collect();
+            self.len.store(q.len(), Ordering::Release);
+            batch
+        };
+        let mut it = batch.into_iter();
+        match it.next() {
+            Some(first) => {
+                for v in it {
+                    dest.push(v);
+                }
+                Steal::Success(first)
             }
             None => Steal::Empty,
         }
@@ -56,18 +97,20 @@ impl<T> Injector<T> {
 
     /// Approximate number of queued tasks.
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::Relaxed)
+        self.len.load(Ordering::Acquire)
     }
 
     /// True if the queue appears empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len() == 0
     }
 }
 
 impl<T> std::fmt::Debug for Injector<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Injector").field("len", &self.len()).finish()
+        f.debug_struct("Injector")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -98,6 +141,28 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.steal();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn batch_moves_rest_to_dest() {
+        let q = Injector::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        let (w, _s) = crate::new_deque();
+        // Takes 0..4: returns 0, moves 1,2,3 onto the deque.
+        assert_eq!(q.steal_batch_and_pop(&w, 4).success(), Some(0));
+        assert_eq!(q.len(), 6);
+        assert_eq!(w.len(), 3);
+        // Owner pops LIFO: newest (3) first.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        // Batch larger than the queue drains it.
+        assert_eq!(q.steal_batch_and_pop(&w, 100).success(), Some(4));
+        assert_eq!(w.len(), 5);
+        assert!(q.is_empty());
+        assert!(q.steal_batch_and_pop(&w, 4).is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 pub mod deque;
 mod injector;
 
-pub use deque::{new as new_deque, Stealer, Worker};
+pub use deque::{new as new_deque, Stealer, Worker, MAX_BATCH};
 pub use injector::Injector;
 
 /// Outcome of a steal attempt on a [`Stealer`] or [`Injector`].

@@ -4,7 +4,7 @@
 
 use std::collections::VecDeque;
 
-use hiper_deque::{new_deque, Steal};
+use hiper_deque::{new_deque, Steal, MAX_BATCH};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -19,6 +19,26 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         3 => any::<u64>().prop_map(Op::Push),
         2 => Just(Op::Pop),
         2 => Just(Op::Steal),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum BatchOp {
+    Push(u64),
+    Pop,
+    Steal,
+    BatchSteal,
+    /// Pop from the thief's destination deque (where batch extras land).
+    DestPop,
+}
+
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
+    prop_oneof![
+        4 => any::<u64>().prop_map(BatchOp::Push),
+        2 => Just(BatchOp::Pop),
+        1 => Just(BatchOp::Steal),
+        2 => Just(BatchOp::BatchSteal),
+        2 => Just(BatchOp::DestPop),
     ]
 }
 
@@ -66,6 +86,100 @@ proptest! {
                     prop_assert_eq!(q.steal().success(), model.pop_front());
                 }
             }
+        }
+    }
+
+    /// Batch steals must take exactly `min((len + 1) / 2, MAX_BATCH)` tasks
+    /// off the victim's FIFO end: the first comes back to the caller, the
+    /// rest are banked in the destination deque in steal order.
+    #[test]
+    fn batch_steal_matches_two_deque_model(ops in proptest::collection::vec(batch_op_strategy(), 1..400)) {
+        let (victim, thief) = new_deque::<u64>();
+        let (dest, _dest_stealer) = new_deque::<u64>();
+        let mut vmodel: VecDeque<u64> = VecDeque::new();
+        let mut dmodel: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                BatchOp::Push(v) => {
+                    victim.push(v);
+                    vmodel.push_back(v);
+                }
+                BatchOp::Pop => {
+                    prop_assert_eq!(victim.pop(), vmodel.pop_back());
+                }
+                BatchOp::Steal => {
+                    let got = match thief.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => panic!("retry without contention"),
+                    };
+                    prop_assert_eq!(got, vmodel.pop_front());
+                }
+                BatchOp::BatchSteal => {
+                    let got = match thief.steal_batch_and_pop(&dest) {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => panic!("retry without contention"),
+                    };
+                    let target = vmodel.len().div_ceil(2).min(MAX_BATCH);
+                    prop_assert_eq!(got, vmodel.pop_front());
+                    for _ in 1..target {
+                        dmodel.push_back(vmodel.pop_front().unwrap());
+                    }
+                }
+                BatchOp::DestPop => {
+                    // The destination is the thief's own deque: LIFO pops.
+                    prop_assert_eq!(dest.pop(), dmodel.pop_back());
+                }
+            }
+            prop_assert_eq!(victim.len(), vmodel.len());
+            prop_assert_eq!(dest.len(), dmodel.len());
+        }
+        // Nothing was lost or duplicated: drain both deques and compare.
+        while let Some(v) = victim.pop() {
+            prop_assert_eq!(Some(v), vmodel.pop_back());
+        }
+        prop_assert!(vmodel.is_empty());
+        while let Some(v) = dest.pop() {
+            prop_assert_eq!(Some(v), dmodel.pop_back());
+        }
+        prop_assert!(dmodel.is_empty());
+    }
+
+    /// Injector batch drains must preserve FIFO order end to end: take the
+    /// first `min(len, max)` queued items, return the oldest, bank the rest.
+    #[test]
+    fn injector_batch_matches_fifo_model(
+        ops in proptest::collection::vec(batch_op_strategy(), 1..400),
+        max in 1usize..8,
+    ) {
+        let q = hiper_deque::Injector::new();
+        let (dest, _dest_stealer) = new_deque::<u64>();
+        let mut qmodel: VecDeque<u64> = VecDeque::new();
+        let mut dmodel: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                BatchOp::Push(v) => {
+                    q.push(v);
+                    qmodel.push_back(v);
+                }
+                BatchOp::Pop | BatchOp::Steal => {
+                    prop_assert_eq!(q.steal().success(), qmodel.pop_front());
+                }
+                BatchOp::BatchSteal => {
+                    let got = q.steal_batch_and_pop(&dest, max).success();
+                    let take = qmodel.len().min(max);
+                    prop_assert_eq!(got, qmodel.pop_front());
+                    for _ in 1..take {
+                        dmodel.push_back(qmodel.pop_front().unwrap());
+                    }
+                }
+                BatchOp::DestPop => {
+                    prop_assert_eq!(dest.pop(), dmodel.pop_back());
+                }
+            }
+            prop_assert_eq!(q.is_empty(), qmodel.is_empty());
+            prop_assert_eq!(dest.len(), dmodel.len());
         }
     }
 }

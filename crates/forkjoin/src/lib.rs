@@ -242,8 +242,7 @@ mod tests {
     #[test]
     fn parallel_for_covers_range_once() {
         let pool = Pool::new(3);
-        let hits: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..500).map(|_| AtomicUsize::new(0)).collect());
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..500).map(|_| AtomicUsize::new(0)).collect());
         let h = Arc::clone(&hits);
         pool.parallel_for(500, move |i| {
             h[i].fetch_add(1, Ordering::Relaxed);

@@ -361,8 +361,15 @@ impl GpuDevice {
         stream: &Stream,
         kernel: impl FnOnce() + Send + 'static,
     ) -> Arc<OpDone> {
-        assert_eq!(stream.device, self.index, "stream belongs to another device");
-        self.chain(stream, OpKind::Kernel(Box::new(kernel)), &self.kernel_engine)
+        assert_eq!(
+            stream.device, self.index,
+            "stream belongs to another device"
+        );
+        self.chain(
+            stream,
+            OpKind::Kernel(Box::new(kernel)),
+            &self.kernel_engine,
+        )
     }
 
     /// Enqueues an async host-to-device copy (cudaMemcpyAsync H2D).

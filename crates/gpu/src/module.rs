@@ -185,9 +185,8 @@ impl GpuModule {
         dst_off: usize,
         src: Vec<u8>,
     ) -> Future<()> {
-        let done = self.with_state(|s| {
-            s.devices[stream.device()].memcpy_h2d_async(stream, dst, dst_off, src)
-        });
+        let done = self
+            .with_state(|s| s.devices[stream.device()].memcpy_h2d_async(stream, dst, dst_off, src));
         self.future_of(done)
     }
 
@@ -202,9 +201,13 @@ impl GpuModule {
         let promise = Promise::new();
         let fut = promise.future();
         self.with_state(|s| {
-            s.devices[stream.device()].memcpy_d2h_async(stream, src, src_off, nbytes, move |data| {
-                promise.put(data)
-            });
+            s.devices[stream.device()].memcpy_d2h_async(
+                stream,
+                src,
+                src_off,
+                nbytes,
+                move |data| promise.put(data),
+            );
         });
         fut
     }
@@ -216,13 +219,18 @@ impl GpuModule {
 
     /// `MemLoc` for an `async_copy` endpoint on a device buffer.
     pub fn loc(buf: &Arc<DeviceBuffer>, offset: usize) -> MemLoc {
-        MemLoc::opaque(Arc::clone(buf) as Arc<dyn std::any::Any + Send + Sync>, offset)
+        MemLoc::opaque(
+            Arc::clone(buf) as Arc<dyn std::any::Any + Send + Sync>,
+            offset,
+        )
     }
 }
 
 fn handle_copy(state_arc: &State, rt: &Runtime, req: CopyRequest, done: Promise<()>) {
     let guard = state_arc.read();
-    let state = guard.as_ref().expect("async_copy after module finalization");
+    let state = guard
+        .as_ref()
+        .expect("async_copy after module finalization");
     let src_kind = rt.config().graph.place(req.src_place).kind.clone();
     let dst_kind = rt.config().graph.place(req.dst_place).kind.clone();
     match (src_kind, dst_kind) {

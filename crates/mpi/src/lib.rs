@@ -24,4 +24,4 @@ mod typed;
 
 pub use module::MpiModule;
 pub use raw::{RawComm, RecvStatus, Request, ANY_SOURCE, ANY_TAG};
-pub use typed::{Reducible, ReduceOp};
+pub use typed::{ReduceOp, Reducible};

@@ -24,7 +24,7 @@ use hiper_runtime::{Future, ModuleError, Poller, Promise, Runtime, SchedulerModu
 use parking_lot::RwLock;
 
 use crate::raw::{RawComm, RecvStatus, Request};
-use crate::typed::{Reducible, ReduceOp};
+use crate::typed::{ReduceOp, Reducible};
 
 /// The HiPER MPI module. Register with [`RuntimeBuilder::module`] and call
 /// its methods from tasks (paper code style: `MPI_Isend` returning a
@@ -86,7 +86,10 @@ impl MpiModule {
                 *out.lock() = Some(f());
             });
             fut.wait();
-            let result = slot.lock().take().expect("taskified call produced no value");
+            let result = slot
+                .lock()
+                .take()
+                .expect("taskified call produced no value");
             result
         })
     }
@@ -187,7 +190,11 @@ impl MpiModule {
 
     /// `MPI_Irecv` returning a future on the received data (request
     /// out-argument removed, §II-C1).
-    pub fn irecv<T: Pod>(&self, src: Option<Rank>, tag: Option<u64>) -> Future<(Vec<T>, Rank, u64)> {
+    pub fn irecv<T: Pod>(
+        &self,
+        src: Option<Rank>,
+        tag: Option<u64>,
+    ) -> Future<(Vec<T>, Rank, u64)> {
         let req = self.raw.irecv(src, tag);
         self.future_of(req, |status| {
             (from_bytes::<T>(&status.data), status.src, status.tag)
@@ -235,11 +242,9 @@ impl SchedulerModule for MpiModule {
     fn initialize(&self, rt: &Runtime) -> Result<(), ModuleError> {
         // Platform assertion (§II-C1): a single Interconnect place must
         // exist; all library calls are funneled through tasks placed there.
-        let interconnect = rt
-            .place_of_kind(&PlaceKind::Interconnect)
-            .ok_or_else(|| {
-                ModuleError::new("mpi", "platform model contains no Interconnect place")
-            })?;
+        let interconnect = rt.place_of_kind(&PlaceKind::Interconnect).ok_or_else(|| {
+            ModuleError::new("mpi", "platform model contains no Interconnect place")
+        })?;
         let poller = Poller::new("mpi-poll", interconnect);
         *self.state.write() = Some(ModuleState {
             rt: rt.clone(),

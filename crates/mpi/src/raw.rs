@@ -124,7 +124,9 @@ impl Request {
 
 impl std::fmt::Debug for Request {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Request").field("done", &self.test()).finish()
+        f.debug_struct("Request")
+            .field("done", &self.test())
+            .finish()
     }
 }
 
@@ -157,10 +159,7 @@ impl RawComm {
             coll_seq: AtomicU64::new(0),
         });
         let comm2 = Arc::clone(&comm);
-        transport.register_handler(
-            Channel::MPI,
-            Box::new(move |msg| comm2.on_message(msg)),
-        );
+        transport.register_handler(Channel::MPI, Box::new(move |msg| comm2.on_message(msg)));
         comm
     }
 
@@ -177,9 +176,11 @@ impl RawComm {
     fn on_message(&self, msg: Message) {
         let mut st = self.state.lock();
         // Match in posted order (MPI semantics).
-        if let Some(idx) = st.posted.iter().position(|p| {
-            p.src.map_or(true, |s| s == msg.src) && p.tag.map_or(true, |t| t == msg.tag)
-        }) {
+        if let Some(idx) = st
+            .posted
+            .iter()
+            .position(|p| p.src.is_none_or(|s| s == msg.src) && p.tag.is_none_or(|t| t == msg.tag))
+        {
             let posted = st.posted.remove(idx);
             drop(st);
             posted.req.complete(RecvStatus {
@@ -223,10 +224,14 @@ impl RawComm {
     fn irecv_internal(&self, src: Option<Rank>, tag: Option<u64>) -> Request {
         let mut st = self.state.lock();
         if let Some(idx) = st.unexpected.iter().position(|(s, t, _)| {
-            src.map_or(true, |want| want == *s) && tag.map_or(true, |want| want == *t)
+            src.is_none_or(|want| want == *s) && tag.is_none_or(|want| want == *t)
         }) {
             let (s, t, data) = st.unexpected.remove(idx);
-            return Request::completed(RecvStatus { data, src: s, tag: t });
+            return Request::completed(RecvStatus {
+                data,
+                src: s,
+                tag: t,
+            });
         }
         let req = Request::pending();
         st.posted.push(PostedRecv {
@@ -347,11 +352,7 @@ impl RawComm {
     }
 
     /// Reduce + broadcast: every rank gets the combined value.
-    pub fn allreduce_bytes(
-        &self,
-        mine: Bytes,
-        combine: &dyn Fn(&[u8], &[u8]) -> Bytes,
-    ) -> Bytes {
+    pub fn allreduce_bytes(&self, mine: Bytes, combine: &dyn Fn(&[u8], &[u8]) -> Bytes) -> Bytes {
         let reduced = self.reduce_bytes(mine, combine);
         self.bcast(0, reduced.unwrap_or_default())
     }
@@ -369,10 +370,7 @@ impl RawComm {
                 .map(|src| {
                     (
                         src,
-                        self.irecv_internal(
-                            Some(src),
-                            Some(internal_tag(collop::GATHER, 0, seq)),
-                        ),
+                        self.irecv_internal(Some(src), Some(internal_tag(collop::GATHER, 0, seq))),
                     )
                 })
                 .collect();

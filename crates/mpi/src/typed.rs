@@ -107,11 +107,7 @@ impl RawComm {
     /// Typed exclusive scan with `op` (rank r gets the combination over
     /// ranks 0..r; rank 0 gets `identity`).
     pub fn exscan<T: Reducible>(&self, data: &[T], identity: &[T], op: ReduceOp) -> Vec<T> {
-        let out = self.exscan_bytes(
-            to_bytes(data),
-            to_bytes(identity),
-            &combine_bytes::<T>(op),
-        );
+        let out = self.exscan_bytes(to_bytes(data), to_bytes(identity), &combine_bytes::<T>(op));
         from_bytes(&out)
     }
 }

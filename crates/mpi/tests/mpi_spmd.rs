@@ -18,10 +18,7 @@ fn with_mpi<R: Send + 'static>(
         .run(
             |_rank, transport| {
                 let mpi = MpiModule::new(transport);
-                (
-                    vec![Arc::clone(&mpi) as Arc<dyn SchedulerModule>],
-                    mpi,
-                )
+                (vec![Arc::clone(&mpi) as Arc<dyn SchedulerModule>], mpi)
             },
             main,
         )
@@ -57,7 +54,11 @@ fn raw_wildcard_matching() {
             assert_eq!(srcs, vec![1, 2]);
             (a.data.len() + b.data.len()) as u64
         } else {
-            raw.send(0, 100 + env.rank as u64, bytes::Bytes::from(vec![0u8; env.rank]));
+            raw.send(
+                0,
+                100 + env.rank as u64,
+                bytes::Bytes::from(vec![0u8; env.rank]),
+            );
             0
         }
     });
@@ -172,9 +173,7 @@ fn alltoall_delivers_pairwise() {
     let results = with_mpi(n, 1, move |env, mpi| {
         let raw = mpi.raw();
         // parts[d] = [me*10 + d]
-        let parts: Vec<Vec<u64>> = (0..n)
-            .map(|d| vec![(env.rank * 10 + d) as u64])
-            .collect();
+        let parts: Vec<Vec<u64>> = (0..n).map(|d| vec![(env.rank * 10 + d) as u64]).collect();
         let got = raw.alltoall_vec(parts);
         // got[s] must be [s*10 + me]
         (0..n).all(|s| got[s] == vec![(s * 10 + env.rank) as u64])
@@ -279,7 +278,8 @@ fn module_stats_record_mpi_time() {
             let _ = mpi.recv::<u8>(Some(0), Some(2));
         }
         let snap = env.runtime.module_stats().snapshot();
-        snap.iter().any(|(name, calls, _)| name == "mpi" && *calls > 0)
+        snap.iter()
+            .any(|(name, calls, _)| name == "mpi" && *calls > 0)
     });
     assert!(results.into_iter().all(|ok| ok));
 }

@@ -227,10 +227,7 @@ impl SpmdBuilder {
     }
 
     /// Launches a module-free cluster: `main` gets only the [`RankEnv`].
-    pub fn run_simple<R>(
-        self,
-        main: impl Fn(RankEnv) -> R + Send + Sync + 'static,
-    ) -> Vec<R>
+    pub fn run_simple<R>(self, main: impl Fn(RankEnv) -> R + Send + Sync + 'static) -> Vec<R>
     where
         R: Send + 'static,
     {
@@ -259,43 +256,41 @@ mod tests {
         // Rank 0 sends to rank 1, rank 1 echoes back, rank 0 waits on a
         // future satisfied by the echo. Ranks register APP handlers in
         // setup.
-        let results = SpmdBuilder::new(2)
-            .workers_per_rank(1)
-            .run(
-                |_rank, transport| {
-                    // State: a promise slot the handler fills.
-                    let slot: Arc<parking_lot::Mutex<Option<Promise<u64>>>> =
-                        Arc::new(parking_lot::Mutex::new(None));
-                    let slot2 = Arc::clone(&slot);
-                    let t2 = transport.clone();
-                    transport.register_handler(
-                        Channel::APP,
-                        Box::new(move |m| {
-                            if m.tag < 100 {
-                                // Echo with tag+100.
-                                t2.send(m.src, Channel::APP, m.tag + 100, m.payload);
-                            } else if let Some(p) = slot2.lock().take() {
-                                p.put(m.tag);
-                            }
-                        }),
-                    );
-                    (Vec::new(), slot)
-                },
-                |env, slot| {
-                    if env.rank == 0 {
-                        let p = Promise::new();
-                        let f = p.future();
-                        *slot.lock() = Some(p);
-                        env.transport
-                            .send(1, Channel::APP, 7, Bytes::from_static(b"ping"));
-                        f.get()
-                    } else {
-                        // Rank 1 just lingers long enough to echo.
-                        std::thread::sleep(Duration::from_millis(50));
-                        0
-                    }
-                },
-            );
+        let results = SpmdBuilder::new(2).workers_per_rank(1).run(
+            |_rank, transport| {
+                // State: a promise slot the handler fills.
+                let slot: Arc<parking_lot::Mutex<Option<Promise<u64>>>> =
+                    Arc::new(parking_lot::Mutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                let t2 = transport.clone();
+                transport.register_handler(
+                    Channel::APP,
+                    Box::new(move |m| {
+                        if m.tag < 100 {
+                            // Echo with tag+100.
+                            t2.send(m.src, Channel::APP, m.tag + 100, m.payload);
+                        } else if let Some(p) = slot2.lock().take() {
+                            p.put(m.tag);
+                        }
+                    }),
+                );
+                (Vec::new(), slot)
+            },
+            |env, slot| {
+                if env.rank == 0 {
+                    let p = Promise::new();
+                    let f = p.future();
+                    *slot.lock() = Some(p);
+                    env.transport
+                        .send(1, Channel::APP, 7, Bytes::from_static(b"ping"));
+                    f.get()
+                } else {
+                    // Rank 1 just lingers long enough to echo.
+                    std::thread::sleep(Duration::from_millis(50));
+                    0
+                }
+            },
+        );
         assert_eq!(results[0], 107);
     }
 

@@ -244,8 +244,7 @@ impl DeliveryEngine {
                     match st.queue.peek() {
                         Some(Reverse(head)) if head.due <= now => {
                             let Reverse(entry) = st.queue.pop().unwrap();
-                            let idx =
-                                entry.msg.dst * 256 + entry.msg.channel.0 as usize;
+                            let idx = entry.msg.dst * 256 + entry.msg.channel.0 as usize;
                             let handler = st.handlers[idx].clone();
                             break Some((entry.msg, handler));
                         }
@@ -266,9 +265,8 @@ impl DeliveryEngine {
                     Some(h) => {
                         // A panicking handler must not kill the delivery
                         // engine: the whole cluster would silently hang.
-                        let result = std::panic::catch_unwind(
-                            std::panic::AssertUnwindSafe(|| h(msg)),
-                        );
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h(msg)));
                         if result.is_err() {
                             eprintln!("[hiper-netsim] delivery handler panicked; message dropped");
                         }

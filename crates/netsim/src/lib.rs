@@ -24,5 +24,5 @@ pub use cluster::{Cluster, RankEnv, SpmdBuilder};
 pub use engine::{NetConfig, NetStats, NetStatsSnapshot};
 pub use message::{Channel, Message, Rank};
 
-pub use engine::DeliveryEngine;
 pub use cluster::Transport;
+pub use engine::DeliveryEngine;

@@ -44,7 +44,7 @@ pub fn to_bytes<T: Pod>(data: &[T]) -> Bytes {
 pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
     let size = std::mem::size_of::<T>();
     assert!(
-        size > 0 && bytes.len() % size == 0,
+        size > 0 && bytes.len().is_multiple_of(size),
         "byte length {} is not a multiple of element size {}",
         bytes.len(),
         size
@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn unaligned_source_is_handled() {
         // Slice the byte buffer at an odd offset to force unaligned reads.
-        let mut raw = vec![0u8; 17];
+        let mut raw = [0u8; 17];
         raw[1..17].copy_from_slice(&to_bytes(&[3.5f64, 7.25]));
         let vals: Vec<f64> = from_bytes(&raw[1..17]);
         assert_eq!(vals, vec![3.5, 7.25]);

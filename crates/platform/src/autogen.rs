@@ -45,7 +45,9 @@ pub fn smp_with_gpus(workers: usize, gpus: usize) -> PlatformConfig {
     let mut gpu_ids = Vec::new();
     for d in 0..gpus {
         let gpu = g.add_place(PlaceKind::GpuMemory, format!("gpu{}", d));
-        g.place_mut(gpu).attrs.insert("device_index".into(), d as f64);
+        g.place_mut(gpu)
+            .attrs
+            .insert("device_index".into(), d as f64);
         g.place_mut(gpu).attrs.insert("bytes".into(), 6e9);
         g.add_edge(sys, gpu);
         for &other in &gpu_ids {
@@ -112,7 +114,10 @@ pub fn discover() -> PlatformConfig {
 }
 
 /// Writes a generated configuration to a JSON file (the CLI-utility analog).
-pub fn write_config(cfg: &PlatformConfig, path: impl AsRef<std::path::Path>) -> Result<(), ConfigError> {
+pub fn write_config(
+    cfg: &PlatformConfig,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), ConfigError> {
     std::fs::write(path, cfg.to_json()).map_err(ConfigError::Io)
 }
 

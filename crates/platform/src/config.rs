@@ -293,7 +293,11 @@ impl PlatformConfig {
             .map(|(a, b)| Json::Array(vec![Json::from(a.index()), Json::from(b.index())]))
             .collect();
         root.insert("edges".to_string(), Json::Array(edges));
-        let homes: Vec<Json> = self.worker_homes.iter().map(|h| Json::from(h.index())).collect();
+        let homes: Vec<Json> = self
+            .worker_homes
+            .iter()
+            .map(|h| Json::from(h.index()))
+            .collect();
         root.insert("worker_homes".to_string(), Json::Array(homes));
         Json::Object(root).pretty()
     }

@@ -205,10 +205,7 @@ mod tests {
     fn kind_queries() {
         let g = sample();
         assert_eq!(g.places_of_kind(&PlaceKind::GpuMemory).len(), 2);
-        assert_eq!(
-            g.first_of_kind(&PlaceKind::Interconnect),
-            Some(PlaceId(3))
-        );
+        assert_eq!(g.first_of_kind(&PlaceKind::Interconnect), Some(PlaceId(3)));
         assert_eq!(g.first_of_kind(&PlaceKind::Nvm), None);
         assert_eq!(g.by_name("gpu1"), Some(PlaceId(2)));
         assert_eq!(g.by_name("nope"), None);

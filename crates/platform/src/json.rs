@@ -40,7 +40,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -354,7 +358,9 @@ impl<'a> Parser<'a> {
                         } else if (0xDC00..0xE000).contains(&cp) {
                             return Err(self.err("unpaired low surrogate"));
                         } else {
-                            s.push(char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?);
+                            s.push(
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?,
+                            );
                         }
                     }
                     _ => return Err(self.err("invalid escape sequence")),
@@ -385,7 +391,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -509,8 +517,17 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "tru", "01x", "\"unterminated", "1 2",
-            "{\"a\":1,}", "\"\\q\"", "\"\\ud800\"",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "\"\\q\"",
+            "\"\\ud800\"",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {:?}", bad);
         }
@@ -542,7 +559,7 @@ mod tests {
         for _ in 0..64 {
             doc.push('[');
         }
-        doc.push_str("1");
+        doc.push('1');
         for _ in 0..64 {
             doc.push(']');
         }

@@ -44,7 +44,9 @@ impl PathPolicy {
         }
     }
 
-    /// Parses the canonical string form.
+    /// Parses the canonical string form. Inherent (not `std::str::FromStr`)
+    /// because absence of a match is not an error worth a payload here.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<PathPolicy> {
         match s {
             "home_only" => Some(PathPolicy::HomeOnly),
@@ -187,10 +189,7 @@ mod tests {
         g.add_edge(PlaceId(1), PlaceId(2));
         g.add_edge(PlaceId(2), PlaceId(3));
         let path = PathPolicy::Hierarchical.generate(&g, 0, PlaceId(3));
-        assert_eq!(
-            path,
-            vec![PlaceId(3), PlaceId(2), PlaceId(1), PlaceId(0)]
-        );
+        assert_eq!(path, vec![PlaceId(3), PlaceId(2), PlaceId(1), PlaceId(0)]);
     }
 
     #[test]
@@ -215,12 +214,8 @@ mod tests {
     fn generate_all_produces_one_per_worker() {
         let g = star_graph(3);
         let homes = vec![PlaceId(0), PlaceId(1), PlaceId(2)];
-        let paths = WorkerPaths::generate_all(
-            &g,
-            &homes,
-            PathPolicy::HomeOnly,
-            PathPolicy::Hierarchical,
-        );
+        let paths =
+            WorkerPaths::generate_all(&g, &homes, PathPolicy::HomeOnly, PathPolicy::Hierarchical);
         assert_eq!(paths.len(), 3);
         assert_eq!(paths[1].pop, vec![PlaceId(1)]);
         assert_eq!(paths[2].steal[0], PlaceId(2));

@@ -86,7 +86,9 @@ impl HostBuffer {
 
 impl fmt::Debug for HostBuffer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HostBuffer").field("len", &self.len()).finish()
+        f.debug_struct("HostBuffer")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -159,17 +161,15 @@ impl CopyRegistry {
 
     /// Registers (or replaces) the handler for transfers from `src` kinds to
     /// `dst` kinds.
-    pub fn register(
-        &self,
-        src: PlaceKind,
-        dst: PlaceKind,
-        handler: Arc<CopyHandler>,
-    ) {
+    pub fn register(&self, src: PlaceKind, dst: PlaceKind, handler: Arc<CopyHandler>) {
         self.handlers.write().insert((src, dst), handler);
     }
 
     fn lookup(&self, src: &PlaceKind, dst: &PlaceKind) -> Option<Arc<CopyHandler>> {
-        self.handlers.read().get(&(src.clone(), dst.clone())).cloned()
+        self.handlers
+            .read()
+            .get(&(src.clone(), dst.clone()))
+            .cloned()
     }
 }
 

@@ -1,17 +1,38 @@
-//! A monotonically-increasing event counter used for low-cost sleep/wake.
+//! Sleep/wake machinery: the epoch [`Event`] for external threads and the
+//! [`WakeHub`] that gives each worker its own parker for targeted wakeups.
 //!
-//! Workers that find no eligible work park on the scheduler's event; any
-//! state change that could make work available (task spawn, promise
-//! satisfaction, finish-scope completion, shutdown) bumps the epoch and wakes
-//! sleepers. The epoch-check protocol makes lost wakeups impossible: a waiter
-//! records the epoch *before* re-checking its predicate, and `wait_while`
-//! returns immediately if the epoch has already moved on.
+//! The scheduler used to park every idle worker on one shared condvar and
+//! `notify_all` on every spawn — a thundering herd where `k` sleepers wake,
+//! fight over one task, and `k-1` go back to sleep. The [`WakeHub`] replaces
+//! that on the spawn path: idle workers register in a small set, each with a
+//! private token parker, and a spawn pops and unparks exactly *one* of them.
+//! When nothing is parked, the spawn path is a fence plus one relaxed load —
+//! no mutex, no syscall.
+//!
+//! Lost wakeups are prevented by a store-buffering (Dekker) protocol:
+//!
+//! * a spawner publishes the task (release store in the deque/injector),
+//!   executes a `SeqCst` fence, and then loads the idle count;
+//! * a worker registers idle with a `SeqCst` RMW on the idle count and then
+//!   re-checks every queue it can reach before actually parking.
+//!
+//! In the seq-cst total order either the spawner's load sees the
+//! registration (and wakes the worker) or the worker's re-check sees the
+//! task (and cancels the park). Both may be true — a spurious wake, which
+//! the worker absorbs by re-scanning — but never neither.
+//!
+//! Completion-style transitions (finish-scope done, promise satisfied,
+//! shutdown) still broadcast: they bump the epoch [`Event`] for external
+//! waiters *and* unpark every registered worker, because any number of
+//! waiters may be blocked on that one state change.
 
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-/// A condvar-backed epoch counter.
+/// A condvar-backed epoch counter, used by threads *outside* the worker pool
+/// (e.g. a thread blocked in `Runtime::block_on`).
 #[derive(Debug, Default)]
 pub struct Event {
     epoch: Mutex<u64>,
@@ -46,6 +67,169 @@ impl Event {
         }
         self.cond.wait_for(&mut e, timeout);
         *e != seen
+    }
+}
+
+/// One worker's private parking spot: a sticky token plus a condvar.
+///
+/// The token absorbs unpark/park races — an unpark delivered before the
+/// worker reaches `park` is not lost, it just makes the next `park` return
+/// immediately.
+#[derive(Debug, Default)]
+struct Parker {
+    token: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Parker {
+    /// Blocks until unparked or `timeout` elapses. Returns `true` if a token
+    /// was consumed (i.e. someone unparked us).
+    fn park(&self, timeout: Duration) -> bool {
+        let mut token = self.token.lock();
+        if !*token {
+            self.cond.wait_for(&mut token, timeout);
+        }
+        std::mem::replace(&mut *token, false)
+    }
+
+    /// Deposits a token and wakes the parked worker, if any.
+    fn unpark(&self) {
+        let mut token = self.token.lock();
+        *token = true;
+        self.cond.notify_one();
+    }
+
+    /// Clears any pending token, returning whether one was present.
+    fn take_token(&self) -> bool {
+        std::mem::replace(&mut *self.token.lock(), false)
+    }
+}
+
+/// Per-worker parkers plus the shared idle set and the external-thread
+/// epoch [`Event`]. One per scheduler.
+#[derive(Debug)]
+pub struct WakeHub {
+    event: Event,
+    parkers: Box<[Parker]>,
+    /// Worker ids currently registered as idle. Entries are added by the
+    /// owning worker just before it parks and removed either by a waker
+    /// (which then unparks exactly that worker) or by the worker itself on
+    /// park cancellation / timeout.
+    idle: Mutex<Vec<usize>>,
+    /// Cached `idle.len()`, written only while `idle` is locked so it can
+    /// never drift from the set. Read lock-free on the spawn fast path.
+    nidle: AtomicUsize,
+}
+
+impl WakeHub {
+    /// Creates a hub for `workers` worker threads.
+    pub fn new(workers: usize) -> WakeHub {
+        WakeHub {
+            event: Event::new(),
+            parkers: (0..workers).map(|_| Parker::default()).collect(),
+            idle: Mutex::new(Vec::with_capacity(workers)),
+            nidle: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current epoch of the external-thread event.
+    pub fn epoch(&self) -> u64 {
+        self.event.epoch()
+    }
+
+    /// Epoch-based sleep for threads outside the worker pool.
+    pub fn wait_while(&self, seen: u64, timeout: Duration) -> bool {
+        self.event.wait_while(seen, timeout)
+    }
+
+    /// Broadcast: bump the epoch (releasing external waiters) and unpark
+    /// every registered worker. Used for one-to-many transitions — finish
+    /// scope completion, promise satisfaction, shutdown.
+    pub fn signal_all(&self) {
+        self.event.signal_all();
+        let drained = {
+            let mut idle = self.idle.lock();
+            self.nidle.store(0, Ordering::SeqCst);
+            std::mem::take(&mut *idle)
+        };
+        for w in drained {
+            self.parkers[w].unpark();
+        }
+    }
+
+    /// Number of workers currently registered idle (a hint; see
+    /// [`WakeHub::wake_one`] for the fenced fast path).
+    pub fn idle_count(&self) -> usize {
+        self.nidle.load(Ordering::Relaxed)
+    }
+
+    /// Registers worker `me` as idle. The caller MUST re-check for work
+    /// after this returns and either park or call
+    /// [`WakeHub::cancel_idle`] — never simply walk away.
+    pub fn register_idle(&self, me: usize) {
+        let mut idle = self.idle.lock();
+        debug_assert!(!idle.contains(&me), "double idle registration");
+        idle.push(me);
+        // SeqCst RMW: full barrier between publishing our registration and
+        // the caller's subsequent work re-check loads (the worker half of
+        // the Dekker protocol described in the module docs). Done while the
+        // lock is held so the count never disagrees with the set.
+        self.nidle.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Undoes [`WakeHub::register_idle`] without parking (the re-check found
+    /// work, or the park timed out). If a waker already claimed us, absorb
+    /// its token instead: we are awake and about to re-scan, which is
+    /// everything that wake asked for.
+    pub fn cancel_idle(&self, me: usize) {
+        let mut idle = self.idle.lock();
+        if let Some(pos) = idle.iter().position(|&w| w == me) {
+            idle.swap_remove(pos);
+            self.nidle.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            drop(idle);
+            self.parkers[me].take_token();
+        }
+    }
+
+    /// Parks worker `me` until unparked or `timeout` elapses. The worker
+    /// must have called [`WakeHub::register_idle`] first. On return the
+    /// worker is deregistered (by its waker, or by this method on timeout).
+    /// Returns `true` if the worker was explicitly woken.
+    pub fn park(&self, me: usize, timeout: Duration) -> bool {
+        let woken = self.parkers[me].park(timeout);
+        // Timed out (or raced a late unpark): make sure we are no longer
+        // registered, so future wakes target workers that are really asleep.
+        self.cancel_idle(me);
+        woken
+    }
+
+    /// Wakes exactly one registered idle worker, if any. Returns `true` if
+    /// a worker was unparked.
+    ///
+    /// Fast path: when nothing is parked this is a fence plus one relaxed
+    /// load — no mutex, no condvar. The `SeqCst` fence pairs with the RMW in
+    /// [`WakeHub::register_idle`]: the caller has already published the new
+    /// task with a release store, and the fence orders that publication
+    /// before our idle-count load in the seq-cst total order, so "count is
+    /// zero" implies the registering worker's re-check will see the task.
+    pub fn wake_one(&self) -> bool {
+        fence(Ordering::SeqCst);
+        if self.nidle.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let target = {
+            let mut idle = self.idle.lock();
+            match idle.pop() {
+                Some(w) => {
+                    self.nidle.fetch_sub(1, Ordering::SeqCst);
+                    w
+                }
+                None => return false,
+            }
+        };
+        self.parkers[target].unpark();
+        true
     }
 }
 
@@ -89,5 +273,82 @@ mod tests {
         });
         assert!(e.wait_while(seen, Duration::from_secs(10)));
         waker.join().unwrap();
+    }
+
+    #[test]
+    fn wake_one_with_no_sleepers_is_a_noop() {
+        let hub = WakeHub::new(4);
+        assert!(!hub.wake_one());
+        assert_eq!(hub.idle_count(), 0);
+    }
+
+    #[test]
+    fn token_before_park_is_not_lost() {
+        let hub = WakeHub::new(1);
+        hub.register_idle(0);
+        assert!(hub.wake_one());
+        // The unpark landed before the park: the sticky token makes park
+        // return immediately.
+        assert!(hub.park(0, Duration::from_secs(10)));
+        assert_eq!(hub.idle_count(), 0);
+    }
+
+    #[test]
+    fn cancel_after_being_claimed_absorbs_token() {
+        let hub = WakeHub::new(1);
+        hub.register_idle(0);
+        assert!(hub.wake_one()); // waker claims worker 0
+        hub.cancel_idle(0); // worker found work on its re-check
+                            // The token was absorbed: a fresh park must time out.
+        hub.register_idle(0);
+        assert!(!hub.park(0, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn wake_one_targets_a_single_worker() {
+        let hub = WakeHub::new(3);
+        hub.register_idle(0);
+        hub.register_idle(1);
+        hub.register_idle(2);
+        assert_eq!(hub.idle_count(), 3);
+        assert!(hub.wake_one());
+        assert_eq!(hub.idle_count(), 2, "exactly one worker deregistered");
+    }
+
+    #[test]
+    fn signal_all_unparks_every_registered_worker() {
+        let hub = Arc::new(WakeHub::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|id| {
+                let hub = Arc::clone(&hub);
+                thread::spawn(move || {
+                    hub.register_idle(id);
+                    hub.park(id, Duration::from_secs(10))
+                })
+            })
+            .collect();
+        while hub.idle_count() < 2 {
+            thread::yield_now();
+        }
+        hub.signal_all();
+        for w in workers {
+            assert!(w.join().unwrap(), "worker not explicitly woken");
+        }
+        assert_eq!(hub.idle_count(), 0);
+    }
+
+    #[test]
+    fn cross_thread_targeted_wakeup() {
+        let hub = Arc::new(WakeHub::new(1));
+        let h2 = Arc::clone(&hub);
+        let sleeper = thread::spawn(move || {
+            h2.register_idle(0);
+            h2.park(0, Duration::from_secs(10))
+        });
+        while hub.idle_count() == 0 {
+            thread::yield_now();
+        }
+        assert!(hub.wake_one());
+        assert!(sleeper.join().unwrap());
     }
 }

@@ -55,7 +55,6 @@ fn split_run(
     f: &Arc<dyn Fn(usize) + Send + Sync>,
     latch: &Arc<Latch>,
 ) {
-    let lo = lo;
     let mut hi = hi;
     // Spawn the upper half while the range is larger than the grain; iterate
     // on the lower half locally (depth-first, stealable breadth).
@@ -101,12 +100,7 @@ impl Runtime {
 
     /// Blocking `forasync` over `0..n`: returns when every iteration has
     /// run. Help-first on workers.
-    pub fn forasync_1d(
-        &self,
-        n: usize,
-        grain: usize,
-        f: impl Fn(usize) + Send + Sync + 'static,
-    ) {
+    pub fn forasync_1d(&self, n: usize, grain: usize, f: impl Fn(usize) + Send + Sync + 'static) {
         let fut = self.forasync_future_1d(self.here(), n, grain, f);
         fut.wait();
     }

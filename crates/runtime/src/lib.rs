@@ -39,7 +39,7 @@ mod task;
 mod forasync;
 
 pub use copy::{CopyHandler, CopyRegistry, CopyRequest, HostBuffer, MemLoc};
-pub use event::Event;
+pub use event::{Event, WakeHub};
 pub use module::{ModuleError, PollFn, Poller, SchedulerModule};
 pub use promise::{when_all, Future, Promise};
 pub use runtime::{Runtime, RuntimeBuilder};

@@ -21,8 +21,22 @@ use crate::task::{FinishScope, Task};
 /// parking (bounds stack growth; see DESIGN.md §2.1).
 const MAX_HELP_DEPTH: usize = 64;
 
-/// Worker park timeout. A safety net only — all wakeups are signalled.
-const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+/// Failed full searches a worker burns with a CPU relax hint before it
+/// starts yielding. Work often arrives within a task's lifetime.
+const SPIN_SEARCHES: u32 = 4;
+
+/// Additional failed searches spent on `yield_now` (letting producers run on
+/// oversubscribed cores) before the worker actually parks.
+const YIELD_SEARCHES: u32 = 16;
+
+/// Worker park timeout. A safety net only: every wake source is signalled
+/// (targeted unpark on spawn, broadcast on completions/shutdown), so this
+/// fires only if there is genuinely nothing to do.
+const WORKER_PARK_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// Park timeout for epoch-event waits (external threads, and workers that
+/// exhausted their help depth and can only poll their predicate).
+const EVENT_WAIT_TIMEOUT: Duration = Duration::from_millis(1);
 
 pub(crate) struct RuntimeInner {
     pub sched: Arc<Scheduler>,
@@ -132,6 +146,9 @@ fn worker_main(rt: Runtime, id: usize, owned: Vec<Worker<Task>>) {
         });
     });
     let sched = Arc::clone(&rt.inner.sched);
+    // Failed-search count since the last task; drives the spin -> yield ->
+    // park ladder.
+    let mut misses: u32 = 0;
     loop {
         let task = TLS.with(|tls| {
             let tls = tls.borrow();
@@ -140,24 +157,46 @@ fn worker_main(rt: Runtime, id: usize, owned: Vec<Worker<Task>>) {
         });
         if let Some(task) = task {
             rt.execute_task(task);
+            misses = 0;
             continue;
         }
         if sched.is_shutdown() {
             break;
         }
-        // Park protocol: declare idle, snapshot the epoch, re-check, sleep.
-        sched.idle.fetch_add(1, Ordering::SeqCst);
-        let epoch = sched.event.epoch();
+        misses += 1;
+        if misses <= SPIN_SEARCHES {
+            std::hint::spin_loop();
+            continue;
+        }
+        if misses <= SPIN_SEARCHES + YIELD_SEARCHES {
+            std::thread::yield_now();
+            continue;
+        }
+        // Park protocol: register idle (SeqCst RMW inside), then re-check
+        // every reachable queue. A spawner either sees our registration (and
+        // targets us with a wake) or we see its task here — never neither
+        // (see the Dekker argument in event.rs).
+        sched.hub.register_idle(id);
         let again = TLS.with(|tls| {
             let tls = tls.borrow();
             let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
             sched.maybe_has_work(id, &w.owned)
         });
-        if !again && !sched.is_shutdown() {
-            sched.stats.park();
-            sched.event.wait_while(epoch, PARK_TIMEOUT);
+        if again || sched.is_shutdown() {
+            sched.hub.cancel_idle(id);
+            misses = 0;
+            continue;
         }
-        sched.idle.fetch_sub(1, Ordering::SeqCst);
+        sched.stats.park(id);
+        let woken = sched.hub.park(id, WORKER_PARK_TIMEOUT);
+        // An explicit wake means work very likely exists: restart the ladder
+        // so we search eagerly. After a bare timeout, go straight back to
+        // parking if the next search also fails.
+        misses = if woken {
+            0
+        } else {
+            SPIN_SEARCHES + YIELD_SEARCHES
+        };
     }
     TLS.with(|tls| *tls.borrow_mut() = None);
 }
@@ -295,11 +334,7 @@ impl Runtime {
     }
 
     /// Creates a task predicated on *all* of `deps`.
-    pub fn spawn_await_all(
-        &self,
-        deps: &[Future<()>],
-        f: impl FnOnce() + Send + 'static,
-    ) {
+    pub fn spawn_await_all(&self, deps: &[Future<()>], f: impl FnOnce() + Send + 'static) {
         let all = crate::promise::when_all(deps);
         self.spawn_await(&all, f);
     }
@@ -308,12 +343,12 @@ impl Runtime {
     /// every task transitively created inside `f` has completed. On a worker
     /// the block is help-first; on an external thread it parks.
     pub fn finish<R>(&self, f: impl FnOnce() -> R) -> R {
-        let scope = FinishScope::new(Arc::clone(&self.inner.sched.event));
+        let scope = FinishScope::new(Arc::clone(&self.inner.sched.hub));
         let prev = TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
             match tls.as_mut() {
                 Some(t) if Arc::ptr_eq(&t.rt.inner, &self.inner) => {
-                    std::mem::replace(&mut t.scope, Some(Arc::clone(&scope)))
+                    t.scope.replace(Arc::clone(&scope))
                 }
                 // Calling thread belongs to no runtime (or another runtime):
                 // install a fresh TLS frame so spawns inside `f` still see
@@ -336,7 +371,12 @@ impl Runtime {
                 if t.worker.is_none() && prev.is_none() {
                     // Tear down the frame we installed, unless we are a
                     // worker (workers keep their frame).
-                    if Arc::ptr_eq(&t.rt.inner, &self.inner) && t.scope.as_ref().map(|s| Arc::ptr_eq(s, &scope)).unwrap_or(false) {
+                    if Arc::ptr_eq(&t.rt.inner, &self.inner)
+                        && t.scope
+                            .as_ref()
+                            .map(|s| Arc::ptr_eq(s, &scope))
+                            .unwrap_or(false)
+                    {
                         *tls = None;
                         return;
                     }
@@ -364,28 +404,32 @@ impl Runtime {
         if is_worker {
             self.help_until(pred);
         } else {
-            let sched = &self.inner.sched;
+            // External thread: epoch-wait on the hub's event. Snapshot the
+            // epoch *before* re-checking the predicate so a completion that
+            // lands between the check and the sleep bumps the epoch and the
+            // wait returns immediately. The short timeout is a safety net
+            // for completions that don't signal.
+            let hub = &self.inner.sched.hub;
             loop {
                 if pred() {
                     return;
                 }
-                sched.idle.fetch_add(1, Ordering::SeqCst);
-                let epoch = sched.event.epoch();
+                let epoch = hub.epoch();
                 if !pred() {
-                    sched.event.wait_while(epoch, PARK_TIMEOUT);
+                    hub.wait_while(epoch, EVENT_WAIT_TIMEOUT);
                 }
-                sched.idle.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
 
-    /// The scheduler event of the runtime owning the current thread, if
-    /// any. Used by `Future::wait` to arrange a prompt wakeup.
-    pub(crate) fn current_sched_event() -> Option<Arc<crate::event::Event>> {
+    /// The wake hub of the runtime owning the current thread, if any. Used
+    /// by `Future::wait` to arrange a prompt wakeup (`signal_all` on
+    /// promise satisfaction).
+    pub(crate) fn current_sched_event() -> Option<Arc<crate::event::WakeHub>> {
         TLS.with(|tls| {
             tls.borrow()
                 .as_ref()
-                .map(|t| Arc::clone(&t.rt.inner.sched.event))
+                .map(|t| Arc::clone(&t.rt.inner.sched.hub))
         })
     }
 
@@ -417,10 +461,7 @@ impl Runtime {
             let mut tls = tls.borrow_mut();
             let t = tls.as_mut().unwrap();
             t.help_depth += 1;
-            (
-                t.worker.as_ref().unwrap().id,
-                t.help_depth > MAX_HELP_DEPTH,
-            )
+            (t.worker.as_ref().unwrap().id, t.help_depth > MAX_HELP_DEPTH)
         });
         loop {
             if pred() {
@@ -437,16 +478,39 @@ impl Runtime {
             };
             match task {
                 Some(task) => {
-                    sched.stats.help();
+                    sched.stats.help(id);
                     self.execute_task(task);
                 }
-                None => {
-                    sched.idle.fetch_add(1, Ordering::SeqCst);
-                    let epoch = sched.event.epoch();
+                None if too_deep => {
+                    // A depth-capped worker cannot execute tasks, so it must
+                    // NOT join the idle set — a targeted wake aimed at it
+                    // would be absorbed without any task getting run. Its
+                    // predicate only flips on completion-style transitions,
+                    // which always broadcast, so the epoch event suffices.
+                    let epoch = sched.hub.epoch();
                     if !pred() {
-                        sched.event.wait_while(epoch, PARK_TIMEOUT);
+                        sched.hub.wait_while(epoch, EVENT_WAIT_TIMEOUT);
                     }
-                    sched.idle.fetch_sub(1, Ordering::SeqCst);
+                }
+                None => {
+                    // Same register / re-check / park protocol as
+                    // `worker_main`, with the blocking predicate folded into
+                    // the re-check (pred flips always come with a broadcast,
+                    // which unparks us even while registered).
+                    sched.hub.register_idle(id);
+                    let again = pred()
+                        || sched.is_shutdown()
+                        || TLS.with(|tls| {
+                            let tls = tls.borrow();
+                            let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
+                            sched.maybe_has_work(id, &w.owned)
+                        });
+                    if again {
+                        sched.hub.cancel_idle(id);
+                    } else {
+                        sched.stats.park(id);
+                        sched.hub.park(id, WORKER_PARK_TIMEOUT);
+                    }
                 }
             }
         }
@@ -467,8 +531,8 @@ impl Runtime {
             *out.lock() = Some(r);
         });
         // Wake the external waiter promptly on completion.
-        let event = Arc::clone(&self.inner.sched.event);
-        fut.on_ready(move || event.signal_all());
+        let hub = Arc::clone(&self.inner.sched.hub);
+        fut.on_ready(move || hub.signal_all());
         self.wait_for(&mut || fut.is_ready());
         let result = slot
             .lock()
@@ -526,7 +590,7 @@ impl Runtime {
             TLS.with(|tls| {
                 let tls = tls.borrow();
                 let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
-                sched.spawn_from_worker(&w.owned, task);
+                sched.spawn_from_worker(w.id, &w.owned, task);
             });
         } else {
             sched.spawn_external(task);
@@ -535,10 +599,13 @@ impl Runtime {
 
     fn execute_task(&self, task: Task) {
         let Task { f, scope, .. } = task;
-        let prev = TLS.with(|tls| {
+        let (prev, shard) = TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
             let t = tls.as_mut().expect("execute_task off-runtime");
-            std::mem::replace(&mut t.scope, scope.clone())
+            // Stats shard: the worker id, or the external shard for
+            // non-worker frames (usize::MAX clamps to it).
+            let shard = t.worker.as_ref().map(|w| w.id).unwrap_or(usize::MAX);
+            (std::mem::replace(&mut t.scope, scope.clone()), shard)
         });
         let result = catch_unwind(AssertUnwindSafe(f));
         TLS.with(|tls| {
@@ -549,7 +616,7 @@ impl Runtime {
         if let Some(scope) = scope {
             scope.check_out();
         }
-        self.inner.sched.stats.task_executed();
+        self.inner.sched.stats.task_executed(shard);
         if let Err(panic) = result {
             let msg = panic
                 .downcast_ref::<&str>()

@@ -7,15 +7,19 @@
 //! (locality, pop path) or others' tasks (load balance, steal path) purely by
 //! which deque end and index it looks at.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use hiper_deque::{new_deque, Injector, Steal, Stealer, Worker};
 use hiper_platform::{PlaceId, PlatformConfig, WorkerPaths};
 
-use crate::event::Event;
+use crate::event::WakeHub;
 use crate::stats::SchedStats;
 use crate::task::Task;
+
+/// Maximum tasks drained from a place injector in one lock acquisition.
+/// Modest so FIFO spawns keep flowing to other workers too.
+const INJECTOR_BATCH: usize = 16;
 
 /// Per-place scheduling state.
 pub(crate) struct PlaceState {
@@ -33,13 +37,11 @@ pub(crate) struct Scheduler {
     pub workers: usize,
     pub paths: Vec<WorkerPaths>,
     pub homes: Vec<PlaceId>,
-    /// Global wake-up event: bumped on spawns, promise puts, finish-scope
-    /// completions and shutdown.
-    pub event: Arc<Event>,
+    /// Sleep/wake machinery: targeted per-worker wakeups on the spawn path,
+    /// broadcast (epoch bump + unpark all) for completion-style transitions.
+    pub hub: Arc<WakeHub>,
     /// Set once by shutdown; workers drain and exit.
     pub shutdown: AtomicBool,
-    /// Number of workers currently parked (used to skip needless signals).
-    pub idle: AtomicUsize,
     pub stats: SchedStats,
 }
 
@@ -55,9 +57,9 @@ impl Scheduler {
         let mut places = Vec::with_capacity(nplaces);
         for _ in 0..nplaces {
             let mut stealers = Vec::with_capacity(nworkers);
-            for w in 0..nworkers {
+            for per_worker in owned.iter_mut() {
                 let (worker, stealer) = new_deque();
-                owned[w].push(worker);
+                per_worker.push(worker);
                 stealers.push(stealer);
             }
             places.push(PlaceState {
@@ -76,32 +78,38 @@ impl Scheduler {
             workers: nworkers,
             paths,
             homes: config.worker_homes.clone(),
-            event: Arc::new(Event::new()),
+            hub: Arc::new(WakeHub::new(nworkers)),
             shutdown: AtomicBool::new(false),
-            idle: AtomicUsize::new(0),
-            stats: SchedStats::default(),
+            stats: SchedStats::new(nworkers),
         });
         (sched, owned)
     }
 
-    /// Enqueues a task from worker `w` (the calling thread), using the
+    /// Enqueues a task from worker `me` (the calling thread), using the
     /// worker's own deque at the task's place.
-    pub fn spawn_from_worker(&self, owned: &[Worker<Task>], task: Task) {
+    pub fn spawn_from_worker(&self, me: usize, owned: &[Worker<Task>], task: Task) {
         owned[task.place.index()].push(task);
-        self.wake();
+        self.wake(me);
     }
 
     /// Enqueues a task from outside the worker pool (or as an explicit
     /// yield): goes to the place's FIFO injector.
     pub fn spawn_external(&self, task: Task) {
         self.places[task.place.index()].injector.push(task);
-        self.wake();
+        self.wake(self.stats.external_shard());
     }
 
-    /// Wakes parked workers if any.
-    pub fn wake(&self) {
-        if self.idle.load(Ordering::SeqCst) > 0 {
-            self.event.signal_all();
+    /// Wakes exactly one parked worker, if any; a no-op (fence + one relaxed
+    /// load, no mutex, no condvar) when every worker is already running.
+    /// `shard` attributes the wake decision in the stats. The no-lost-wakeup
+    /// argument lives in the [`WakeHub`] docs: the caller just published the
+    /// task, and `wake_one`'s internal SeqCst fence pairs with the parking
+    /// worker's idle registration.
+    pub fn wake(&self, shard: usize) {
+        if self.hub.wake_one() {
+            self.stats.wake_sent(shard);
+        } else {
+            self.stats.wake_skipped(shard);
         }
     }
 
@@ -110,30 +118,41 @@ impl Scheduler {
     /// 2. steal path — place injectors, then other workers' deques (FIFO
     ///    from the thief end), rotating the starting victim to spread
     ///    contention.
+    ///
+    /// Steals are *batched*: one successful raid takes up to half the
+    /// victim's visible tasks (or a bounded injector drain), returns one and
+    /// parks the rest in the thief's own home deque, amortizing the steal
+    /// protocol over several tasks. A thief that banks extra tasks wakes one
+    /// more worker (wake chaining), so a burst of work recruits sleepers at
+    /// exponential rate without any broadcast.
     pub fn find_task(&self, me: usize, owned: &[Worker<Task>]) -> Option<Task> {
         // Pop path: only this worker's own tasks (paper §II-B3).
         for &p in &self.paths[me].pop {
             if let Some(task) = owned[p.index()].pop() {
-                self.stats.pop();
+                self.stats.pop(me);
                 return Some(task);
             }
         }
+        // Batch destination: the home deque heads every pop path this worker
+        // has (all built-in policies start at home), so banked tasks are
+        // always reachable by `me` and stealable by everyone who could reach
+        // this worker's deques before.
+        let home = &owned[self.homes[me].index()];
         // Steal path: only tasks created by others.
         for &p in &self.paths[me].steal {
             let place = &self.places[p.index()];
-            match place.injector.steal() {
-                Steal::Success(task) => {
-                    self.stats.injector_hit();
-                    return Some(task);
-                }
-                _ => {}
+            if let Steal::Success(task) = place.injector.steal_batch_and_pop(home, INJECTOR_BATCH) {
+                self.stats.injector_hit(me);
+                self.after_batch(me, home);
+                return Some(task);
             }
             for k in 1..self.workers {
                 let victim = (me + k) % self.workers;
                 loop {
-                    match place.stealers[victim].steal() {
+                    match place.stealers[victim].steal_batch_and_pop(home) {
                         Steal::Success(task) => {
-                            self.stats.steal();
+                            self.stats.steal(me);
+                            self.after_batch(me, home);
                             return Some(task);
                         }
                         Steal::Empty => break,
@@ -145,10 +164,23 @@ impl Scheduler {
         None
     }
 
+    /// Bookkeeping after a successful (possibly batched) steal: if extra
+    /// tasks were banked in the home deque, count the batch and chain-wake
+    /// one more worker to come steal from us.
+    fn after_batch(&self, me: usize, home: &Worker<Task>) {
+        if !home.is_empty() {
+            self.stats.batch_steal(me);
+            self.wake(me);
+        }
+    }
+
     /// True if any queue this worker can reach may hold work. Used as a
     /// quick recheck before parking.
     pub fn maybe_has_work(&self, me: usize, owned: &[Worker<Task>]) -> bool {
-        self.paths[me].pop.iter().any(|p| !owned[p.index()].is_empty())
+        self.paths[me]
+            .pop
+            .iter()
+            .any(|p| !owned[p.index()].is_empty())
             || self.paths[me].steal.iter().any(|&p| {
                 let place = &self.places[p.index()];
                 !place.injector.is_empty()
@@ -162,12 +194,19 @@ impl Scheduler {
 
     /// Requests shutdown and wakes everyone.
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.event.signal_all();
+        // Release is enough: the flag guards no other shared data, and the
+        // broadcast below (mutex + condvar in signal_all) already forces the
+        // store to be visible to every worker it wakes. SeqCst bought
+        // nothing here.
+        self.shutdown.store(true, Ordering::Release);
+        self.hub.signal_all();
     }
 
     /// True once shutdown has been requested.
     pub fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        // Acquire pairs with the Release store in request_shutdown. Workers
+        // poll this once per failed search, never per task, so even this is
+        // off the per-task hot path.
+        self.shutdown.load(Ordering::Acquire)
     }
 }

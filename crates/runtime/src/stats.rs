@@ -4,8 +4,13 @@
 //! executing on a system. Hooks have been added to the HiPER runtime which
 //! enable programmers to gather statistics on time spent in calls to
 //! different modules." This module is those hooks: scheduler-level counters
-//! (pops, steals, injector hits, parks, executed tasks) plus per-module call
-//! counts and cumulative time, all cheap relaxed atomics.
+//! (pops, steals, injector hits, parks, executed tasks, wake decisions) plus
+//! per-module call counts and cumulative time.
+//!
+//! Scheduler counters are *sharded*: each worker owns a cache-line-padded
+//! block of relaxed atomics, plus one extra block shared by off-pool threads,
+//! so the per-task hot path never bounces a counter line between cores.
+//! Shards are summed only when a [`SchedStatsSnapshot`] is taken.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -14,21 +19,33 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 
-/// Scheduler-level counters. One instance per runtime, shared by workers.
+/// Pads (and aligns) a value to 128 bytes so adjacent shards never share a
+/// cache line (128 covers the spatial-prefetcher pair on x86 and the 128-byte
+/// lines on some arm64 parts).
 #[derive(Debug, Default)]
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// One worker's private counter block. All increments are relaxed: counters
+/// are monotonic event counts with no ordering obligations.
+#[derive(Debug, Default)]
+struct StatShard {
+    tasks_executed: AtomicU64,
+    pops: AtomicU64,
+    steals: AtomicU64,
+    batch_steals: AtomicU64,
+    injector_hits: AtomicU64,
+    parks: AtomicU64,
+    helped: AtomicU64,
+    wake_signals_sent: AtomicU64,
+    wakes_skipped: AtomicU64,
+}
+
+/// Scheduler-level counters: one padded shard per worker plus one trailing
+/// shard (index `workers`) for threads outside the pool.
+#[derive(Debug)]
 pub struct SchedStats {
-    /// Tasks executed to completion.
-    pub tasks_executed: AtomicU64,
-    /// Tasks found on the worker's own pop path.
-    pub pops: AtomicU64,
-    /// Tasks taken from other workers' deques.
-    pub steals: AtomicU64,
-    /// Tasks taken from place injectors (off-pool spawns).
-    pub injector_hits: AtomicU64,
-    /// Times a worker parked for lack of work.
-    pub parks: AtomicU64,
-    /// Tasks executed inside blocking waits (help-first scheduling).
-    pub helped: AtomicU64,
+    shards: Box<[CachePadded<StatShard>]>,
 }
 
 macro_rules! bump {
@@ -38,35 +55,75 @@ macro_rules! bump {
 }
 
 impl SchedStats {
-    pub(crate) fn task_executed(&self) {
-        bump!(self.tasks_executed);
-    }
-    pub(crate) fn pop(&self) {
-        bump!(self.pops);
-    }
-    pub(crate) fn steal(&self) {
-        bump!(self.steals);
-    }
-    pub(crate) fn injector_hit(&self) {
-        bump!(self.injector_hits);
-    }
-    pub(crate) fn park(&self) {
-        bump!(self.parks);
-    }
-    pub(crate) fn help(&self) {
-        bump!(self.helped);
+    /// Creates counter blocks for `workers` workers (plus the external
+    /// shard).
+    pub fn new(workers: usize) -> SchedStats {
+        SchedStats {
+            shards: (0..workers + 1).map(|_| CachePadded::default()).collect(),
+        }
     }
 
-    /// A point-in-time copy of all counters.
+    /// The shard index off-pool threads record under.
+    pub fn external_shard(&self) -> usize {
+        self.shards.len() - 1
+    }
+
+    fn shard(&self, shard: usize) -> &StatShard {
+        &self.shards[shard.min(self.shards.len() - 1)].0
+    }
+
+    pub(crate) fn task_executed(&self, shard: usize) {
+        bump!(self.shard(shard).tasks_executed);
+    }
+    pub(crate) fn pop(&self, shard: usize) {
+        bump!(self.shard(shard).pops);
+    }
+    pub(crate) fn steal(&self, shard: usize) {
+        bump!(self.shard(shard).steals);
+    }
+    pub(crate) fn batch_steal(&self, shard: usize) {
+        bump!(self.shard(shard).batch_steals);
+    }
+    pub(crate) fn injector_hit(&self, shard: usize) {
+        bump!(self.shard(shard).injector_hits);
+    }
+    pub(crate) fn park(&self, shard: usize) {
+        bump!(self.shard(shard).parks);
+    }
+    pub(crate) fn help(&self, shard: usize) {
+        bump!(self.shard(shard).helped);
+    }
+    pub(crate) fn wake_sent(&self, shard: usize) {
+        bump!(self.shard(shard).wake_signals_sent);
+    }
+    pub(crate) fn wake_skipped(&self, shard: usize) {
+        bump!(self.shard(shard).wakes_skipped);
+    }
+
+    /// A point-in-time copy of all counters, aggregated across shards.
     pub fn snapshot(&self) -> SchedStatsSnapshot {
-        SchedStatsSnapshot {
-            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
-            pops: self.pops.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
-            injector_hits: self.injector_hits.load(Ordering::Relaxed),
-            parks: self.parks.load(Ordering::Relaxed),
-            helped: self.helped.load(Ordering::Relaxed),
+        let mut snap = SchedStatsSnapshot::default();
+        for shard in self.shards.iter() {
+            let s = &shard.0;
+            snap.tasks_executed += s.tasks_executed.load(Ordering::Relaxed);
+            snap.pops += s.pops.load(Ordering::Relaxed);
+            snap.steals += s.steals.load(Ordering::Relaxed);
+            snap.batch_steals += s.batch_steals.load(Ordering::Relaxed);
+            snap.injector_hits += s.injector_hits.load(Ordering::Relaxed);
+            snap.parks += s.parks.load(Ordering::Relaxed);
+            snap.helped += s.helped.load(Ordering::Relaxed);
+            snap.wake_signals_sent += s.wake_signals_sent.load(Ordering::Relaxed);
+            snap.wakes_skipped += s.wakes_skipped.load(Ordering::Relaxed);
         }
+        snap
+    }
+}
+
+impl Default for SchedStats {
+    /// A single-shard instance (external shard only); real schedulers use
+    /// [`SchedStats::new`] with their worker count.
+    fn default() -> SchedStats {
+        SchedStats::new(0)
     }
 }
 
@@ -76,18 +133,32 @@ pub struct SchedStatsSnapshot {
     pub tasks_executed: u64,
     pub pops: u64,
     pub steals: u64,
+    /// Steals that also moved extra tasks into the thief's own deque.
+    pub batch_steals: u64,
     pub injector_hits: u64,
     pub parks: u64,
     pub helped: u64,
+    /// Spawn-side wakeups that unparked a worker.
+    pub wake_signals_sent: u64,
+    /// Spawn-side wakeups skipped because no worker was parked.
+    pub wakes_skipped: u64,
 }
 
 impl fmt::Display for SchedStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "tasks={} pops={} steals={} injector={} parks={} helped={}",
-            self.tasks_executed, self.pops, self.steals, self.injector_hits, self.parks,
-            self.helped
+            "tasks={} pops={} steals={} batch_steals={} injector={} parks={} helped={} \
+             wakes_sent={} wakes_skipped={}",
+            self.tasks_executed,
+            self.pops,
+            self.steals,
+            self.batch_steals,
+            self.injector_hits,
+            self.parks,
+            self.helped,
+            self.wake_signals_sent,
+            self.wakes_skipped
         )
     }
 }
@@ -169,23 +240,39 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sched_counters_accumulate() {
-        let s = SchedStats::default();
-        s.task_executed();
-        s.task_executed();
-        s.pop();
-        s.steal();
-        s.injector_hit();
-        s.park();
-        s.help();
+    fn sched_counters_accumulate_across_shards() {
+        let s = SchedStats::new(2);
+        s.task_executed(0);
+        s.task_executed(1);
+        s.pop(0);
+        s.steal(1);
+        s.batch_steal(1);
+        s.injector_hit(0);
+        s.park(1);
+        s.help(0);
+        s.wake_sent(0);
+        s.wake_skipped(s.external_shard());
         let snap = s.snapshot();
         assert_eq!(snap.tasks_executed, 2);
         assert_eq!(snap.pops, 1);
         assert_eq!(snap.steals, 1);
+        assert_eq!(snap.batch_steals, 1);
         assert_eq!(snap.injector_hits, 1);
         assert_eq!(snap.parks, 1);
         assert_eq!(snap.helped, 1);
-        assert!(snap.to_string().contains("tasks=2"));
+        assert_eq!(snap.wake_signals_sent, 1);
+        assert_eq!(snap.wakes_skipped, 1);
+        let shown = snap.to_string();
+        assert!(shown.contains("tasks=2"));
+        assert!(shown.contains("batch_steals=1"));
+        assert!(shown.contains("wakes_sent=1"));
+        assert!(shown.contains("wakes_skipped=1"));
+    }
+
+    #[test]
+    fn shards_are_cache_line_separated() {
+        assert!(std::mem::align_of::<CachePadded<StatShard>>() >= 128);
+        assert_eq!(std::mem::size_of::<CachePadded<StatShard>>() % 128, 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use hiper_platform::PlaceId;
 
-use crate::event::Event;
+use crate::event::WakeHub;
 
 /// The closure a task executes.
 pub(crate) type TaskFn = Box<dyn FnOnce() + Send + 'static>;
@@ -39,18 +39,21 @@ impl std::fmt::Debug for Task {
 /// The counter starts at 1 (the scope body itself); each spawn inside the
 /// scope checks in, each completed task checks out, and the body checks out
 /// when it returns. When the counter reaches zero the runtime event is
-/// signalled to release the (help-first or parked) waiter.
+/// signalled to release the (help-first or parked) waiter. Completion is a
+/// one-to-many transition (the waiter may be parked on its private parker or
+/// on the external epoch event), so it *broadcasts* through the scheduler's
+/// wake hub rather than waking one worker.
 pub struct FinishScope {
     pending: AtomicUsize,
-    event: Arc<Event>,
+    hub: Arc<WakeHub>,
 }
 
 impl FinishScope {
     /// Creates a scope with the body's own check-in already counted.
-    pub(crate) fn new(event: Arc<Event>) -> Arc<FinishScope> {
+    pub(crate) fn new(hub: Arc<WakeHub>) -> Arc<FinishScope> {
         Arc::new(FinishScope {
             pending: AtomicUsize::new(1),
-            event,
+            hub,
         })
     }
 
@@ -65,7 +68,7 @@ impl FinishScope {
         let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "check_out underflow");
         if prev == 1 {
-            self.event.signal_all();
+            self.hub.signal_all();
         }
     }
 
@@ -95,8 +98,8 @@ mod tests {
 
     #[test]
     fn scope_counts_check_ins_and_outs() {
-        let event = Arc::new(Event::new());
-        let scope = FinishScope::new(Arc::clone(&event));
+        let hub = Arc::new(WakeHub::new(0));
+        let scope = FinishScope::new(Arc::clone(&hub));
         assert_eq!(scope.pending(), 1);
         assert!(!scope.is_done());
         scope.check_in();
@@ -105,16 +108,15 @@ mod tests {
         scope.check_out();
         scope.check_out();
         assert!(!scope.is_done());
-        let before = event.epoch();
+        let before = hub.epoch();
         scope.check_out(); // body done
         assert!(scope.is_done());
-        assert_eq!(event.epoch(), before + 1, "completion must signal");
+        assert_eq!(hub.epoch(), before + 1, "completion must signal");
     }
 
     #[test]
     fn concurrent_check_in_out_balance() {
-        let event = Arc::new(Event::new());
-        let scope = FinishScope::new(event);
+        let scope = FinishScope::new(Arc::new(WakeHub::new(0)));
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let scope = Arc::clone(&scope);

@@ -25,10 +25,7 @@ impl SchedulerModule for ProbeModule {
 
     fn initialize(&self, rt: &Runtime) -> Result<(), ModuleError> {
         if self.require_gpu && rt.place_of_kind(&PlaceKind::GpuMemory).is_none() {
-            return Err(ModuleError::new(
-                "probe",
-                "platform model has no GPU place",
-            ));
+            return Err(ModuleError::new("probe", "platform model has no GPU place"));
         }
         self.initialized.store(true, Ordering::SeqCst);
         Ok(())
@@ -86,7 +83,8 @@ fn module_stats_attribute_time() {
         let _t = rt.module_stats().time("fake-module");
         std::thread::sleep(Duration::from_millis(1));
     }
-    rt.module_stats().record("fake-module", Duration::from_micros(3));
+    rt.module_stats()
+        .record("fake-module", Duration::from_micros(3));
     let snap = rt.module_stats().snapshot();
     let entry = snap.iter().find(|(n, _, _)| n == "fake-module").unwrap();
     assert_eq!(entry.1, 2);

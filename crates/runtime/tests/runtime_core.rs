@@ -204,7 +204,12 @@ fn forasync_runs_every_iteration_once() {
         });
     });
     for (i, hit) in hits.iter().enumerate() {
-        assert_eq!(hit.load(Ordering::SeqCst), 1, "iteration {} ran wrong count", i);
+        assert_eq!(
+            hit.load(Ordering::SeqCst),
+            1,
+            "iteration {} ran wrong count",
+            i
+        );
     }
     rt.shutdown();
 }
@@ -232,16 +237,20 @@ fn forasync_2d_and_3d_cover_space() {
     let c3 = Arc::clone(&count);
     rt.block_on(move || {
         api::finish(|| {});
-        hiper_runtime::Runtime::current().unwrap().forasync_2d((8, 9), 2, move |_i, _j| {
-            c2.fetch_add(1, Ordering::Relaxed);
-        });
+        hiper_runtime::Runtime::current()
+            .unwrap()
+            .forasync_2d((8, 9), 2, move |_i, _j| {
+                c2.fetch_add(1, Ordering::Relaxed);
+            });
     });
     assert_eq!(count.load(Ordering::SeqCst), 72);
     count.store(0, Ordering::SeqCst);
     rt.block_on(move || {
-        hiper_runtime::Runtime::current().unwrap().forasync_3d((3, 4, 5), 1, move |_, _, _| {
-            c3.fetch_add(1, Ordering::Relaxed);
-        });
+        hiper_runtime::Runtime::current()
+            .unwrap()
+            .forasync_3d((3, 4, 5), 1, move |_, _, _| {
+                c3.fetch_add(1, Ordering::Relaxed);
+            });
     });
     assert_eq!(count.load(Ordering::SeqCst), 60);
     rt.shutdown();
@@ -361,9 +370,7 @@ fn task_panic_does_not_kill_worker() {
 fn when_all_composes_futures() {
     let rt = rt(2);
     rt.block_on(|| {
-        let fs: Vec<_> = (0..5)
-            .map(|_| api::async_future(|| ()))
-            .collect();
+        let fs: Vec<_> = (0..5).map(|_| api::async_future(|| ())).collect();
         let all = hiper_runtime::when_all(&fs);
         all.wait();
         assert!(fs.iter().all(|f| f.is_ready()));

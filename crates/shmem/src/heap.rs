@@ -44,7 +44,7 @@ impl SymHeap {
         let mut off = offset;
         let mut src = data;
         // Leading partial word.
-        if off % 8 != 0 {
+        if !off.is_multiple_of(8) {
             let take = (8 - off % 8).min(src.len());
             self.rmw_bytes(off, &src[..take]);
             off += take;
@@ -151,7 +151,9 @@ impl SymHeap {
 
 impl std::fmt::Debug for SymHeap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SymHeap").field("bytes", &self.len()).finish()
+        f.debug_struct("SymHeap")
+            .field("bytes", &self.len())
+            .finish()
     }
 }
 
@@ -177,7 +179,10 @@ impl SymPtr {
     /// Byte offset of element `i` for 8-byte element types.
     pub fn at64(&self, i: usize) -> usize {
         let off = self.offset + i * 8;
-        assert!(off + 8 <= self.offset + self.len, "element index out of range");
+        assert!(
+            off + 8 <= self.offset + self.len,
+            "element index out of range"
+        );
         off
     }
 }
@@ -227,7 +232,11 @@ mod tests {
         assert_eq!(h.load_u64(8), 42);
         assert_eq!(h.compare_swap_u64(8, 42, 100), 42);
         assert_eq!(h.load_u64(8), 100);
-        assert_eq!(h.compare_swap_u64(8, 42, 7), 100, "failed CAS returns current");
+        assert_eq!(
+            h.compare_swap_u64(8, 42, 7),
+            100,
+            "failed CAS returns current"
+        );
         assert_eq!(h.load_u64(8), 100);
         h.store_i64(16, -5);
         assert_eq!(h.load_i64(16), -5);
@@ -268,7 +277,10 @@ mod tests {
 
     #[test]
     fn symptr_slicing() {
-        let p = SymPtr { offset: 64, len: 80 };
+        let p = SymPtr {
+            offset: 64,
+            len: 80,
+        };
         let s = p.slice(16, 8);
         assert_eq!(s.offset, 80);
         assert_eq!(s.len, 8);

@@ -90,7 +90,11 @@ fn tag_low(t: u64) -> u64 {
 }
 
 fn coll_tag(cop: u8, round: u8, seq: u64) -> u64 {
-    tag(op::COLL, cop, ((round as u64) << 40) | (seq & 0xFF_FFFF_FFFF))
+    tag(
+        op::COLL,
+        cop,
+        ((round as u64) << 40) | (seq & 0xFF_FFFF_FFFF),
+    )
 }
 
 /// One-shot reply slot: completed exactly once with the reply payload;
@@ -164,7 +168,11 @@ impl ShmemWorld {
     /// Allocates `nranks` heaps of `heap_bytes` each.
     pub fn new(nranks: usize, heap_bytes: usize) -> ShmemWorld {
         ShmemWorld {
-            heaps: Arc::new((0..nranks).map(|_| Arc::new(SymHeap::new(heap_bytes))).collect()),
+            heaps: Arc::new(
+                (0..nranks)
+                    .map(|_| Arc::new(SymHeap::new(heap_bytes)))
+                    .collect(),
+            ),
         }
     }
 
@@ -252,7 +260,10 @@ impl RawShmem {
             self.heap().len()
         );
         *next = offset + nbytes;
-        SymPtr { offset, len: nbytes }
+        SymPtr {
+            offset,
+            len: nbytes,
+        }
     }
 
     /// Symmetric allocation of `n` 64-bit elements.
@@ -421,8 +432,12 @@ impl RawShmem {
         let mut payload = BytesMut::with_capacity(16);
         payload.put_u64_le(offset as u64);
         payload.put_u64_le(nbytes as u64);
-        self.transport
-            .send(target, Channel::SHMEM, tag(op::GET_REQ, 0, id), payload.freeze());
+        self.transport.send(
+            target,
+            Channel::SHMEM,
+            tag(op::GET_REQ, 0, id),
+            payload.freeze(),
+        );
     }
 
     /// Blocking `shmem_getmem`.
@@ -436,21 +451,36 @@ impl RawShmem {
         let mut payload = BytesMut::with_capacity(16);
         payload.put_u64_le(offset as u64);
         payload.put_u64_le(nbytes as u64);
-        self.transport
-            .send(target, Channel::SHMEM, tag(op::GET_REQ, 0, id), payload.freeze());
+        self.transport.send(
+            target,
+            Channel::SHMEM,
+            tag(op::GET_REQ, 0, id),
+            payload.freeze(),
+        );
         slot.wait()
     }
 
-    fn amo(&self, target: Rank, sub: u8, offset: usize, a: u64, b: u64,
-           cb: Option<Box<dyn FnOnce(Bytes) + Send>>) -> Option<Arc<OneShot>> {
+    fn amo(
+        &self,
+        target: Rank,
+        sub: u8,
+        offset: usize,
+        a: u64,
+        b: u64,
+        cb: Option<Box<dyn FnOnce(Bytes) + Send>>,
+    ) -> Option<Arc<OneShot>> {
         let (id, slot) = self.new_slot(cb);
         let mut payload = BytesMut::with_capacity(24);
         payload.put_u64_le(offset as u64);
         payload.put_u64_le(a);
         payload.put_u64_le(b);
         self.dirty.lock().insert(target);
-        self.transport
-            .send(target, Channel::SHMEM, tag(op::AMO_REQ, sub, id), payload.freeze());
+        self.transport.send(
+            target,
+            Channel::SHMEM,
+            tag(op::AMO_REQ, sub, id),
+            payload.freeze(),
+        );
         Some(slot)
     }
 
@@ -466,8 +496,13 @@ impl RawShmem {
     }
 
     /// Fetch-add with a completion callback.
-    pub fn fadd_cb(&self, target: Rank, offset: usize, delta: u64,
-                   cb: Box<dyn FnOnce(u64) + Send>) {
+    pub fn fadd_cb(
+        &self,
+        target: Rank,
+        offset: usize,
+        delta: u64,
+        cb: Box<dyn FnOnce(u64) + Send>,
+    ) {
         if target == self.rank() {
             let old = self.heap().fetch_add_u64(offset, delta);
             self.notify_local_change();
@@ -554,8 +589,13 @@ impl RawShmem {
     /// Registers `fire` to run (on the delivery thread) once the local
     /// 64-bit value at `offset` satisfies `cmp value`. Fires immediately if
     /// it already does. Building block of the module's `shmem_async_when`.
-    pub fn register_when(&self, offset: usize, cmp: Cmp, value: i64,
-                         fire: Box<dyn FnOnce() + Send>) {
+    pub fn register_when(
+        &self,
+        offset: usize,
+        cmp: Cmp,
+        value: i64,
+        fire: Box<dyn FnOnce() + Send>,
+    ) {
         {
             let mut whens = self.whens.lock();
             if !cmp.eval(self.heap().load_i64(offset), value) {

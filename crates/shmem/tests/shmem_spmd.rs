@@ -19,10 +19,7 @@ fn with_shmem<R: Send + 'static>(
         .run(
             move |_rank, transport| {
                 let shmem = ShmemModule::new(world.clone(), transport);
-                (
-                    vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>],
-                    shmem,
-                )
+                (vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>], shmem)
             },
             main,
         )
@@ -154,10 +151,7 @@ fn collectives_match_oracle() {
         assert!((fsums[0] - (0..n as u64).sum::<u64>() as f64 * 0.5).abs() < 1e-12);
         let maxes = raw.max_to_all_i64(&[me as i64 - 3]);
         assert_eq!(maxes, vec![n as i64 - 4]);
-        let bc = raw.broadcast(
-            3,
-            bytes::Bytes::from(vec![env.rank as u8; 4]),
-        );
+        let bc = raw.broadcast(3, bytes::Bytes::from(vec![env.rank as u8; 4]));
         assert_eq!(&bc[..], &[3u8; 4]);
         true
     });

@@ -66,6 +66,8 @@ impl GlobalPtr {
 
 type RpcClosure = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
 type RpcCallback = Box<dyn FnOnce(Box<dyn Any + Send>) + Send>;
+/// Staged RPC results keyed by (caller, slot).
+type RpcResults = HashMap<(Rank, u64), Box<dyn Any + Send>>;
 
 /// Cluster-shared state: segments plus in-process RPC staging tables.
 #[derive(Clone)]
@@ -75,14 +77,18 @@ pub struct UpcxxWorld {
     /// per caller, so the pair is globally unique.
     closures: Arc<Mutex<HashMap<(Rank, u64), RpcClosure>>>,
     /// Rpc results staged for (caller, slot).
-    results: Arc<Mutex<HashMap<(Rank, u64), Box<dyn Any + Send>>>>,
+    results: Arc<Mutex<RpcResults>>,
 }
 
 impl UpcxxWorld {
     /// Allocates `nranks` shared segments of `segment_bytes` each.
     pub fn new(nranks: usize, segment_bytes: usize) -> UpcxxWorld {
         UpcxxWorld {
-            segments: Arc::new((0..nranks).map(|_| RwLock::new(vec![0u8; segment_bytes])).collect()),
+            segments: Arc::new(
+                (0..nranks)
+                    .map(|_| RwLock::new(vec![0u8; segment_bytes]))
+                    .collect(),
+            ),
             closures: Arc::new(Mutex::new(HashMap::new())),
             results: Arc::new(Mutex::new(HashMap::new())),
         }
@@ -285,7 +291,9 @@ impl UpcxxModule {
         let fut = promise.future();
         if src.rank == self.rank() {
             let seg = self.world.segments[src.rank].read();
-            promise.put(Bytes::copy_from_slice(&seg[src.offset..src.offset + src.len]));
+            promise.put(Bytes::copy_from_slice(
+                &seg[src.offset..src.offset + src.len],
+            ));
             return fut;
         }
         let mut slot_promise = Some(promise);
@@ -296,8 +304,12 @@ impl UpcxxModule {
         let mut payload = BytesMut::with_capacity(16);
         payload.put_u64_le(src.offset as u64);
         payload.put_u64_le(src.len as u64);
-        self.transport
-            .send(src.rank, Channel::UPCXX, tag(op::GET_REQ, id), payload.freeze());
+        self.transport.send(
+            src.rank,
+            Channel::UPCXX,
+            tag(op::GET_REQ, id),
+            payload.freeze(),
+        );
         fut
     }
 
@@ -331,10 +343,10 @@ impl UpcxxModule {
             let value = *result.downcast::<R>().expect("rpc result type mismatch");
             slot_promise.take().expect("reply twice").put(value);
         }));
-        self.world
-            .closures
-            .lock()
-            .insert((self.rank(), id), Box::new(move || Box::new(f()) as Box<dyn Any + Send>));
+        self.world.closures.lock().insert(
+            (self.rank(), id),
+            Box::new(move || Box::new(f()) as Box<dyn Any + Send>),
+        );
         self.transport
             .send(target, Channel::UPCXX, tag(op::RPC_REQ, id), Bytes::new());
         fut

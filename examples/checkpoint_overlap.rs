@@ -84,7 +84,11 @@ fn main() {
         let latest = c.latest_version("overlap").expect("snapshots exist");
         let restored = c.restore("overlap", latest).get().expect("restore");
         assert_eq!(restored.len(), STATE_BYTES);
-        println!("restored snapshot v{} ({} bytes, checksum OK)", latest, restored.len());
+        println!(
+            "restored snapshot v{} ({} bytes, checksum OK)",
+            latest,
+            restored.len()
+        );
     });
     assert!(overlapped < blocking, "overlap must beat blocking");
     rt.shutdown();

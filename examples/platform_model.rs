@@ -27,11 +27,19 @@ fn main() {
 
     // JSON roundtrip: the on-disk format HiPER loads at initialization.
     let json = config.to_json();
-    println!("\n=== JSON ({} bytes) ===\n{}", json.len(), &json[..400.min(json.len())]);
+    println!(
+        "\n=== JSON ({} bytes) ===\n{}",
+        json.len(),
+        &json[..400.min(json.len())]
+    );
     let reloaded = PlatformConfig::from_json(&json).expect("roundtrip must parse");
     assert_eq!(reloaded.graph.len(), config.graph.len());
     assert_eq!(reloaded.graph.edges(), config.graph.edges());
-    println!("... roundtrip OK ({} places, {} edges)", reloaded.graph.len(), reloaded.graph.edges().len());
+    println!(
+        "... roundtrip OK ({} places, {} edges)",
+        reloaded.graph.len(),
+        reloaded.graph.edges().len()
+    );
 
     // Pop/steal paths: the flexible encoding of load-balancing policies
     // (paper §II-B3). Show how the hierarchy-aware policy orders places by

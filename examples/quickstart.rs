@@ -28,7 +28,10 @@ fn main() {
                 });
             }
         });
-        println!("finish waited for {} tasks", counter.load(std::sync::atomic::Ordering::SeqCst));
+        println!(
+            "finish waited for {} tasks",
+            counter.load(std::sync::atomic::Ordering::SeqCst)
+        );
 
         // --- promises & futures: point-to-point synchronization ---
         let p = Promise::new();

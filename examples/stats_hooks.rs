@@ -35,18 +35,22 @@ fn main() {
                         }
                     });
                     if env.rank == 0 {
-                        mpi.send(1, round, &[round as u64]);
+                        mpi.send(1, round, &[round]);
                         let _ = mpi.recv::<u64>(Some(1), Some(round));
                     } else {
                         let _ = mpi.recv::<u64>(Some(0), Some(round));
-                        mpi.send(0, round, &[round as u64]);
+                        mpi.send(0, round, &[round]);
                     }
                     mpi.barrier();
                 }
 
                 // Gather this rank's statistics report.
                 let mut lines = Vec::new();
-                lines.push(format!("rank {} scheduler: {}", env.rank, env.runtime.sched_stats()));
+                lines.push(format!(
+                    "rank {} scheduler: {}",
+                    env.rank,
+                    env.runtime.sched_stats()
+                ));
                 for (module, calls, time) in env.runtime.module_stats().snapshot() {
                     lines.push(format!(
                         "rank {} module '{}': {} calls, {:?} total",

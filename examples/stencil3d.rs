@@ -53,7 +53,11 @@ fn main() {
             },
             |env, (mpi, gpu)| {
                 let me = env.rank;
-                let up = if me + 1 < env.nranks { Some(me + 1) } else { None };
+                let up = if me + 1 < env.nranks {
+                    Some(me + 1)
+                } else {
+                    None
+                };
                 let down = if me > 0 { Some(me - 1) } else { None };
 
                 // Device slab: NZ interior planes + 2 halo planes.
@@ -83,23 +87,19 @@ fn main() {
                         // here a simple smoothing of the outgoing planes.
                         let top2 = top_fut.clone();
                         let ghost_fut = async_future(move || {
-                            let mut plane: Vec<f64> =
-                                hiper::netsim::pod::from_bytes(&top2.get());
+                            let mut plane: Vec<f64> = hiper::netsim::pod::from_bytes(&top2.get());
                             smooth_plane(&mut plane);
                             plane
                         });
                         let bot2 = bot_fut.clone();
                         let ghost_fut_b = async_future(move || {
-                            let mut plane: Vec<f64> =
-                                hiper::netsim::pod::from_bytes(&bot2.get());
+                            let mut plane: Vec<f64> = hiper::netsim::pod::from_bytes(&bot2.get());
                             smooth_plane(&mut plane);
                             plane
                         });
 
                         // (2) Transmit ghost planes once ready; post recvs.
-                        let unit = hiper::runtime::when_all(&[
-                            to_unit(&ghost_fut),
-                        ]);
+                        let unit = hiper::runtime::when_all(&[to_unit(&ghost_fut)]);
                         let unit_b = hiper::runtime::when_all(&[to_unit(&ghost_fut_b)]);
                         if let Some(up) = up {
                             let g = ghost_fut.clone();
@@ -116,7 +116,7 @@ fn main() {
                         // the communication above.
                         let s2 = Arc::clone(&slab);
                         let interior = gpu.launch_future(&stream, move || {
-                            s2.with_f64_mut(|v| jacobi_interior(v));
+                            s2.with_f64_mut(jacobi_interior);
                         });
 
                         // (4) Received planes to the device, predicated on
@@ -170,7 +170,10 @@ fn main() {
     }
     // Energy decreases monotonically on the hot rank (pure diffusion).
     let hot = &results[1];
-    assert!(hot.windows(2).all(|w| w[1] <= w[0] + 1e-9), "norm must decay");
+    assert!(
+        hot.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+        "norm must decay"
+    );
     println!("stencil3d OK");
 }
 
@@ -200,13 +203,14 @@ fn jacobi_interior(v: &mut [f64]) {
         for y in 1..NY - 1 {
             for x in 1..NX - 1 {
                 v[idx(x, y, z)] = old[idx(x, y, z)]
-                    + 0.1 * (old[idx(x - 1, y, z)]
-                        + old[idx(x + 1, y, z)]
-                        + old[idx(x, y - 1, z)]
-                        + old[idx(x, y + 1, z)]
-                        + old[idx(x, y, z - 1)]
-                        + old[idx(x, y, z + 1)]
-                        - 6.0 * old[idx(x, y, z)]);
+                    + 0.1
+                        * (old[idx(x - 1, y, z)]
+                            + old[idx(x + 1, y, z)]
+                            + old[idx(x, y - 1, z)]
+                            + old[idx(x, y + 1, z)]
+                            + old[idx(x, y, z - 1)]
+                            + old[idx(x, y, z + 1)]
+                            - 6.0 * old[idx(x, y, z)]);
             }
         }
     }

@@ -36,8 +36,11 @@ fn main() {
                 // Rank 0 seeds the root; the tree is a deterministic
                 // splittable structure: node (depth, seed) has
                 // `seed % 4` children while depth < 8.
-                let mut frontier: Vec<(u32, u64)> =
-                    if env.rank == 0 { vec![(0, 0x9e3779b97f4a7c15)] } else { vec![] };
+                let mut frontier: Vec<(u32, u64)> = if env.rank == 0 {
+                    vec![(0, 0x9e3779b97f4a7c15)]
+                } else {
+                    vec![]
+                };
                 let mut local_count = 0u64;
 
                 // Expand with intra-rank parallelism (forasync-style) and a
@@ -80,8 +83,7 @@ fn main() {
                     // balancing through the symmetric heap).
                     if frontier.len() > 64 {
                         let victim = (env.rank + 1) % env.nranks;
-                        let spill: Vec<(u32, u64)> =
-                            frontier.drain(..16).collect();
+                        let spill: Vec<(u32, u64)> = frontier.drain(..16).collect();
                         let slot = raw.fadd(victim, mail_count.offset, spill.len() as u64);
                         if (slot as usize) + spill.len() <= 32 {
                             for (i, (d, s)) in spill.iter().enumerate() {
@@ -122,9 +124,15 @@ fn main() {
         );
 
     let total = results[0].1;
-    println!("\nper-rank node counts: {:?}", results.iter().map(|r| r.0).collect::<Vec<_>>());
+    println!(
+        "\nper-rank node counts: {:?}",
+        results.iter().map(|r| r.0).collect::<Vec<_>>()
+    );
     println!("global tree nodes visited: {}", total);
-    assert!(results.iter().all(|r| r.1 == total), "ranks disagree on total");
+    assert!(
+        results.iter().all(|r| r.1 == total),
+        "ranks disagree on total"
+    );
     assert!(total > 100, "tree unexpectedly small");
 }
 

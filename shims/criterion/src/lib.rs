@@ -1,0 +1,186 @@
+//! Offline stand-in for the subset of the `criterion` crate used by this
+//! workspace (no network access to crates.io in the build environment).
+//!
+//! Implements the same measurement shape — warm-up phase, then `sample_size`
+//! samples, each iterating the closure enough times to fill
+//! `measurement_time / sample_size` — and reports min/median/max ns per
+//! iteration to stdout. No plots, no statistics beyond the median, no
+//! baseline storage; pipe the output somewhere if you want history.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness: holds timing configuration and runs benchmarks
+/// registered through [`Criterion::bench_function`].
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets how long to run the closure untimed before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the closure repeatedly and measure its per-iteration
+        // cost so we can size the timed samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 1;
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+        }
+        let per_iter = if warm_iters > 0 {
+            warm_start.elapsed().as_nanos() as f64 / warm_iters as f64
+        } else {
+            1.0
+        };
+
+        // Size each sample so the whole run fits in measurement_time.
+        let sample_budget = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = (sample_budget / per_iter.max(1.0)).max(1.0) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = iters_per_sample;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = samples_ns.first().copied().unwrap_or(0.0);
+        let max = samples_ns.last().copied().unwrap_or(0.0);
+        let median = samples_ns[samples_ns.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        self
+    }
+}
+
+/// Formats nanoseconds with criterion-style unit scaling.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,416 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::fmt;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: `generate`
+/// draws one value directly from the PRNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strat: self, f }
+    }
+
+    /// Recursive strategies: `f` receives a handle generating the previous
+    /// depth level, and returns a strategy for one more level of structure.
+    /// Leaves are mixed back in at every level, so generation terminates.
+    /// The `_desired_size` / `_expected_branch` hints of real proptest are
+    /// accepted but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> SBoxed<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(SBoxed<Self::Value>) -> R,
+    {
+        let leaf = sboxed(self);
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = sboxed(f(cur));
+            cur = sboxed(OneOf::new(vec![(1, leaf.clone()), (2, deeper)]));
+        }
+        cur
+    }
+
+    /// Type-erases this strategy behind a cheap clonable handle.
+    fn boxed(self) -> SBoxed<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        sboxed(self)
+    }
+}
+
+/// A clonable, type-erased strategy handle (proptest's `BoxedStrategy`).
+pub struct SBoxed<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for SBoxed<T> {
+    fn clone(&self) -> Self {
+        SBoxed {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for SBoxed<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+impl<T> fmt::Debug for SBoxed<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SBoxed { .. }")
+    }
+}
+
+/// Erases a strategy into an [`SBoxed`] handle.
+pub fn sboxed<S>(s: S) -> SBoxed<S::Value>
+where
+    S: Strategy + 'static,
+{
+    SBoxed { inner: Rc::new(s) }
+}
+
+/// Strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strat.generate(rng))
+    }
+}
+
+/// Weighted union of same-valued strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<(u32, SBoxed<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, SBoxed<T>)>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.range_u64(0, self.total as u64) as u32;
+        for (weight, strat) in &self.arms {
+            if pick < *weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Types with a canonical "any value" strategy (proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for the full value space of `T` — `any::<T>()`.
+#[derive(Debug, Clone, Default)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns the canonical strategy for all values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_u64(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_i64(self.start as i64, self.end as i64) as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+
+// ---------------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns of the form `[chars]{m,n}` act as string strategies:
+/// a character class with ranges and `\`-escapes, repeated `m..=n` times.
+/// Any pattern that does not parse as that shape generates itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((chars, lo, hi)) => {
+                let len = rng.range_u64(lo as u64, hi as u64 + 1) as usize;
+                (0..len)
+                    .map(|_| chars[rng.range_u64(0, chars.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[class]{m}` / `[class]{m,n}` into (alphabet, min_len, max_len).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let mut chars: Vec<char> = Vec::new();
+    let mut it = rest.chars().peekable();
+    let mut closed = false;
+    while let Some(c) = it.next() {
+        match c {
+            ']' => {
+                closed = true;
+                break;
+            }
+            '\\' => {
+                let esc = it.next()?;
+                chars.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                });
+            }
+            _ => {
+                // `a-z` range (a lone trailing `-` is a literal).
+                if it.peek() == Some(&'-') {
+                    let mut ahead = it.clone();
+                    ahead.next(); // consume '-'
+                    match ahead.peek() {
+                        Some(&end) if end != ']' => {
+                            it = ahead;
+                            it.next(); // consume range end
+                            for v in c as u32..=end as u32 {
+                                chars.push(char::from_u32(v)?);
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                chars.push(c);
+            }
+        }
+    }
+    if !closed || chars.is_empty() {
+        return None;
+    }
+    let rep: String = it.collect();
+    let body = rep.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match body.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn just_and_map() {
+        let mut r = rng();
+        let s = Just(7u32).prop_map(|v| v * 2);
+        assert_eq!(s.generate(&mut r), 14);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let f = (-1.0..1.0f64).generate(&mut r);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_zero_weighted_exclusion() {
+        let mut r = rng();
+        let s = OneOf::new(vec![(1, sboxed(Just(1u8))), (3, sboxed(Just(2u8)))]);
+        let mut saw = [0usize; 3];
+        for _ in 0..400 {
+            saw[s.generate(&mut r) as usize - 1] += 1;
+        }
+        assert!(saw[0] > 0 && saw[1] > saw[0]);
+    }
+
+    #[test]
+    fn class_pattern_parses() {
+        let (chars, lo, hi) = parse_class_pattern("[a-c_\\-]{1,4}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', '_', '-']);
+        assert_eq!((lo, hi), (1, 4));
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut r);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            // The payload is generated but never inspected.
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..255)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            // Depth bound: `depth` levels of Node plus the leaf itself.
+            assert!(depth(&strat.generate(&mut r)) <= 4 + 1);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Test-run configuration and the error type surfaced by `prop_assert*`.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block. Mirrors the fields of real
+/// proptest's `ProptestConfig` that this workspace sets; everything else is
+/// carried by `_non_exhaustive`-style struct-update (`.. Default::default()`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; the shim never forks.
+    pub fork: bool,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            fork: false,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor matching real proptest.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+    /// The case asked to be discarded (kept for API parity; unused here).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_struct_update_works() {
+        let cfg = ProptestConfig {
+            cases: 8,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(cfg.cases, 8);
+        assert!(!cfg.fork);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(TestCaseError::fail("boom").to_string(), "boom");
+    }
+}

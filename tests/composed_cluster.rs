@@ -137,7 +137,10 @@ fn four_modules_compose_on_one_runtime() {
                 ckpt.checkpoint("ring", 1, received.to_le_bytes().to_vec())
                     .wait();
                 let restored = ckpt.restore("ring", 1).get().unwrap();
-                assert_eq!(u64::from_le_bytes(restored[..8].try_into().unwrap()), received);
+                assert_eq!(
+                    u64::from_le_bytes(restored[..8].try_into().unwrap()),
+                    received
+                );
 
                 (received, final_sum)
             },
@@ -184,6 +187,10 @@ fn modules_see_consistent_stats_across_composition() {
         );
     for (tasks, mpi_calls) in results {
         assert!(tasks >= 11, "taskified calls must run as tasks: {}", tasks);
-        assert!(mpi_calls >= 11, "mpi stats must record calls: {}", mpi_calls);
+        assert!(
+            mpi_calls >= 11,
+            "mpi stats must record calls: {}",
+            mpi_calls
+        );
     }
 }
