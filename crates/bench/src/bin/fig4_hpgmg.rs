@@ -15,7 +15,9 @@
 use std::sync::Arc;
 
 use hiper_bench::hpgmg::{self, Dims, HiperBackend, MgParams, MpiOmpBackend};
-use hiper_bench::util::{env_param, print_table, summarize, Timing};
+use hiper_bench::util::{
+    env_param, print_rank_stats, print_table, stats_enabled, summarize, trace_session, Timing,
+};
 use hiper_forkjoin::Pool;
 use hiper_mpi::MpiModule;
 use hiper_netsim::{NetConfig, SpmdBuilder};
@@ -94,6 +96,9 @@ fn run_hiper(nodes: usize, params: MgParams, reps: usize) -> (Timing, Vec<f64>) 
                     }
                     norms = n;
                 }
+                if stats_enabled() {
+                    print_rank_stats(&format!("hpgmg-hiper rank {}", env.rank), &env.runtime);
+                }
                 (samples, norms)
             },
         );
@@ -101,6 +106,7 @@ fn run_hiper(nodes: usize, params: MgParams, reps: usize) -> (Timing, Vec<f64>) 
 }
 
 fn main() {
+    let _trace = trace_session();
     let nodes_max = env_param("HIPER_NODES_MAX", 8);
     let n = env_param("HIPER_MG_N", 16);
     let nz = env_param("HIPER_MG_NZ", 8);

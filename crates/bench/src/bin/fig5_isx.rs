@@ -14,7 +14,9 @@
 use std::sync::Arc;
 
 use hiper_bench::isx::{self, IsxParams};
-use hiper_bench::util::{env_param, print_table, summarize, Timing};
+use hiper_bench::util::{
+    env_param, print_rank_stats, print_table, stats_enabled, summarize, trace_session, Timing,
+};
 use hiper_forkjoin::Pool;
 use hiper_netsim::{NetConfig, SpmdBuilder};
 use hiper_runtime::SchedulerModule;
@@ -119,7 +121,7 @@ fn run_hiper(nodes: usize, keys_per_node: usize, reps: usize) -> Timing {
                 let shmem = ShmemModule::new(world.clone(), t);
                 (vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>], shmem)
             },
-            move |_env, shmem| {
+            move |env, shmem| {
                 let raw = Arc::clone(shmem.raw());
                 let watermark = raw.alloc_watermark();
                 let mut samples = Vec::new();
@@ -136,6 +138,9 @@ fn run_hiper(nodes: usize, keys_per_node: usize, reps: usize) -> Timing {
                         samples.push(dt);
                     }
                 }
+                if stats_enabled() {
+                    print_rank_stats(&format!("isx-hiper rank {}", env.rank), &env.runtime);
+                }
                 samples
             },
         );
@@ -149,6 +154,7 @@ fn heap_bytes(keys_per_rank: usize) -> usize {
 }
 
 fn main() {
+    let _trace = trace_session();
     let nodes_max = env_param("HIPER_NODES_MAX", 8);
     let keys_per_node = env_param("HIPER_KEYS_PER_NODE", 1 << 16);
     let reps = env_param("HIPER_REPS", 3);

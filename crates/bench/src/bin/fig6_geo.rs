@@ -15,7 +15,9 @@
 use std::sync::Arc;
 
 use hiper_bench::geo::{self, GeoParams};
-use hiper_bench::util::{env_param, print_table, summarize, Timing};
+use hiper_bench::util::{
+    env_param, print_rank_stats, print_table, stats_enabled, summarize, trace_session, Timing,
+};
 use hiper_gpu::GpuModule;
 use hiper_mpi::MpiModule;
 use hiper_netsim::{NetConfig, SpmdBuilder};
@@ -69,6 +71,9 @@ fn run_geo(nodes: usize, params: GeoParams, hiper: bool, reps: usize) -> (Timing
                         samples.push(dt);
                     }
                 }
+                if stats_enabled() {
+                    print_rank_stats(&format!("geo rank {}", env.rank), &env.runtime);
+                }
                 (samples, checksum)
             },
         );
@@ -76,6 +81,7 @@ fn run_geo(nodes: usize, params: GeoParams, hiper: bool, reps: usize) -> (Timing
 }
 
 fn main() {
+    let _trace = trace_session();
     let nodes_max = env_param("HIPER_NODES_MAX", 8);
     let n = env_param("HIPER_GEO_N", 24);
     let steps = env_param("HIPER_GEO_STEPS", 8);

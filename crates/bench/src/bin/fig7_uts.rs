@@ -15,7 +15,9 @@
 
 use std::sync::Arc;
 
-use hiper_bench::util::{env_param, print_table, summarize, Timing};
+use hiper_bench::util::{
+    env_param, print_rank_stats, print_table, stats_enabled, summarize, trace_session, Timing,
+};
 use hiper_bench::uts::{self, UtsParams};
 use hiper_forkjoin::Pool;
 use hiper_netsim::{NetConfig, SpmdBuilder};
@@ -41,7 +43,7 @@ fn run_impl(which: Impl, nodes: usize, params: UtsParams, expected: u64, reps: u
                 let shmem = ShmemModule::new(world.clone(), t);
                 (vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>], shmem)
             },
-            move |_env, shmem| {
+            move |env, shmem| {
                 let raw: Arc<RawShmem> = Arc::clone(shmem.raw());
                 let pool = if which == Impl::Hiper {
                     None
@@ -70,6 +72,9 @@ fn run_impl(which: Impl, nodes: usize, params: UtsParams, expected: u64, reps: u
                 if let Some(pool) = pool {
                     pool.shutdown();
                 }
+                if stats_enabled() {
+                    print_rank_stats(&format!("uts rank {}", env.rank), &env.runtime);
+                }
                 samples
             },
         );
@@ -77,6 +82,7 @@ fn run_impl(which: Impl, nodes: usize, params: UtsParams, expected: u64, reps: u
 }
 
 fn main() {
+    let _trace = trace_session();
     let nodes_max = env_param("HIPER_NODES_MAX", 8);
     let reps = env_param("HIPER_REPS", 3);
     let params = UtsParams {

@@ -16,7 +16,9 @@
 use std::sync::Arc;
 
 use hiper_bench::graph500::{self, G500Params};
-use hiper_bench::util::{env_param, print_table, summarize, Timing};
+use hiper_bench::util::{
+    env_param, print_rank_stats, print_table, stats_enabled, summarize, trace_session, Timing,
+};
 use hiper_mpi::MpiModule;
 use hiper_netsim::{NetConfig, SpmdBuilder};
 use hiper_runtime::SchedulerModule;
@@ -46,7 +48,7 @@ fn run_g500(
                     (shmem, mpi),
                 )
             },
-            move |_env, (shmem, mpi)| {
+            move |env, (shmem, mpi)| {
                 let graph = Arc::new(graph500::build_graph(mpi.raw(), &params));
                 let cap = graph500::mailbox_capacity(shmem.raw(), &graph);
                 let arena = Arc::new(graph500::MailArena::alloc(shmem.raw(), cap));
@@ -72,6 +74,9 @@ fn run_g500(
                         samples.push(dt);
                     }
                 }
+                if stats_enabled() {
+                    print_rank_stats(&format!("graph500 rank {}", env.rank), &env.runtime);
+                }
                 (samples, teps)
             },
         );
@@ -79,6 +84,7 @@ fn run_g500(
 }
 
 fn main() {
+    let _trace = trace_session();
     let nodes_max = env_param("HIPER_NODES_MAX", 8);
     let reps = env_param("HIPER_REPS", 3);
     let params = G500Params {

@@ -1,0 +1,204 @@
+//! Validates a Chrome trace-event JSON file produced by `hiper-trace`.
+//!
+//! Checks the structural invariants a timeline viewer relies on:
+//!
+//! * the document is an object with a `traceEvents` array;
+//! * every event has a string `name`, a one-char `ph`, and numeric
+//!   `pid`/`tid` (metadata `M` events may omit `ts`, all others need it);
+//! * per (pid, tid) track, timestamps are monotone non-decreasing in file
+//!   order (the exporter globally sorts by time);
+//! * per track, `B`/`E` duration events pair up with matching names and end
+//!   balanced — unless that track recorded a `dropped events` marker, in
+//!   which case unbalanced spans are reported but tolerated.
+//!
+//! ```text
+//! cargo run --release -p hiper-bench --bin trace_check -- out.json
+//! ```
+//!
+//! Exits 0 on a valid trace, 1 on any violation, 2 on usage/IO errors.
+
+use std::collections::BTreeMap;
+
+use hiper_platform::json::Json;
+
+struct Track {
+    last_ts: f64,
+    /// Open B spans (names), in nesting order.
+    stack: Vec<String>,
+    /// This track lost ring events; unbalanced spans are expected.
+    lossy: bool,
+    events: u64,
+    spans: u64,
+}
+
+impl Default for Track {
+    fn default() -> Track {
+        Track {
+            last_ts: f64::NEG_INFINITY,
+            stack: Vec::new(),
+            lossy: false,
+            events: 0,
+            spans: 0,
+        }
+    }
+}
+
+fn fail(errors: &mut Vec<String>, msg: String) {
+    if errors.len() < 20 {
+        errors.push(msg);
+    }
+}
+
+/// Validates the parsed document; returns (per-track summary, errors).
+fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, Vec<String>) {
+    let mut errors = Vec::new();
+    let mut tracks: BTreeMap<(u64, u64), Track> = BTreeMap::new();
+    let events = match doc.get("traceEvents").and_then(Json::as_array) {
+        Some(a) => a,
+        None => {
+            fail(&mut errors, "no traceEvents array".into());
+            return (tracks, errors);
+        }
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let name = match ev.get("name").and_then(Json::as_str) {
+            Some(n) => n.to_string(),
+            None => {
+                fail(&mut errors, format!("event {} has no name", i));
+                continue;
+            }
+        };
+        let ph = match ev.get("ph").and_then(Json::as_str) {
+            Some(p) if p.len() == 1 => p.chars().next().unwrap(),
+            _ => {
+                fail(&mut errors, format!("event {} ({}) has bad ph", i, name));
+                continue;
+            }
+        };
+        let pid = ev.get("pid").and_then(Json::as_f64).unwrap_or(-1.0);
+        let tid = ev.get("tid").and_then(Json::as_f64).unwrap_or(0.0);
+        if pid < 0.0 {
+            fail(&mut errors, format!("event {} ({}) has no pid", i, name));
+            continue;
+        }
+        if ph == 'M' {
+            continue; // metadata carries no timestamp
+        }
+        let ts = match ev.get("ts").and_then(Json::as_f64) {
+            Some(t) => t,
+            None => {
+                fail(&mut errors, format!("event {} ({}) has no ts", i, name));
+                continue;
+            }
+        };
+        let track = tracks.entry((pid as u64, tid as u64)).or_default();
+        track.events += 1;
+        if ts < track.last_ts {
+            fail(
+                &mut errors,
+                format!(
+                    "event {} ({}) goes back in time on pid {} tid {}: {} < {}",
+                    i, name, pid, tid, ts, track.last_ts
+                ),
+            );
+        }
+        track.last_ts = ts;
+        if name == "dropped events" {
+            track.lossy = true;
+        }
+        match ph {
+            'B' => track.stack.push(name),
+            'E' => match track.stack.pop() {
+                Some(open) => {
+                    track.spans += 1;
+                    if open != name {
+                        fail(
+                            &mut errors,
+                            format!(
+                                "event {}: E \"{}\" closes B \"{}\" on pid {} tid {}",
+                                i, name, open, pid, tid
+                            ),
+                        );
+                    }
+                }
+                None if track.lossy => {}
+                None => fail(
+                    &mut errors,
+                    format!(
+                        "event {}: E \"{}\" with no open B on pid {} tid {}",
+                        i, name, pid, tid
+                    ),
+                ),
+            },
+            'X' | 'i' | 'I' => {}
+            other => fail(&mut errors, format!("event {}: unknown ph '{}'", i, other)),
+        }
+    }
+    for ((pid, tid), track) in &tracks {
+        if !track.stack.is_empty() && !track.lossy {
+            fail(
+                &mut errors,
+                format!(
+                    "pid {} tid {}: {} unclosed span(s), innermost \"{}\"",
+                    pid,
+                    tid,
+                    track.stack.len(),
+                    track.stack.last().unwrap()
+                ),
+            );
+        }
+    }
+    (tracks, errors)
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_check <trace.json>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {}: {}", path, e);
+            std::process::exit(2);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace_check: {} is not valid JSON: {:?}", path, e);
+            std::process::exit(1);
+        }
+    };
+    let (tracks, errors) = check(&doc);
+    let events: u64 = tracks.values().map(|t| t.events).sum();
+    let spans: u64 = tracks.values().map(|t| t.spans).sum();
+    println!(
+        "{}: {} events, {} closed spans, {} tracks",
+        path,
+        events,
+        spans,
+        tracks.len()
+    );
+    for ((pid, tid), t) in &tracks {
+        println!(
+            "  pid {} tid {}: {} events, {} spans{}",
+            pid,
+            tid,
+            t.events,
+            t.spans,
+            if t.lossy { " (lossy)" } else { "" }
+        );
+    }
+    if errors.is_empty() {
+        println!("OK");
+    } else {
+        for e in &errors {
+            eprintln!("ERROR: {}", e);
+        }
+        std::process::exit(1);
+    }
+}

@@ -107,6 +107,34 @@ pub fn env_param(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Starts a tracing session when `--trace <out.json>` (or `HIPER_TRACE`)
+/// was given. Hold the returned guard for the whole run; dropping it drains
+/// all rings and writes the Chrome-trace file.
+pub fn trace_session() -> Option<hiper_trace::TraceSession> {
+    hiper_trace::session_from_env_args()
+}
+
+/// True when `--stats` was passed (or `HIPER_STATS` is set to anything but
+/// `0`): harness binaries then print per-rank scheduler and module counters.
+pub fn stats_enabled() -> bool {
+    std::env::args().any(|a| a == "--stats")
+        || std::env::var("HIPER_STATS").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Prints one rank's scheduler counters ([`SchedStatsSnapshot`] Display)
+/// and per-module call/time totals to stderr, prefixed with `tag`.
+///
+/// [`SchedStatsSnapshot`]: hiper_runtime::SchedStatsSnapshot
+pub fn print_rank_stats(tag: &str, rt: &hiper_runtime::Runtime) {
+    eprintln!("[stats {}] sched: {}", tag, rt.sched_stats());
+    for (module, calls, total) in rt.module_stats().snapshot() {
+        eprintln!(
+            "[stats {}] module {}: {} calls, {:?} total",
+            tag, module, calls, total
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -114,7 +114,7 @@ impl GpuModule {
         kernel: impl FnOnce() + Send + 'static,
     ) -> Future<()> {
         let done = self.with_state(|s| {
-            let _t = s.rt.module_stats().time("cuda");
+            let _t = s.rt.module_stats().time_op("cuda", "launch", 0);
             s.devices[stream.device()].launch_kernel(stream, kernel)
         });
         self.future_of(done)
@@ -158,7 +158,9 @@ impl GpuModule {
         src: Vec<u8>,
     ) {
         self.with_state(|s| {
-            let _t = s.rt.module_stats().time("cuda");
+            let _t =
+                s.rt.module_stats()
+                    .time_op("cuda", "memcpy_h2d", src.len() as u64);
             s.devices[stream.device()].memcpy_h2d_blocking(stream, dst, dst_off, src)
         })
     }
@@ -172,7 +174,9 @@ impl GpuModule {
         nbytes: usize,
     ) -> Vec<u8> {
         self.with_state(|s| {
-            let _t = s.rt.module_stats().time("cuda");
+            let _t =
+                s.rt.module_stats()
+                    .time_op("cuda", "memcpy_d2h", nbytes as u64);
             s.devices[stream.device()].memcpy_d2h_blocking(stream, src, src_off, nbytes)
         })
     }

@@ -76,10 +76,16 @@ impl MpiModule {
     }
 
     /// Taskify helper (§II-C1): run `f` as a task at the Interconnect place
-    /// and block the calling task (help-first) until it completes.
-    fn taskify<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+    /// and block the calling task (help-first) until it completes. `op` and
+    /// `bytes` tag the stats/trace span (bytes 0 when not meaningful).
+    fn taskify<R: Send + 'static>(
+        &self,
+        op: &'static str,
+        bytes: u64,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> R {
         self.with_state(|state| {
-            let _t = state.rt.module_stats().time("mpi");
+            let _t = state.rt.module_stats().time_op("mpi", op, bytes);
             let slot = Arc::new(parking_lot::Mutex::new(None));
             let out = Arc::clone(&slot);
             let fut = state.rt.spawn_future_at(state.interconnect, move || {
@@ -102,7 +108,8 @@ impl MpiModule {
     pub fn send<T: Pod>(&self, dst: Rank, tag: u64, data: &[T]) {
         let raw = Arc::clone(&self.raw);
         let payload = hiper_netsim::pod::to_bytes(data);
-        self.taskify(move || raw.send(dst, tag, payload));
+        let bytes = payload.len() as u64;
+        self.taskify("send", bytes, move || raw.send(dst, tag, payload));
     }
 
     /// `MPI_Recv`: taskified blocking receive.
@@ -112,34 +119,40 @@ impl MpiModule {
     /// is merely descheduled.
     pub fn recv<T: Pod>(&self, src: Option<Rank>, tag: Option<u64>) -> (Vec<T>, Rank, u64) {
         let raw = Arc::clone(&self.raw);
-        let status = self.taskify(move || raw.recv(src, tag));
+        let status = self.taskify("recv", 0, move || raw.recv(src, tag));
         (from_bytes(&status.data), status.src, status.tag)
     }
 
     /// `MPI_Barrier`: taskified.
     pub fn barrier(&self) {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.barrier());
+        self.taskify("barrier", 0, move || raw.barrier());
     }
 
     /// `MPI_Allreduce`: taskified.
     pub fn allreduce<T: Reducible>(&self, data: &[T], op: ReduceOp) -> Vec<T> {
         let raw = Arc::clone(&self.raw);
+        let bytes = std::mem::size_of_val(data) as u64;
         let data = data.to_vec();
-        self.taskify(move || raw.allreduce(&data, op))
+        self.taskify("allreduce", bytes, move || raw.allreduce(&data, op))
     }
 
     /// `MPI_Bcast`: taskified.
     pub fn bcast<T: Pod>(&self, root: Rank, data: &[T]) -> Vec<T> {
         let raw = Arc::clone(&self.raw);
+        let bytes = std::mem::size_of_val(data) as u64;
         let data = data.to_vec();
-        self.taskify(move || raw.bcast_vec(root, &data))
+        self.taskify("bcast", bytes, move || raw.bcast_vec(root, &data))
     }
 
     /// `MPI_Alltoallv`: taskified.
     pub fn alltoallv<T: Pod>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.alltoallv_vec(parts))
+        let bytes: u64 = parts
+            .iter()
+            .map(|p| std::mem::size_of_val(&p[..]) as u64)
+            .sum();
+        self.taskify("alltoallv", bytes, move || raw.alltoallv_vec(parts))
     }
 
     // ------------------------------------------------------------------
@@ -155,6 +168,10 @@ impl MpiModule {
 
     /// Byte-level `MPI_Isend`.
     pub fn isend_bytes(&self, dst: Rank, tag: u64, payload: Bytes) -> Future<()> {
+        let rt = self.with_state(|s| s.rt.clone());
+        let _t = rt
+            .module_stats()
+            .time_op("mpi", "isend", payload.len() as u64);
         // Step 1: call the asynchronous API directly, producing a request.
         let req = self.raw.isend(dst, tag, payload);
         // Steps 2-4: pending list + polling task + returned future.
@@ -195,6 +212,8 @@ impl MpiModule {
         src: Option<Rank>,
         tag: Option<u64>,
     ) -> Future<(Vec<T>, Rank, u64)> {
+        let rt = self.with_state(|s| s.rt.clone());
+        let _t = rt.module_stats().time_op("mpi", "irecv", 0);
         let req = self.raw.irecv(src, tag);
         self.future_of(req, |status| {
             (from_bytes::<T>(&status.data), status.src, status.tag)

@@ -2,16 +2,29 @@
 //! priority queue and delivers each to its destination handler once the
 //! modeled network delay has elapsed — in *wall-clock* time, so blocking on
 //! communication costs real CPU availability (DESIGN.md §2.2).
+//!
+//! All engine timekeeping runs on the shared trace clock
+//! ([`hiper_trace::clock`]): due times are nanosecond offsets from the same
+//! epoch the tracer stamps events with, so an exported timeline shows every
+//! `NetDeliver` landing exactly `NetSend + modeled delay` later — no skew
+//! between scheduler tracks and network tracks.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use hiper_trace::clock;
+use hiper_trace::EventKind;
 use parking_lot::{Condvar, Mutex};
 
 use crate::message::{Message, Rank};
+
+/// Packs a (src, dst) pair into one trace-event payload word.
+fn link_word(src: Rank, dst: Rank) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
 
 /// Network model parameters.
 #[derive(Debug, Clone, Copy)]
@@ -104,7 +117,8 @@ impl NetStats {
 pub type Handler = Box<dyn Fn(Message) + Send + Sync>;
 
 struct InFlight {
-    due: Instant,
+    /// Delivery deadline, ns on the shared trace clock.
+    due: u64,
     seq: u64,
     msg: Message,
 }
@@ -130,11 +144,12 @@ struct EngineState {
     queue: BinaryHeap<Reverse<InFlight>>,
     /// Per-(dst, channel) handlers; index = dst * 256 + channel.
     handlers: Vec<Option<Arc<Handler>>>,
-    /// Latest delivery time scheduled per (src, dst) link. A message may
-    /// never be delivered before an earlier message on the same link, even
-    /// if it is much smaller — the per-pair FIFO guarantee communication
-    /// modules (SHMEM put ordering, MPI non-overtaking) depend on.
-    last_due: std::collections::HashMap<(Rank, Rank), Instant>,
+    /// Latest delivery time scheduled per (src, dst) link (trace-clock ns).
+    /// A message may never be delivered before an earlier message on the
+    /// same link, even if it is much smaller — the per-pair FIFO guarantee
+    /// communication modules (SHMEM put ordering, MPI non-overtaking)
+    /// depend on.
+    last_due: std::collections::HashMap<(Rank, Rank), u64>,
 }
 
 /// The delivery engine shared by all ranks of one cluster.
@@ -200,8 +215,17 @@ impl DeliveryEngine {
         self.stats
             .bytes
             .fetch_add(msg.wire_bytes() as u64, Ordering::Relaxed);
+        let delay_ns = delay.as_nanos() as u64;
+        if hiper_trace::enabled() {
+            hiper_trace::emit(
+                EventKind::NetSend,
+                link_word(msg.src, msg.dst),
+                msg.wire_bytes() as u64,
+                delay_ns,
+            );
+        }
         let mut st = self.state.lock();
-        let computed = Instant::now() + delay;
+        let computed = clock::now_ns() + delay_ns;
         let pair = (msg.src, msg.dst);
         let due = match st.last_due.get(&pair) {
             Some(&last) if last > computed => last,
@@ -240,7 +264,7 @@ impl DeliveryEngine {
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
-                    let now = Instant::now();
+                    let now = clock::now_ns();
                     match st.queue.peek() {
                         Some(Reverse(head)) if head.due <= now => {
                             let Reverse(entry) = st.queue.pop().unwrap();
@@ -249,7 +273,7 @@ impl DeliveryEngine {
                             break Some((entry.msg, handler));
                         }
                         Some(Reverse(head)) => {
-                            let wait = head.due - now;
+                            let wait = Duration::from_nanos(head.due - now);
                             self.cond.wait_for(&mut st, wait);
                         }
                         None => {
@@ -263,6 +287,14 @@ impl DeliveryEngine {
             if let Some((msg, handler)) = delivery {
                 match handler {
                     Some(h) => {
+                        if hiper_trace::enabled() {
+                            hiper_trace::emit(
+                                EventKind::NetDeliver,
+                                link_word(msg.src, msg.dst),
+                                msg.wire_bytes() as u64,
+                                0,
+                            );
+                        }
                         // A panicking handler must not kill the delivery
                         // engine: the whole cluster would silently hang.
                         let result =
@@ -276,7 +308,7 @@ impl DeliveryEngine {
                         // startup race where rank 0 sends before rank N has
                         // registered its module handlers.
                         let entry = InFlight {
-                            due: Instant::now() + Duration::from_micros(200),
+                            due: clock::now_ns() + 200_000,
                             seq: self.seq.fetch_add(1, Ordering::Relaxed),
                             msg,
                         };
@@ -303,6 +335,7 @@ mod tests {
     use super::*;
     use crate::message::Channel;
     use bytes::Bytes;
+    use std::time::Instant;
 
     fn msg(src: Rank, dst: Rank, tag: u64, len: usize) -> Message {
         Message {

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use hiper_deque::Worker;
 use hiper_platform::{PlaceId, PlaceKind, PlatformConfig};
+use hiper_trace::EventKind;
 use parking_lot::{Mutex, RwLock};
 
 use crate::copy::CopyRegistry;
@@ -15,7 +16,7 @@ use crate::module::{ModuleError, SchedulerModule};
 use crate::promise::{Future, Promise};
 use crate::scheduler::Scheduler;
 use crate::stats::{ModuleStats, SchedStatsSnapshot};
-use crate::task::{FinishScope, Task};
+use crate::task::{FinishScope, Task, TaskFn};
 
 /// Maximum depth of nested help-first blocking before a worker falls back to
 /// parking (bounds stack growth; see DESIGN.md §2.1).
@@ -73,6 +74,27 @@ struct Tls {
 
 thread_local! {
     static TLS: RefCell<Option<Tls>> = const { RefCell::new(None) };
+}
+
+/// Builds a task, assigning it a trace id and emitting its spawn event
+/// (with the spawning task as parent) when tracing is enabled. One relaxed
+/// atomic load when tracing is off.
+fn make_task(f: TaskFn, place: PlaceId, scope: Option<Arc<FinishScope>>) -> Task {
+    let trace_id = hiper_trace::fresh_task_id();
+    if trace_id != 0 {
+        hiper_trace::emit(
+            EventKind::TaskSpawn,
+            trace_id,
+            hiper_trace::current_task(),
+            place.index() as u64,
+        );
+    }
+    Task {
+        f,
+        place,
+        scope,
+        trace_id,
+    }
 }
 
 /// Builder configuring a runtime before its workers start.
@@ -188,7 +210,16 @@ fn worker_main(rt: Runtime, id: usize, owned: Vec<Worker<Task>>) {
             continue;
         }
         sched.stats.park(id);
+        // Capture the flag once so the park/unpark span stays balanced even
+        // if tracing is flipped while we sleep.
+        let tracing = hiper_trace::enabled();
+        if tracing {
+            hiper_trace::emit_always(EventKind::Park, 0, 0, 0);
+        }
         let woken = sched.hub.park(id, WORKER_PARK_TIMEOUT);
+        if tracing {
+            hiper_trace::emit_always(EventKind::Unpark, woken as u64, 0, 0);
+        }
         // An explicit wake means work very likely exists: restart the ladder
         // so we search eagerly. After a bare timeout, go straight back to
         // parking if the next search also fails.
@@ -249,11 +280,7 @@ impl Runtime {
     /// `async_at`: creates a task at a specific place.
     pub fn spawn_at(&self, place: PlaceId, f: impl FnOnce() + Send + 'static) {
         let scope = self.current_scope_checked_in();
-        self.enqueue(Task {
-            f: Box::new(f),
-            place,
-            scope,
-        });
+        self.enqueue(make_task(Box::new(f), place, scope));
     }
 
     /// Like [`spawn_at`](Self::spawn_at) but enqueues FIFO (to the place's
@@ -262,11 +289,9 @@ impl Runtime {
     /// run first (the paper's polling tasks, §II-C1 step 3).
     pub fn spawn_at_yield(&self, place: PlaceId, f: impl FnOnce() + Send + 'static) {
         let scope = self.current_scope_checked_in();
-        self.inner.sched.spawn_external(Task {
-            f: Box::new(f),
-            place,
-            scope,
-        });
+        self.inner
+            .sched
+            .spawn_external(make_task(Box::new(f), place, scope));
     }
 
     /// `async_future`: creates a task and returns a future satisfied with
@@ -312,11 +337,7 @@ impl Runtime {
         let scope = self.current_scope_checked_in();
         let rt = self.clone();
         dep.on_ready(move || {
-            rt.enqueue_prechecked(Task {
-                f: Box::new(f),
-                place,
-                scope,
-            });
+            rt.enqueue_prechecked(make_task(Box::new(f), place, scope));
         });
     }
 
@@ -509,7 +530,14 @@ impl Runtime {
                         sched.hub.cancel_idle(id);
                     } else {
                         sched.stats.park(id);
-                        sched.hub.park(id, WORKER_PARK_TIMEOUT);
+                        let tracing = hiper_trace::enabled();
+                        if tracing {
+                            hiper_trace::emit_always(EventKind::Park, 0, 0, 0);
+                        }
+                        let woken = sched.hub.park(id, WORKER_PARK_TIMEOUT);
+                        if tracing {
+                            hiper_trace::emit_always(EventKind::Unpark, woken as u64, 0, 0);
+                        }
                     }
                 }
             }
@@ -598,7 +626,12 @@ impl Runtime {
     }
 
     fn execute_task(&self, task: Task) {
-        let Task { f, scope, .. } = task;
+        let Task {
+            f,
+            scope,
+            place,
+            trace_id,
+        } = task;
         let (prev, shard) = TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
             let t = tls.as_mut().expect("execute_task off-runtime");
@@ -607,7 +640,19 @@ impl Runtime {
             let shard = t.worker.as_ref().map(|w| w.id).unwrap_or(usize::MAX);
             (std::mem::replace(&mut t.scope, scope.clone()), shard)
         });
+        // Only tasks spawned under tracing carry a nonzero id; untraced
+        // tasks pay nothing here (no TLS writes, no clock reads).
+        let prev_trace = if trace_id != 0 {
+            hiper_trace::emit(EventKind::TaskBegin, trace_id, 0, place.index() as u64);
+            Some(hiper_trace::set_current_task(trace_id))
+        } else {
+            None
+        };
         let result = catch_unwind(AssertUnwindSafe(f));
+        if let Some(prev_task) = prev_trace {
+            hiper_trace::set_current_task(prev_task);
+            hiper_trace::emit(EventKind::TaskEnd, trace_id, 0, 0);
+        }
         TLS.with(|tls| {
             if let Some(t) = tls.borrow_mut().as_mut() {
                 t.scope = prev;

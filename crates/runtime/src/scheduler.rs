@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use hiper_deque::{new_deque, Injector, Steal, Stealer, Worker};
 use hiper_platform::{PlaceId, PlatformConfig, WorkerPaths};
+use hiper_trace::EventKind;
 
 use crate::event::WakeHub;
 use crate::stats::SchedStats;
@@ -130,6 +131,9 @@ impl Scheduler {
         for &p in &self.paths[me].pop {
             if let Some(task) = owned[p.index()].pop() {
                 self.stats.pop(me);
+                if hiper_trace::enabled() {
+                    hiper_trace::emit(EventKind::Pop, task.trace_id, p.index() as u64, 0);
+                }
                 return Some(task);
             }
         }
@@ -143,6 +147,9 @@ impl Scheduler {
             let place = &self.places[p.index()];
             if let Steal::Success(task) = place.injector.steal_batch_and_pop(home, INJECTOR_BATCH) {
                 self.stats.injector_hit(me);
+                if hiper_trace::enabled() {
+                    hiper_trace::emit(EventKind::InjectorDrain, task.trace_id, p.index() as u64, 0);
+                }
                 self.after_batch(me, home);
                 return Some(task);
             }
@@ -152,6 +159,14 @@ impl Scheduler {
                     match place.stealers[victim].steal_batch_and_pop(home) {
                         Steal::Success(task) => {
                             self.stats.steal(me);
+                            if hiper_trace::enabled() {
+                                hiper_trace::emit(
+                                    EventKind::Steal,
+                                    task.trace_id,
+                                    victim as u64,
+                                    p.index() as u64,
+                                );
+                            }
                             self.after_batch(me, home);
                             return Some(task);
                         }
@@ -168,8 +183,12 @@ impl Scheduler {
     /// tasks were banked in the home deque, count the batch and chain-wake
     /// one more worker to come steal from us.
     fn after_batch(&self, me: usize, home: &Worker<Task>) {
-        if !home.is_empty() {
+        let banked = home.len();
+        if banked > 0 {
             self.stats.batch_steal(me);
+            if hiper_trace::enabled() {
+                hiper_trace::emit(EventKind::BatchSteal, banked as u64, 0, 0);
+            }
             self.wake(me);
         }
     }

@@ -216,15 +216,38 @@ pub struct ModuleTimer<'a> {
     stats: &'a ModuleStats,
     module: &'static str,
     start: std::time::Instant,
+    /// Interned (module, op) ids when a ModuleEnter event was emitted; the
+    /// Drop emits the matching ModuleExit (even if tracing was disabled in
+    /// between, so spans stay balanced per track).
+    traced: Option<(u64, u64)>,
 }
 
 impl ModuleStats {
     /// Starts a timer attributed to `module`.
     pub fn time(&self, module: &'static str) -> ModuleTimer<'_> {
+        self.time_op(module, "", 0)
+    }
+
+    /// Starts a timer attributed to `module`, additionally tagging the trace
+    /// span with the operation name and a byte count (0 when not meaningful).
+    pub fn time_op(&self, module: &'static str, op: &'static str, bytes: u64) -> ModuleTimer<'_> {
+        let traced = if hiper_trace::enabled() {
+            let m = hiper_trace::intern(module);
+            let o = if op.is_empty() {
+                0
+            } else {
+                hiper_trace::intern(op)
+            };
+            hiper_trace::emit(hiper_trace::EventKind::ModuleEnter, m, o, bytes);
+            Some((m, o))
+        } else {
+            None
+        };
         ModuleTimer {
             stats: self,
             module,
             start: std::time::Instant::now(),
+            traced,
         }
     }
 }
@@ -232,6 +255,9 @@ impl ModuleStats {
 impl Drop for ModuleTimer<'_> {
     fn drop(&mut self) {
         self.stats.record(self.module, self.start.elapsed());
+        if let Some((m, o)) = self.traced {
+            hiper_trace::emit_always(hiper_trace::EventKind::ModuleExit, m, o, 0);
+        }
     }
 }
 

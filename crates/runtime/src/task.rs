@@ -25,6 +25,9 @@ pub(crate) struct Task {
     /// The innermost finish scope enclosing the spawn, if any. The task has
     /// already been checked in; the executor checks it out on completion.
     pub scope: Option<Arc<FinishScope>>,
+    /// Trace identity: nonzero only for tasks spawned while tracing was
+    /// enabled (0 = untraced; the executor emits no events for it).
+    pub trace_id: u64,
 }
 
 impl std::fmt::Debug for Task {

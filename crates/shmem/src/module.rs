@@ -78,9 +78,14 @@ impl ShmemModule {
         f(state)
     }
 
-    fn taskify<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+    fn taskify<R: Send + 'static>(
+        &self,
+        op: &'static str,
+        bytes: u64,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> R {
         self.with_state(|state| {
-            let _t = state.rt.module_stats().time("shmem");
+            let _t = state.rt.module_stats().time_op("shmem", op, bytes);
             let slot = Arc::new(parking_lot::Mutex::new(None));
             let out = Arc::clone(&slot);
             let fut = state.rt.spawn_future_at(state.interconnect, move || {
@@ -99,61 +104,70 @@ impl ShmemModule {
     /// `shmem_putmem` (taskified).
     pub fn put(&self, target: Rank, offset: usize, data: Vec<u8>) {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.put(target, offset, &data));
+        let bytes = data.len() as u64;
+        self.taskify("put", bytes, move || raw.put(target, offset, &data));
     }
 
     /// Typed 64-bit put (taskified).
     pub fn put64(&self, target: Rank, offset: usize, values: Vec<u64>) {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.put64(target, offset, &values));
+        let bytes = (values.len() * 8) as u64;
+        self.taskify("put64", bytes, move || raw.put64(target, offset, &values));
     }
 
     /// `shmem_getmem` (taskified blocking).
     pub fn get(&self, target: Rank, offset: usize, nbytes: usize) -> Bytes {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.get(target, offset, nbytes))
+        self.taskify("get", nbytes as u64, move || {
+            raw.get(target, offset, nbytes)
+        })
     }
 
     /// `shmem_atomic_fetch_add` (taskified blocking).
     pub fn fadd(&self, target: Rank, offset: usize, delta: u64) -> u64 {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.fadd(target, offset, delta))
+        self.taskify("fadd", 8, move || raw.fadd(target, offset, delta))
     }
 
     /// `shmem_atomic_compare_swap` (taskified blocking).
     pub fn cswap(&self, target: Rank, offset: usize, expected: u64, desired: u64) -> u64 {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.cswap(target, offset, expected, desired))
+        self.taskify("cswap", 8, move || {
+            raw.cswap(target, offset, expected, desired)
+        })
     }
 
     /// `shmem_quiet` (taskified).
     pub fn quiet(&self) {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.quiet());
+        self.taskify("quiet", 0, move || raw.quiet());
     }
 
     /// `shmem_barrier_all` (taskified).
     pub fn barrier_all(&self) {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.barrier_all());
+        self.taskify("barrier_all", 0, move || raw.barrier_all());
     }
 
     /// `shmem_longlong_sum_to_all` (taskified).
     pub fn sum_to_all_u64(&self, mine: Vec<u64>) -> Vec<u64> {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.sum_to_all_u64(&mine))
+        let bytes = (mine.len() * 8) as u64;
+        self.taskify("sum_to_all", bytes, move || raw.sum_to_all_u64(&mine))
     }
 
     /// `shmem_double_sum_to_all` (taskified).
     pub fn sum_to_all_f64(&self, mine: Vec<f64>) -> Vec<f64> {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.sum_to_all_f64(&mine))
+        let bytes = (mine.len() * 8) as u64;
+        self.taskify("sum_to_all", bytes, move || raw.sum_to_all_f64(&mine))
     }
 
     /// Count exchange (taskified `alltoall64`).
     pub fn alltoall64(&self, mine: Vec<u64>) -> Vec<u64> {
         let raw = Arc::clone(&self.raw);
-        self.taskify(move || raw.alltoall64(&mine))
+        let bytes = (mine.len() * 8) as u64;
+        self.taskify("alltoall", bytes, move || raw.alltoall64(&mine))
     }
 
     // ------------------------------------------------------------------

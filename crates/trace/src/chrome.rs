@@ -1,0 +1,426 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the `{"traceEvents": [...]}` object form of the [Trace Event
+//! Format], loadable in Perfetto (`ui.perfetto.dev`) and
+//! `chrome://tracing`. Layout:
+//!
+//! * **pid 1 — "hiper runtime"**: one thread track per event ring (i.e. per
+//!   worker thread, rank main thread, or other emitter). Task execution,
+//!   park spans, and module spans are `B`/`E` duration events; pops,
+//!   steals, spawns and injector drains are thread-scoped instants.
+//! * **pid 2 — "netsim"**: one track per simulated rank. A message send is
+//!   a complete (`X`) event on the *source* rank's track whose duration is
+//!   the modeled in-flight delay; delivery is an instant on the
+//!   *destination* rank's track. Because the delivery engine shares the
+//!   tracer's clock ([`crate::clock`]), these interleave exactly with the
+//!   worker tracks.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Events are stably sorted by timestamp before writing; within one ring
+//! timestamps are already monotone, so `B`/`E` nesting (which is per-track,
+//! and every duration track is fed by exactly one ring) is preserved.
+
+use std::fmt::Write as _;
+
+use crate::ring::{EventKind, TraceEvent};
+use crate::{resolve, TraceData};
+
+const RUNTIME_PID: u64 = 1;
+const NETSIM_PID: u64 = 2;
+
+fn esc(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// µs with ns precision, as Chrome's `ts`/`dur` fields expect.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+struct EventJson<'a> {
+    name: &'a str,
+    ph: char,
+    ts_ns: u64,
+    pid: u64,
+    tid: u64,
+    dur_ns: Option<u64>,
+    /// (key, value) pairs; values are raw JSON fragments.
+    args: Vec<(&'static str, String)>,
+    thread_scoped_instant: bool,
+}
+
+fn push_event(out: &mut String, e: &EventJson) {
+    out.push_str("  {\"name\":\"");
+    esc(e.name, out);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        e.ph,
+        us(e.ts_ns),
+        e.pid,
+        e.tid
+    );
+    if let Some(dur) = e.dur_ns {
+        let _ = write!(out, ",\"dur\":{}", us(dur));
+    }
+    if e.thread_scoped_instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", k, v);
+        }
+        out.push('}');
+    }
+    out.push_str("},\n");
+}
+
+fn meta(out: &mut String, name: &str, pid: u64, tid: Option<u64>, value: &str) {
+    let _ = write!(
+        out,
+        "  {{\"name\":\"{}\",\"ph\":\"M\",\"pid\":{}",
+        name, pid
+    );
+    if let Some(tid) = tid {
+        let _ = write!(out, ",\"tid\":{}", tid);
+    }
+    out.push_str(",\"args\":{\"name\":\"");
+    esc(value, out);
+    out.push_str("\"}},\n");
+}
+
+fn module_span_name(e: &TraceEvent) -> String {
+    let module = resolve(e.a);
+    let op = resolve(e.b);
+    if op.is_empty() {
+        module.to_string()
+    } else {
+        format!("{}:{}", module, op)
+    }
+}
+
+/// Renders drained trace data as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(data: &TraceData) -> String {
+    // (track index, event) pairs, stably sorted by timestamp.
+    let mut all: Vec<(usize, &TraceEvent)> = Vec::with_capacity(data.len());
+    for (ti, track) in data.tracks.iter().enumerate() {
+        for e in &track.events {
+            all.push((ti, e));
+        }
+    }
+    all.sort_by_key(|(_, e)| e.ts_ns);
+
+    let mut out = String::with_capacity(128 + all.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    meta(&mut out, "process_name", RUNTIME_PID, None, "hiper runtime");
+    meta(&mut out, "process_name", NETSIM_PID, None, "netsim");
+    let mut ranks_seen = std::collections::BTreeSet::new();
+    for (ti, track) in data.tracks.iter().enumerate() {
+        meta(
+            &mut out,
+            "thread_name",
+            RUNTIME_PID,
+            Some(ti as u64),
+            &track.label,
+        );
+        for e in &track.events {
+            if matches!(e.kind, EventKind::NetSend | EventKind::NetDeliver) {
+                ranks_seen.insert(e.a >> 32);
+                ranks_seen.insert(e.a & 0xffff_ffff);
+            }
+        }
+    }
+    for rank in &ranks_seen {
+        meta(
+            &mut out,
+            "thread_name",
+            NETSIM_PID,
+            Some(*rank),
+            &format!("rank {}", rank),
+        );
+    }
+    // Surface ring wraparound where it happened: a track that lost events
+    // may legitimately have unbalanced B/E pairs (validators can relax).
+    for (ti, track) in data.tracks.iter().enumerate() {
+        if track.dropped > 0 {
+            push_event(
+                &mut out,
+                &EventJson {
+                    name: "dropped events",
+                    ph: 'i',
+                    ts_ns: track.events.first().map_or(0, |e| e.ts_ns),
+                    pid: RUNTIME_PID,
+                    tid: ti as u64,
+                    dur_ns: None,
+                    args: vec![("count", track.dropped.to_string())],
+                    thread_scoped_instant: true,
+                },
+            );
+        }
+    }
+
+    for (ti, e) in all {
+        let tid = ti as u64;
+        let json = match e.kind {
+            EventKind::TaskSpawn => EventJson {
+                name: "spawn",
+                ph: 'i',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![
+                    ("task", e.a.to_string()),
+                    ("parent", e.b.to_string()),
+                    ("place", e.c.to_string()),
+                ],
+                thread_scoped_instant: true,
+            },
+            EventKind::TaskBegin => EventJson {
+                name: "task",
+                ph: 'B',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![("task", e.a.to_string()), ("place", e.c.to_string())],
+                thread_scoped_instant: false,
+            },
+            EventKind::TaskEnd => EventJson {
+                name: "task",
+                ph: 'E',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![("task", e.a.to_string())],
+                thread_scoped_instant: false,
+            },
+            EventKind::Pop => EventJson {
+                name: "pop",
+                ph: 'i',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![("task", e.a.to_string()), ("place", e.b.to_string())],
+                thread_scoped_instant: true,
+            },
+            EventKind::Steal => EventJson {
+                name: "steal",
+                ph: 'i',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![
+                    ("task", e.a.to_string()),
+                    ("victim", e.b.to_string()),
+                    ("place", e.c.to_string()),
+                ],
+                thread_scoped_instant: true,
+            },
+            EventKind::BatchSteal => EventJson {
+                name: "steal.batch",
+                ph: 'i',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![("banked", e.a.to_string())],
+                thread_scoped_instant: true,
+            },
+            EventKind::InjectorDrain => EventJson {
+                name: "injector",
+                ph: 'i',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![("task", e.a.to_string()), ("place", e.b.to_string())],
+                thread_scoped_instant: true,
+            },
+            EventKind::Park => EventJson {
+                name: "park",
+                ph: 'B',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: Vec::new(),
+                thread_scoped_instant: false,
+            },
+            EventKind::Unpark => EventJson {
+                name: "park",
+                ph: 'E',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![("woken", e.a.to_string())],
+                thread_scoped_instant: false,
+            },
+            EventKind::ModuleEnter | EventKind::ModuleExit => {
+                let name = module_span_name(e);
+                let mut args = Vec::new();
+                if e.kind == EventKind::ModuleEnter && e.c > 0 {
+                    args.push(("bytes", e.c.to_string()));
+                }
+                push_event(
+                    &mut out,
+                    &EventJson {
+                        name: &name,
+                        ph: if e.kind == EventKind::ModuleEnter {
+                            'B'
+                        } else {
+                            'E'
+                        },
+                        ts_ns: e.ts_ns,
+                        pid: RUNTIME_PID,
+                        tid,
+                        dur_ns: None,
+                        args,
+                        thread_scoped_instant: false,
+                    },
+                );
+                continue;
+            }
+            EventKind::NetSend => {
+                let (src, dst) = (e.a >> 32, e.a & 0xffff_ffff);
+                let name = format!("msg to {}", dst);
+                push_event(
+                    &mut out,
+                    &EventJson {
+                        name: &name,
+                        ph: 'X',
+                        ts_ns: e.ts_ns,
+                        pid: NETSIM_PID,
+                        tid: src,
+                        dur_ns: Some(e.c.max(1)),
+                        args: vec![
+                            ("src", src.to_string()),
+                            ("dst", dst.to_string()),
+                            ("bytes", e.b.to_string()),
+                            ("delay_ns", e.c.to_string()),
+                        ],
+                        thread_scoped_instant: false,
+                    },
+                );
+                continue;
+            }
+            EventKind::NetDeliver => {
+                let (src, dst) = (e.a >> 32, e.a & 0xffff_ffff);
+                push_event(
+                    &mut out,
+                    &EventJson {
+                        name: "deliver",
+                        ph: 'i',
+                        ts_ns: e.ts_ns,
+                        pid: NETSIM_PID,
+                        tid: dst,
+                        dur_ns: None,
+                        args: vec![("src", src.to_string()), ("bytes", e.b.to_string())],
+                        thread_scoped_instant: true,
+                    },
+                );
+                continue;
+            }
+        };
+        push_event(&mut out, &json);
+    }
+    // Strip the trailing ",\n" and close.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrackData;
+
+    fn data(events: Vec<TraceEvent>) -> TraceData {
+        TraceData {
+            tracks: vec![TrackData {
+                label: "worker-0".into(),
+                events,
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn emits_valid_shape_and_pairs() {
+        let d = data(vec![
+            TraceEvent {
+                ts_ns: 1000,
+                kind: EventKind::TaskBegin,
+                a: 1,
+                b: 0,
+                c: 0,
+            },
+            TraceEvent {
+                ts_ns: 1500,
+                kind: EventKind::Pop,
+                a: 2,
+                b: 0,
+                c: 0,
+            },
+            TraceEvent {
+                ts_ns: 2000,
+                kind: EventKind::TaskEnd,
+                a: 1,
+                b: 0,
+                c: 0,
+            },
+            TraceEvent {
+                ts_ns: 2500,
+                kind: EventKind::NetSend,
+                a: 1u64 << 32, // src 1, dst 0
+                b: 64,
+                c: 40_000,
+            },
+        ]);
+        let json = chrome_trace_json(&d);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("hiper runtime"));
+        assert!(json.trim_end().ends_with("]}"));
+        // ts rendering: 1000 ns = 1.000 us.
+        assert!(json.contains("\"ts\":1.000"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let d = TraceData {
+            tracks: vec![TrackData {
+                label: "we\"ird\\name".into(),
+                events: vec![],
+                dropped: 0,
+            }],
+        };
+        let json = chrome_trace_json(&d);
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Compact aggregated report over a drained trace — the paper's Fig. 9-style
+//! breakdown: where did the wall time go, per track and per module, plus a
+//! queue-latency histogram for scheduler tuning.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ring::EventKind;
+use crate::{resolve, TraceData};
+
+/// Log2-bucketed histogram of nanosecond durations. Bucket `i` holds
+/// samples in `[2^i, 2^(i+1))` ns; bucket 0 also holds sub-ns samples.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyHistogram {
+    /// Bucket counts; index = floor(log2(ns)).
+    pub buckets: [u64; 32],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (ns), for the mean.
+    pub total_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&mut self, ns: u64) {
+        let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    /// Approximate quantile (upper bucket bound), e.g. `0.5` for the median.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << self.buckets.len()
+    }
+}
+
+/// Per-track execution summary.
+#[derive(Debug, Clone)]
+pub struct TrackSummary {
+    /// Ring label (thread name).
+    pub label: String,
+    /// Events recorded on this track.
+    pub events: u64,
+    /// Events lost to wraparound.
+    pub dropped: u64,
+    /// Tasks that began executing here.
+    pub tasks: u64,
+    /// Time inside top-level task spans (ns). Nested (help-first) task time
+    /// counts once, under the outermost span.
+    pub busy_ns: u64,
+    /// Time inside park spans (ns).
+    pub parked_ns: u64,
+}
+
+/// The aggregated report.
+#[derive(Debug, Default)]
+pub struct TraceReport {
+    /// First-to-last event timestamp across all tracks (ns).
+    pub wall_ns: u64,
+    /// Total events drained.
+    pub events: u64,
+    /// Total events dropped by ring wraparound.
+    pub dropped: u64,
+    /// Event counts by kind name.
+    pub counts: BTreeMap<&'static str, u64>,
+    /// Per-track summaries (tracks that recorded at least one event).
+    pub tracks: Vec<TrackSummary>,
+    /// Per-module span totals: name -> (calls, total ns). Keys are
+    /// `module` or `module:op`.
+    pub modules: BTreeMap<String, (u64, u64)>,
+    /// Task queue latency (spawn -> begin) across all tracks.
+    pub queue_latency: LatencyHistogram,
+    /// Park span durations (how long workers slept).
+    pub park_latency: LatencyHistogram,
+}
+
+impl TraceReport {
+    /// Aggregates drained trace data.
+    pub fn build(data: &TraceData) -> TraceReport {
+        let mut rpt = TraceReport::default();
+        let mut spawn_ts: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut min_ts = u64::MAX;
+        let mut max_ts = 0u64;
+
+        // Pass 1: spawn timestamps (spawn and begin usually happen on
+        // different tracks).
+        for track in &data.tracks {
+            for e in &track.events {
+                if e.kind == EventKind::TaskSpawn {
+                    spawn_ts.insert(e.a, e.ts_ns);
+                }
+            }
+        }
+
+        for track in &data.tracks {
+            let mut summary = TrackSummary {
+                label: track.label.clone(),
+                events: track.events.len() as u64,
+                dropped: track.dropped,
+                tasks: 0,
+                busy_ns: 0,
+                parked_ns: 0,
+            };
+            // Span stacks local to the track (single-writer rings keep
+            // these well-nested).
+            let mut task_stack: Vec<u64> = Vec::new();
+            let mut park_start: Option<u64> = None;
+            let mut module_stack: Vec<(String, u64)> = Vec::new();
+            for e in &track.events {
+                rpt.events += 1;
+                *rpt.counts.entry(e.kind.name()).or_insert(0) += 1;
+                min_ts = min_ts.min(e.ts_ns);
+                max_ts = max_ts.max(e.ts_ns);
+                match e.kind {
+                    EventKind::TaskBegin => {
+                        summary.tasks += 1;
+                        if let Some(&spawn) = spawn_ts.get(&e.a) {
+                            rpt.queue_latency.record(e.ts_ns.saturating_sub(spawn));
+                        }
+                        task_stack.push(e.ts_ns);
+                    }
+                    EventKind::TaskEnd => {
+                        if let Some(begin) = task_stack.pop() {
+                            if task_stack.is_empty() {
+                                summary.busy_ns += e.ts_ns.saturating_sub(begin);
+                            }
+                        }
+                    }
+                    EventKind::Park => park_start = Some(e.ts_ns),
+                    EventKind::Unpark => {
+                        if let Some(begin) = park_start.take() {
+                            let dur = e.ts_ns.saturating_sub(begin);
+                            summary.parked_ns += dur;
+                            rpt.park_latency.record(dur);
+                        }
+                    }
+                    EventKind::ModuleEnter => {
+                        let module = resolve(e.a);
+                        let op = resolve(e.b);
+                        let key = if op.is_empty() {
+                            module.to_string()
+                        } else {
+                            format!("{}:{}", module, op)
+                        };
+                        module_stack.push((key, e.ts_ns));
+                    }
+                    EventKind::ModuleExit => {
+                        if let Some((key, begin)) = module_stack.pop() {
+                            let entry = rpt.modules.entry(key).or_insert((0, 0));
+                            entry.0 += 1;
+                            entry.1 += e.ts_ns.saturating_sub(begin);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            rpt.dropped += track.dropped;
+            if summary.events > 0 {
+                rpt.tracks.push(summary);
+            }
+        }
+        if max_ts >= min_ts && min_ts != u64::MAX {
+            rpt.wall_ns = max_ts - min_ts;
+        }
+        rpt
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{} ns", ns)
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace report: {} events ({} dropped), wall {}",
+            self.events,
+            self.dropped,
+            fmt_ns(self.wall_ns)
+        )?;
+        writeln!(f, "  events by kind:")?;
+        for (kind, n) in &self.counts {
+            writeln!(f, "    {:<16} {:>10}", kind, n)?;
+        }
+        if !self.tracks.is_empty() {
+            writeln!(f, "  per-track (busy = top-level task spans):")?;
+            for t in &self.tracks {
+                let share = if self.wall_ns > 0 {
+                    100.0 * t.busy_ns as f64 / self.wall_ns as f64
+                } else {
+                    0.0
+                };
+                writeln!(
+                    f,
+                    "    {:<24} tasks {:>7}  busy {:>10} ({:5.1}%)  parked {:>10}  dropped {}",
+                    t.label,
+                    t.tasks,
+                    fmt_ns(t.busy_ns),
+                    share,
+                    fmt_ns(t.parked_ns),
+                    t.dropped
+                )?;
+            }
+        }
+        if !self.modules.is_empty() {
+            let total: u64 = self.modules.values().map(|(_, ns)| ns).sum();
+            writeln!(f, "  per-module time:")?;
+            for (name, (calls, ns)) in &self.modules {
+                let share = if total > 0 {
+                    100.0 * *ns as f64 / total as f64
+                } else {
+                    0.0
+                };
+                writeln!(
+                    f,
+                    "    {:<24} calls {:>7}  total {:>10} ({:5.1}% of module time)",
+                    name,
+                    calls,
+                    fmt_ns(*ns),
+                    share
+                )?;
+            }
+        }
+        if self.queue_latency.count > 0 {
+            writeln!(
+                f,
+                "  task queue latency (spawn->begin): n={} mean {} p50 <{} p99 <{}",
+                self.queue_latency.count,
+                fmt_ns(self.queue_latency.total_ns / self.queue_latency.count),
+                fmt_ns(self.queue_latency.quantile(0.5)),
+                fmt_ns(self.queue_latency.quantile(0.99)),
+            )?;
+        }
+        if self.park_latency.count > 0 {
+            writeln!(
+                f,
+                "  park spans: n={} mean {} p50 <{}",
+                self.park_latency.count,
+                fmt_ns(self.park_latency.total_ns / self.park_latency.count),
+                fmt_ns(self.park_latency.quantile(0.5)),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::TraceEvent;
+    use crate::TrackData;
+
+    fn e(ts: u64, kind: EventKind, a: u64, b: u64, c: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            kind,
+            a,
+            b,
+            c,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(1_000); // bucket 9 (512..1024 contains? 1000 -> log2=9)
+        }
+        h.record(1 << 30);
+        assert_eq!(h.count, 100);
+        assert!(h.quantile(0.5) <= 2048);
+        assert!(h.quantile(1.0) >= 1 << 30);
+    }
+
+    #[test]
+    fn builds_breakdown() {
+        let m = crate::intern("mpi");
+        let op = crate::intern("send");
+        let data = TraceData {
+            tracks: vec![
+                TrackData {
+                    label: "w0".into(),
+                    events: vec![
+                        e(0, EventKind::TaskSpawn, 1, 0, 0),
+                        e(100, EventKind::TaskBegin, 1, 0, 0),
+                        e(200, EventKind::ModuleEnter, m, op, 64),
+                        e(700, EventKind::ModuleExit, m, op, 0),
+                        e(1_100, EventKind::TaskEnd, 1, 0, 0),
+                        e(1_200, EventKind::Park, 0, 0, 0),
+                        e(1_500, EventKind::Unpark, 1, 0, 0),
+                    ],
+                    dropped: 2,
+                },
+                TrackData {
+                    label: "empty".into(),
+                    events: vec![],
+                    dropped: 0,
+                },
+            ],
+        };
+        let rpt = TraceReport::build(&data);
+        assert_eq!(rpt.events, 7);
+        assert_eq!(rpt.dropped, 2);
+        assert_eq!(rpt.wall_ns, 1_500);
+        assert_eq!(rpt.tracks.len(), 1, "empty tracks omitted");
+        assert_eq!(rpt.tracks[0].busy_ns, 1_000);
+        assert_eq!(rpt.tracks[0].parked_ns, 300);
+        let (calls, ns) = rpt.modules.get("mpi:send").copied().unwrap();
+        assert_eq!((calls, ns), (1, 500));
+        assert_eq!(rpt.queue_latency.count, 1);
+        assert_eq!(rpt.queue_latency.total_ns, 100);
+        let shown = rpt.to_string();
+        assert!(shown.contains("mpi:send"));
+        assert!(shown.contains("per-track"));
+    }
+
+    #[test]
+    fn nested_tasks_count_busy_once() {
+        let data = TraceData {
+            tracks: vec![TrackData {
+                label: "w0".into(),
+                events: vec![
+                    e(0, EventKind::TaskBegin, 1, 0, 0),
+                    e(100, EventKind::TaskBegin, 2, 0, 0),
+                    e(400, EventKind::TaskEnd, 2, 0, 0),
+                    e(1_000, EventKind::TaskEnd, 1, 0, 0),
+                ],
+                dropped: 0,
+            }],
+        };
+        let rpt = TraceReport::build(&data);
+        assert_eq!(rpt.tracks[0].busy_ns, 1_000, "no double counting");
+        assert_eq!(rpt.tracks[0].tasks, 2);
+    }
+}

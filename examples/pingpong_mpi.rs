@@ -3,6 +3,9 @@
 //! interconnect.
 //!
 //! Run with: `cargo run --release --example pingpong_mpi`
+//!
+//! Pass `--trace out.json` (or set `HIPER_TRACE=out.json`) to record a
+//! Chrome-trace timeline of the run — open it at <https://ui.perfetto.dev>.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -12,6 +15,7 @@ use hiper::netsim::{NetConfig, SpmdBuilder};
 use hiper::prelude::*;
 
 fn main() {
+    let _trace = hiper::trace::session_from_env_args();
     let results = SpmdBuilder::new(2)
         .net(NetConfig::default())
         .workers_per_rank(2)
