@@ -26,7 +26,8 @@ fn storm(rt: &Runtime) {
                     std::hint::black_box((0..50u64).sum::<u64>());
                 });
             }
-        });
+        })
+        .expect("no task panicked");
     });
 }
 

@@ -19,7 +19,8 @@ fn bench_spawn_finish(c: &mut Criterion) {
                     for _ in 0..1000 {
                         api::async_(|| {});
                     }
-                });
+                })
+                .expect("no task panicked");
             })
         })
     });
@@ -91,7 +92,8 @@ fn bench_spawn_fanout(c: &mut Criterion) {
                             }
                         });
                     }
-                });
+                })
+                .expect("no task panicked");
             });
             acc.load(Ordering::Relaxed)
         })

@@ -38,7 +38,8 @@ fn fanout(rt: &Runtime) -> u64 {
                     }
                 });
             }
-        });
+        })
+        .expect("no task panicked");
     });
     acc.load(Ordering::Relaxed)
 }

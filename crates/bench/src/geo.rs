@@ -369,7 +369,8 @@ pub fn run_hiper(
             if let Some(inner) = inner {
                 inner.wait();
             }
-        });
+        })
+        .expect("no task panicked");
         std::mem::swap(&mut slabs.old, &mut slabs.new);
     }
     let interior = download_interior(gpu, params, &slabs);

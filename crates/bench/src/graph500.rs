@@ -411,7 +411,8 @@ pub fn run_hiper(
                     }
                 });
             }
-        });
+        })
+        .expect("no task panicked");
         let (par, lev, next) = {
             let mut guard = claims.lock();
             (

@@ -135,6 +135,15 @@ pub fn print_rank_stats(tag: &str, rt: &hiper_runtime::Runtime) {
     }
 }
 
+/// Prints the cluster-wide network counters ([`NetStatsSnapshot`] Display)
+/// to stderr, prefixed with `tag`. Under fault injection this includes
+/// dropped/duplicated wire messages and handler panics.
+///
+/// [`NetStatsSnapshot`]: hiper_netsim::NetStatsSnapshot
+pub fn print_net_stats(tag: &str, transport: &hiper_netsim::Transport) {
+    eprintln!("[stats {}] net: {}", tag, transport.net_stats());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -497,7 +497,8 @@ pub fn run_hiper(shmem: &Arc<ShmemModule>, params: &UtsParams) -> UtsResult {
         let roots: Vec<Node> = std::mem::take(&mut frontier);
         api::finish(|| {
             spawn_expand(roots, *params, Arc::clone(&state), Arc::clone(&surplus));
-        });
+        })
+        .expect("no task panicked");
         // Export any surplus captured during expansion, then publish it.
         let mut captured = surplus.lock();
         if !captured.is_empty() {

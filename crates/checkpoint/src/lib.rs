@@ -74,6 +74,10 @@ impl std::fmt::Display for RestoreError {
 
 impl std::error::Error for RestoreError {}
 
+/// Future on a restored snapshot's bytes, as returned by
+/// [`CheckpointModule::restore`] and [`CheckpointModule::restore_latest`].
+pub type RestoreFuture = Future<Result<Vec<u8>, RestoreError>>;
+
 fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
@@ -139,7 +143,7 @@ impl CheckpointModule {
     }
 
     /// Asynchronously restores snapshot `version` of `name`.
-    pub fn restore(&self, name: &str, version: u64) -> Future<Result<Vec<u8>, RestoreError>> {
+    pub fn restore(&self, name: &str, version: u64) -> RestoreFuture {
         let path = self.path(name, version);
         self.with_state(|st| {
             st.rt.spawn_future_at(st.place, move || {
@@ -162,6 +166,16 @@ impl CheckpointModule {
                 Ok(data.to_vec())
             })
         })
+    }
+
+    /// Restart support: restores the most recent snapshot of `name`.
+    /// Returns `None` when no snapshot exists (cold start); otherwise the
+    /// version found and a future on its contents. A corrupt latest
+    /// snapshot surfaces as the future's `Err` — callers that keep several
+    /// versions can then retry an explicit older [`restore`](Self::restore).
+    pub fn restore_latest(&self, name: &str) -> Option<(u64, RestoreFuture)> {
+        let version = self.latest_version(name)?;
+        Some((version, self.restore(name, version)))
     }
 
     /// Latest available version of `name`, if any (synchronous directory
@@ -308,6 +322,42 @@ mod tests {
             assert_eq!(c.restore("s", 2).get().unwrap(), vec![2]);
         });
         rt.shutdown();
+    }
+
+    #[test]
+    fn restart_resumes_from_latest_snapshot() {
+        // Simulated crash/restart: a first "process" checkpoints progress,
+        // dies, and a second one picks up from the newest snapshot.
+        let dir = tmpdir("restart");
+        {
+            let ckpt = CheckpointModule::with_model(dir.clone(), fast_model());
+            let rt = RuntimeBuilder::new(disk_platform(1))
+                .module(Arc::clone(&ckpt) as Arc<dyn SchedulerModule>)
+                .build()
+                .unwrap();
+            let c = Arc::clone(&ckpt);
+            rt.block_on(move || {
+                c.checkpoint("iter", 1, vec![1, 0]).wait();
+                c.checkpoint("iter", 2, vec![2, 0]).wait();
+                c.checkpoint("iter", 7, vec![7, 0]).wait();
+            });
+            rt.shutdown(); // the "crash"
+        }
+        {
+            let ckpt = CheckpointModule::with_model(dir, fast_model());
+            let rt = RuntimeBuilder::new(disk_platform(1))
+                .module(Arc::clone(&ckpt) as Arc<dyn SchedulerModule>)
+                .build()
+                .unwrap();
+            let c = Arc::clone(&ckpt);
+            rt.block_on(move || {
+                assert!(c.restore_latest("nothing").is_none(), "cold start");
+                let (version, fut) = c.restore_latest("iter").expect("snapshot exists");
+                assert_eq!(version, 7);
+                assert_eq!(fut.get().unwrap(), vec![7, 0]);
+            });
+            rt.shutdown();
+        }
     }
 
     #[test]

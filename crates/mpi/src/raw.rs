@@ -18,7 +18,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use hiper_netsim::{Channel, Message, Rank, Transport};
+use hiper_netsim::{Channel, Message, Rank, ReliableTransport, RetryConfig, Transport};
+use hiper_runtime::ModuleError;
 use parking_lot::{Condvar, Mutex};
 
 /// Wildcard source (MPI_ANY_SOURCE analogue).
@@ -143,8 +144,13 @@ struct MatchState {
 }
 
 /// One rank's endpoint of the raw messaging library (MPI_COMM_WORLD).
+///
+/// All traffic is routed through a [`ReliableTransport`]: with no armed
+/// fault plan it is a pass-through, but under fault injection every message
+/// is acked, retransmitted with exponential backoff on timeout, and
+/// resequenced, so MPI matching semantics survive drops and reordering.
 pub struct RawComm {
-    transport: Transport,
+    transport: Arc<ReliableTransport>,
     state: Mutex<MatchState>,
     coll_seq: AtomicU64,
 }
@@ -153,13 +159,15 @@ impl RawComm {
     /// Creates the endpoint and registers its delivery handler. Call once
     /// per rank, before any communication.
     pub fn new(transport: Transport) -> Arc<RawComm> {
+        let rel = ReliableTransport::new(transport, "mpi", RetryConfig::default());
         let comm = Arc::new(RawComm {
-            transport: transport.clone(),
+            transport: rel,
             state: Mutex::new(MatchState::default()),
             coll_seq: AtomicU64::new(0),
         });
         let comm2 = Arc::clone(&comm);
-        transport.register_handler(Channel::MPI, Box::new(move |msg| comm2.on_message(msg)));
+        comm.transport
+            .register_handler(Channel::MPI, Box::new(move |msg| comm2.on_message(msg)));
         comm
     }
 
@@ -171,6 +179,17 @@ impl RawComm {
     /// Cluster size.
     pub fn nranks(&self) -> usize {
         self.transport.nranks()
+    }
+
+    /// Reliable-delivery health: `Err` once any peer has exhausted its
+    /// retry budget (fault injection only).
+    pub fn health(&self) -> Result<(), ModuleError> {
+        self.transport.health()
+    }
+
+    /// Retransmissions performed so far (0 without fault injection).
+    pub fn retries(&self) -> u64 {
+        self.transport.retry_count()
     }
 
     fn on_message(&self, msg: Message) {

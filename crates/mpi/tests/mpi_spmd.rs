@@ -249,7 +249,8 @@ fn module_overlaps_communication_with_computation() {
                         std::hint::black_box(0u64);
                     });
                 }
-            });
+            })
+            .expect("no task panicked");
             count += 1000;
             fut.wait();
             count

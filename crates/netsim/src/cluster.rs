@@ -56,6 +56,17 @@ impl Transport {
     pub fn net_stats(&self) -> crate::engine::NetStatsSnapshot {
         self.engine.stats.snapshot()
     }
+
+    /// The armed fault plan, if any. Communication modules consult this to
+    /// decide whether to wrap themselves in a [`crate::ReliableTransport`].
+    pub fn fault_plan(&self) -> Option<&crate::FaultPlan> {
+        self.engine.fault_plan()
+    }
+
+    /// True when fault injection is armed (reliable delivery required).
+    pub fn faults_active(&self) -> bool {
+        self.engine.fault_plan().is_some()
+    }
 }
 
 impl std::fmt::Debug for Transport {
@@ -90,6 +101,17 @@ impl Cluster {
         }
     }
 
+    /// Starts the delivery engine with an armed fault plan.
+    pub fn start_with_faults(
+        nranks: usize,
+        net: NetConfig,
+        faults: Option<crate::FaultPlan>,
+    ) -> Cluster {
+        Cluster {
+            engine: DeliveryEngine::start_with_faults(nranks, net, faults),
+        }
+    }
+
     /// Endpoint for `rank`.
     pub fn transport(&self, rank: Rank) -> Transport {
         assert!(rank < self.engine.ranks());
@@ -110,6 +132,7 @@ impl Cluster {
 pub struct SpmdBuilder {
     nranks: usize,
     net: NetConfig,
+    faults: Option<crate::FaultPlan>,
     platform: Box<dyn Fn(Rank) -> PlatformConfig + Send + Sync>,
 }
 
@@ -120,6 +143,7 @@ impl SpmdBuilder {
         SpmdBuilder {
             nranks,
             net: NetConfig::default(),
+            faults: None,
             platform: Box::new(|_| hiper_platform::autogen::smp(2)),
         }
     }
@@ -127,6 +151,14 @@ impl SpmdBuilder {
     /// Sets the network model.
     pub fn net(mut self, net: NetConfig) -> SpmdBuilder {
         self.net = net;
+        self
+    }
+
+    /// Arms a fault-injection plan for the run (chaos testing). Modules
+    /// built on the transport switch to reliable acked delivery when the
+    /// plan is active; an inactive plan changes nothing.
+    pub fn faults(mut self, plan: crate::FaultPlan) -> SpmdBuilder {
+        self.faults = Some(plan);
         self
     }
 
@@ -162,7 +194,7 @@ impl SpmdBuilder {
         T: Send + 'static,
         R: Send + 'static,
     {
-        let cluster = Cluster::start(self.nranks, self.net);
+        let cluster = Cluster::start_with_faults(self.nranks, self.net, self.faults);
         let setup = Arc::new(setup);
         let main = Arc::new(main);
         let platform = Arc::new(self.platform);
@@ -336,7 +368,8 @@ mod tests {
                             std::hint::black_box(rank);
                         });
                     }
-                });
+                })
+                .expect("no task panicked");
                 let f = hiper_runtime::api::async_future(move || rank + 1);
                 f.get()
             });

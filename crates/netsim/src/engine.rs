@@ -94,6 +94,13 @@ impl NetConfig {
 pub struct NetStats {
     pub messages: AtomicU64,
     pub bytes: AtomicU64,
+    /// Messages discarded: fault injection (random drops, partition/kill
+    /// windows) plus messages lost to panicking handlers.
+    pub dropped: AtomicU64,
+    /// Extra copies injected by fault duplication.
+    pub duplicated: AtomicU64,
+    /// Delivery handlers that panicked (each also counts as one `dropped`).
+    pub handler_panics: AtomicU64,
 }
 
 /// Plain-data snapshot of [`NetStats`].
@@ -101,6 +108,9 @@ pub struct NetStats {
 pub struct NetStatsSnapshot {
     pub messages: u64,
     pub bytes: u64,
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub handler_panics: u64,
 }
 
 impl NetStats {
@@ -109,7 +119,20 @@ impl NetStats {
         NetStatsSnapshot {
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl std::fmt::Display for NetStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "messages={} bytes={} dropped={} duplicated={} handler_panics={}",
+            self.messages, self.bytes, self.dropped, self.duplicated, self.handler_panics
+        )
     }
 }
 
@@ -150,12 +173,19 @@ struct EngineState {
     /// communication modules (SHMEM put ordering, MPI non-overtaking)
     /// depend on.
     last_due: std::collections::HashMap<(Rank, Rank), u64>,
+    /// Per-(src, dst) send counter: the replayable "message index" that
+    /// [`FaultPlan::decide`] keys its fault schedule on.
+    link_seq: std::collections::HashMap<(Rank, Rank), u64>,
 }
 
 /// The delivery engine shared by all ranks of one cluster.
 pub struct DeliveryEngine {
     config: NetConfig,
     ranks: usize,
+    /// Armed fault plan, if any (`None` = perfectly reliable wire).
+    faults: Option<crate::FaultPlan>,
+    /// Trace-clock ns at engine start; fault windows are offsets from here.
+    epoch_ns: u64,
     state: Mutex<EngineState>,
     cond: Condvar,
     seq: AtomicU64,
@@ -167,13 +197,27 @@ pub struct DeliveryEngine {
 impl DeliveryEngine {
     /// Creates an engine for `ranks` ranks and starts its delivery thread.
     pub fn start(ranks: usize, config: NetConfig) -> Arc<DeliveryEngine> {
+        Self::start_with_faults(ranks, config, None)
+    }
+
+    /// Creates an engine with an armed fault plan. An inactive plan
+    /// ([`FaultPlan::is_active`] false) behaves exactly like `start`.
+    pub fn start_with_faults(
+        ranks: usize,
+        config: NetConfig,
+        faults: Option<crate::FaultPlan>,
+    ) -> Arc<DeliveryEngine> {
+        let faults = faults.filter(|p| p.is_active());
         let engine = Arc::new(DeliveryEngine {
             config,
             ranks,
+            faults,
+            epoch_ns: clock::now_ns(),
             state: Mutex::new(EngineState {
                 queue: BinaryHeap::new(),
                 handlers: vec![None; ranks * 256],
                 last_due: std::collections::HashMap::new(),
+                link_seq: std::collections::HashMap::new(),
             }),
             cond: Condvar::new(),
             seq: AtomicU64::new(0),
@@ -198,6 +242,12 @@ impl DeliveryEngine {
     /// The network model in force.
     pub fn config(&self) -> NetConfig {
         self.config
+    }
+
+    /// The armed fault plan, if any. Reliable transports consult this to
+    /// decide whether to arm acking/retry (pass-through on `None`).
+    pub fn fault_plan(&self) -> Option<&crate::FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Registers the handler for (`rank`, `channel`). Replaces any previous
@@ -225,13 +275,57 @@ impl DeliveryEngine {
             );
         }
         let mut st = self.state.lock();
-        let computed = clock::now_ns() + delay_ns;
+        let now = clock::now_ns();
         let pair = (msg.src, msg.dst);
-        let due = match st.last_due.get(&pair) {
-            Some(&last) if last > computed => last,
-            _ => computed,
+
+        // Fault injection: the fate of the link_seq-th message on this link
+        // is a pure function of the plan seed, so chaos runs replay exactly.
+        let mut decision = crate::FaultDecision::default();
+        if let Some(plan) = &self.faults {
+            let link_seq = {
+                let c = st.link_seq.entry(pair).or_insert(0);
+                let s = *c;
+                *c += 1;
+                s
+            };
+            if plan.link_down(msg.src, msg.dst, now.saturating_sub(self.epoch_ns)) {
+                self.drop_msg(&msg, 2);
+                return;
+            }
+            decision = plan.decide(msg.src, msg.dst, link_seq);
+            if decision.drop {
+                self.drop_msg(&msg, 1);
+                return;
+            }
+        }
+
+        let computed = now + delay_ns + decision.jitter_ns;
+        // Per-link FIFO clamp — unless the fault decision lets this message
+        // overtake (a reliable layer above must then resequence).
+        let prev = st.last_due.get(&pair).copied().unwrap_or(0);
+        let due = if prev > computed && !decision.reorder {
+            prev
+        } else {
+            computed
         };
-        st.last_due.insert(pair, due);
+        st.last_due.insert(pair, due.max(prev));
+        if decision.duplicate {
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            if hiper_trace::enabled() {
+                hiper_trace::emit(
+                    EventKind::NetDup,
+                    link_word(msg.src, msg.dst),
+                    msg.wire_bytes() as u64,
+                    0,
+                );
+            }
+            let entry = InFlight {
+                due: now + delay_ns + decision.dup_jitter_ns,
+                seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                msg: msg.clone(),
+            };
+            st.queue.push(Reverse(entry));
+        }
         let entry = InFlight {
             due,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
@@ -239,6 +333,20 @@ impl DeliveryEngine {
         };
         st.queue.push(Reverse(entry));
         self.cond.notify_all();
+    }
+
+    /// Counts and traces a fault-injected loss (`cause`: 1 = random drop,
+    /// 2 = partition/kill window, 3 = handler panic).
+    fn drop_msg(&self, msg: &Message, cause: u64) {
+        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        if hiper_trace::enabled() {
+            hiper_trace::emit(
+                EventKind::NetDrop,
+                link_word(msg.src, msg.dst),
+                msg.wire_bytes() as u64,
+                cause,
+            );
+        }
     }
 
     /// Stops the engine, delivering nothing further, and joins its thread.
@@ -297,10 +405,26 @@ impl DeliveryEngine {
                         }
                         // A panicking handler must not kill the delivery
                         // engine: the whole cluster would silently hang.
+                        let info = (msg.src, msg.dst, msg.channel, msg.tag, msg.wire_bytes());
                         let result =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h(msg)));
                         if result.is_err() {
-                            eprintln!("[hiper-netsim] delivery handler panicked; message dropped");
+                            let (src, dst, channel, tag, wire) = info;
+                            self.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                            if hiper_trace::enabled() {
+                                hiper_trace::emit(
+                                    EventKind::NetDrop,
+                                    link_word(src, dst),
+                                    wire as u64,
+                                    3,
+                                );
+                            }
+                            eprintln!(
+                                "[hiper-netsim] delivery handler panicked; message dropped \
+                                 (src={} dst={} channel={} tag={:#x})",
+                                src, dst, channel.0, tag
+                            );
                         }
                     }
                     None => {

@@ -17,12 +17,16 @@
 
 mod cluster;
 mod engine;
+mod fault;
 mod message;
 pub mod pod;
+mod reliable;
 
 pub use cluster::{Cluster, RankEnv, SpmdBuilder};
 pub use engine::{NetConfig, NetStats, NetStatsSnapshot};
+pub use fault::{FaultDecision, FaultPlan, Partition, RankKill};
 pub use message::{Channel, Message, Rank};
+pub use reliable::{ReliableTransport, RetryConfig};
 
 pub use cluster::Transport;
 pub use engine::DeliveryEngine;

@@ -17,7 +17,7 @@
 
 use hiper_platform::PlaceId;
 
-use crate::promise::Future;
+use crate::promise::{Future, TaskError};
 use crate::runtime::Runtime;
 
 fn rt() -> Runtime {
@@ -53,7 +53,10 @@ pub fn async_future_await<D: Send + 'static, T: Send + 'static>(
 }
 
 /// `finish`: run `f` and wait for every task transitively created inside it.
-pub fn finish<R>(f: impl FnOnce() -> R) -> R {
+///
+/// Returns `Err` with the first recorded failure if any task in the scope
+/// panicked; the scope still drains fully before the error surfaces.
+pub fn finish<R>(f: impl FnOnce() -> R) -> Result<R, TaskError> {
     rt().finish(f)
 }
 

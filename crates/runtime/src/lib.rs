@@ -19,7 +19,8 @@
 //!     let fut = hiper_runtime::api::async_future(|| 21);
 //!     hiper_runtime::api::finish(|| {
 //!         hiper_runtime::api::async_(|| { /* side work */ });
-//!     });
+//!     })
+//!     .expect("no task panicked");
 //!     fut.get() * 2
 //! });
 //! assert_eq!(total, 42);
@@ -41,7 +42,7 @@ mod forasync;
 pub use copy::{CopyHandler, CopyRegistry, CopyRequest, HostBuffer, MemLoc};
 pub use event::{Event, WakeHub};
 pub use module::{ModuleError, PollFn, Poller, SchedulerModule};
-pub use promise::{when_all, Future, Promise};
+pub use promise::{when_all, Future, Promise, TaskError};
 pub use runtime::{Runtime, RuntimeBuilder};
 pub use stats::{ModuleStats, SchedStatsSnapshot};
 pub use task::FinishScope;

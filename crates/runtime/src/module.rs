@@ -23,29 +23,71 @@ use parking_lot::Mutex;
 
 use crate::runtime::Runtime;
 
-/// Error raised by module initialization (e.g. a platform-model assertion
-/// like "exactly one Interconnect place" failed).
+/// Error raised by a pluggable module.
 #[derive(Debug, Clone)]
-pub struct ModuleError {
-    /// Name of the failing module.
-    pub module: &'static str,
-    /// What went wrong.
-    pub message: String,
+pub enum ModuleError {
+    /// Module initialization failed (e.g. a platform-model assertion like
+    /// "exactly one Interconnect place" did not hold).
+    Init {
+        /// Name of the failing module.
+        module: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+    /// A communication peer exhausted its reliable-delivery retry budget
+    /// (fault injection: permanently killed or partitioned rank).
+    Unreachable {
+        /// Name of the reporting module.
+        module: &'static str,
+        /// The rank that never acked.
+        peer: usize,
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl ModuleError {
-    /// Creates an error for `module`.
+    /// Creates an initialization error for `module`.
     pub fn new(module: &'static str, message: impl Into<String>) -> ModuleError {
-        ModuleError {
+        ModuleError::Init {
             module,
             message: message.into(),
+        }
+    }
+
+    /// Creates an unreachable-peer error for `module`.
+    pub fn unreachable(module: &'static str, peer: usize, attempts: u32) -> ModuleError {
+        ModuleError::Unreachable {
+            module,
+            peer,
+            attempts,
+        }
+    }
+
+    /// Name of the module that raised the error.
+    pub fn module(&self) -> &'static str {
+        match self {
+            ModuleError::Init { module, .. } | ModuleError::Unreachable { module, .. } => module,
         }
     }
 }
 
 impl fmt::Display for ModuleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "module '{}': {}", self.module, self.message)
+        match self {
+            ModuleError::Init { module, message } => {
+                write!(f, "module '{}': {}", module, message)
+            }
+            ModuleError::Unreachable {
+                module,
+                peer,
+                attempts,
+            } => write!(
+                f,
+                "module '{}': rank {} unreachable after {} attempts",
+                module, peer, attempts
+            ),
+        }
     }
 }
 

@@ -22,9 +22,35 @@ use parking_lot::{Condvar, Mutex};
 /// enqueue a task, so they must be cheap and must not block.
 type ReadyThunk = Box<dyn FnOnce() + Send>;
 
+/// Why a task (and any promise it was meant to satisfy) failed.
+#[derive(Debug, Clone)]
+pub struct TaskError {
+    /// Human-readable failure reason (usually the panic payload).
+    pub message: String,
+}
+
+impl TaskError {
+    /// Creates an error with the given reason.
+    pub fn new(message: impl Into<String>) -> TaskError {
+        TaskError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskError {}
+
 enum State<T> {
     Pending(Vec<ReadyThunk>),
     Ready(T),
+    /// The producing task failed; waiters fail fast instead of hanging.
+    Poisoned(TaskError),
 }
 
 struct Shared<T> {
@@ -87,9 +113,37 @@ impl<T> Promise<T> {
             match std::mem::replace(&mut *st, State::Ready(value)) {
                 State::Pending(thunks) => thunks,
                 State::Ready(_) => panic!("promise satisfied twice"),
+                State::Poisoned(e) => panic!("promise satisfied after poisoning: {}", e),
             }
         };
         self.shared.cond.notify_all();
+        for thunk in thunks {
+            thunk();
+        }
+    }
+
+    /// Fails the promise: waiters are released and observe the error
+    /// ([`Future::poison_error`] / [`Future::result`]) instead of hanging,
+    /// and continuations still run (so dependents can fail fast). Dropping
+    /// an unsatisfied promise poisons it implicitly.
+    pub fn poison(self, err: TaskError) {
+        Self::poison_shared(&self.shared, err);
+    }
+
+    fn poison_shared(shared: &Shared<T>, err: TaskError) {
+        let thunks = {
+            let mut st = shared.state.lock();
+            match &mut *st {
+                State::Pending(thunks) => {
+                    let thunks = std::mem::take(thunks);
+                    *st = State::Poisoned(err);
+                    thunks
+                }
+                // Already satisfied or poisoned: keep the first outcome.
+                _ => return,
+            }
+        };
+        shared.cond.notify_all();
         for thunk in thunks {
             thunk();
         }
@@ -102,15 +156,48 @@ impl<T> Promise<T> {
     }
 }
 
+impl<T> Drop for Promise<T> {
+    /// A promise dropped while still pending poisons itself: the producing
+    /// task died (panicked, or was discarded at shutdown) and its value
+    /// will never arrive — waiters must fail fast, not hang.
+    fn drop(&mut self) {
+        if matches!(&*self.shared.state.lock(), State::Pending(_)) {
+            Self::poison_shared(
+                &self.shared,
+                TaskError::new("promise dropped without a value"),
+            );
+        }
+    }
+}
+
 impl<T: Send + 'static> Future<T> {
     /// True if the value is available.
     pub fn is_ready(&self) -> bool {
         matches!(&*self.shared.state.lock(), State::Ready(_))
     }
 
-    /// Registers a continuation to run when the value becomes available. If
-    /// the future is already satisfied the thunk runs immediately on the
-    /// calling thread.
+    /// True if the producing task failed and the value will never arrive.
+    pub fn is_poisoned(&self) -> bool {
+        matches!(&*self.shared.state.lock(), State::Poisoned(_))
+    }
+
+    /// True once the future reached a terminal state (value or poison).
+    pub fn is_complete(&self) -> bool {
+        !matches!(&*self.shared.state.lock(), State::Pending(_))
+    }
+
+    /// The poisoning error, if the future is poisoned.
+    pub fn poison_error(&self) -> Option<TaskError> {
+        match &*self.shared.state.lock() {
+            State::Poisoned(e) => Some(e.clone()),
+            _ => None,
+        }
+    }
+
+    /// Registers a continuation to run when the future completes — on
+    /// satisfaction *or* poisoning, so dependents of a failed producer can
+    /// fail fast instead of leaking. If the future is already complete the
+    /// thunk runs immediately on the calling thread.
     pub fn on_ready(&self, thunk: impl FnOnce() + Send + 'static) {
         {
             let mut st = self.shared.state.lock();
@@ -122,13 +209,14 @@ impl<T: Send + 'static> Future<T> {
         thunk();
     }
 
-    /// Blocks the *logical* task until the value is available.
+    /// Blocks the *logical* task until the future completes (value or
+    /// poison).
     ///
     /// On a worker thread this is help-first: the worker executes other
     /// eligible tasks while waiting. On an external thread it parks on a
     /// condvar.
     pub fn wait(&self) {
-        if self.is_ready() {
+        if self.is_complete() {
             return;
         }
         // Register a waker so the eventual `put` promptly wakes the parked
@@ -136,7 +224,7 @@ impl<T: Send + 'static> Future<T> {
         if let Some(event) = crate::runtime::Runtime::current_sched_event() {
             self.on_ready(move || event.signal_all());
         }
-        if crate::runtime::Runtime::try_help_current(&mut || self.is_ready()) {
+        if crate::runtime::Runtime::try_help_current(&mut || self.is_complete()) {
             return;
         }
         // External thread: park.
@@ -147,11 +235,16 @@ impl<T: Send + 'static> Future<T> {
     }
 
     /// Runs `f` against the value by reference, waiting first if necessary.
+    ///
+    /// # Panics
+    /// Panics if the future is (or becomes) poisoned; use
+    /// [`result`](Self::result) to observe failure as a value.
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
         self.wait();
         let st = self.shared.state.lock();
         match &*st {
             State::Ready(v) => f(v),
+            State::Poisoned(e) => panic!("future poisoned: {}", e),
             State::Pending(_) => unreachable!("wait() returned while pending"),
         }
     }
@@ -164,7 +257,22 @@ impl<T: Send + 'static> Future<T> {
         let st = self.shared.state.lock();
         match &*st {
             State::Ready(v) => Some(v.clone()),
-            State::Pending(_) => None,
+            _ => None,
+        }
+    }
+
+    /// Waits for completion and returns the value, or the producing task's
+    /// error if it was poisoned.
+    pub fn result(&self) -> Result<T, TaskError>
+    where
+        T: Clone,
+    {
+        self.wait();
+        let st = self.shared.state.lock();
+        match &*st {
+            State::Ready(v) => Ok(v.clone()),
+            State::Poisoned(e) => Err(e.clone()),
+            State::Pending(_) => unreachable!("wait() returned while pending"),
         }
     }
 }
@@ -192,8 +300,9 @@ impl<T> fmt::Debug for Promise<T> {
     }
 }
 
-/// Returns a future that is satisfied when all input futures are satisfied
-/// (order of completion is irrelevant).
+/// Returns a future that completes when all input futures do (order of
+/// completion is irrelevant). If any input is poisoned, the output is
+/// poisoned with the first-observed error once every input completed.
 pub fn when_all<T: Send + 'static>(futures: &[Future<T>]) -> Future<()> {
     let p = Promise::new();
     let f = p.future();
@@ -202,14 +311,26 @@ pub fn when_all<T: Send + 'static>(futures: &[Future<T>]) -> Future<()> {
         return f;
     }
     let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(futures.len()));
+    let first_err: Arc<Mutex<Option<TaskError>>> = Arc::new(Mutex::new(None));
     let p = Arc::new(Mutex::new(Some(p)));
     for fut in futures {
         let remaining = Arc::clone(&remaining);
+        let first_err = Arc::clone(&first_err);
         let p = Arc::clone(&p);
+        let fut2 = fut.clone();
         fut.on_ready(move || {
+            if let Some(e) = fut2.poison_error() {
+                let mut slot = first_err.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
             if remaining.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
                 if let Some(p) = p.lock().take() {
-                    p.put(());
+                    match first_err.lock().take() {
+                        Some(e) => p.poison(e),
+                        None => p.put(()),
+                    }
                 }
             }
         });
@@ -338,5 +459,60 @@ mod tests {
         p.put(vec![1, 2, 3]);
         let sum: i32 = f.with(|v| v.iter().sum());
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn dropped_promise_poisons_future() {
+        let p: Promise<u32> = Promise::new();
+        let f = p.future();
+        drop(p);
+        assert!(f.is_poisoned());
+        assert!(f.is_complete());
+        assert!(!f.is_ready());
+        assert!(f.result().is_err());
+        assert_eq!(f.try_get(), None);
+    }
+
+    #[test]
+    fn explicit_poison_releases_waiters_and_runs_continuations() {
+        let p: Promise<u32> = Promise::new();
+        let f = p.future();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        f.on_ready(move || {
+            r.store(1, Ordering::SeqCst);
+        });
+        let f2 = f.clone();
+        let waiter = thread::spawn(move || f2.result());
+        thread::sleep(Duration::from_millis(10));
+        p.poison(TaskError::new("boom"));
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(err.message.contains("boom"));
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "future poisoned")]
+    fn get_on_poisoned_future_panics() {
+        let p: Promise<u32> = Promise::new();
+        let f = p.future();
+        p.poison(TaskError::new("dead producer"));
+        let _ = f.get();
+    }
+
+    #[test]
+    fn when_all_propagates_poison() {
+        let ok: Promise<()> = Promise::new();
+        let bad: Promise<()> = Promise::new();
+        let all = when_all(&[ok.future(), bad.future()]);
+        bad.poison(TaskError::new("one input failed"));
+        assert!(!all.is_complete(), "waits for every input");
+        ok.put(());
+        assert!(all.is_poisoned());
+        assert!(all
+            .poison_error()
+            .unwrap()
+            .message
+            .contains("one input failed"));
     }
 }

@@ -13,7 +13,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::copy::CopyRegistry;
 use crate::module::{ModuleError, SchedulerModule};
-use crate::promise::{Future, Promise};
+use crate::promise::{Future, Promise, TaskError};
 use crate::scheduler::Scheduler;
 use crate::stats::{ModuleStats, SchedStatsSnapshot};
 use crate::task::{FinishScope, Task, TaskFn};
@@ -328,6 +328,10 @@ impl Runtime {
     }
 
     /// `async_await` at a specific place.
+    ///
+    /// Fail-fast: if `dep` is poisoned rather than satisfied, the predicated
+    /// task body never runs — the poison propagates to the enclosing finish
+    /// scope instead.
     pub fn spawn_await_at<D: Send + 'static>(
         &self,
         place: PlaceId,
@@ -336,7 +340,17 @@ impl Runtime {
     ) {
         let scope = self.current_scope_checked_in();
         let rt = self.clone();
+        let dep2 = dep.clone();
         dep.on_ready(move || {
+            if let Some(err) = dep2.poison_error() {
+                // The dependency failed: propagate instead of running the
+                // dependent body. Fail before check-out (see FinishScope).
+                if let Some(scope) = scope {
+                    scope.fail(TaskError::new(format!("dependency poisoned: {}", err)));
+                    scope.check_out();
+                }
+                return;
+            }
             rt.enqueue_prechecked(make_task(Box::new(f), place, scope));
         });
     }
@@ -363,7 +377,11 @@ impl Runtime {
     /// `finish`: runs `f` inline and then blocks the calling *task* until
     /// every task transitively created inside `f` has completed. On a worker
     /// the block is help-first; on an external thread it parks.
-    pub fn finish<R>(&self, f: impl FnOnce() -> R) -> R {
+    ///
+    /// Returns `Err` if any task created inside the scope panicked (the
+    /// first recorded failure). The scope always drains fully before the
+    /// error is surfaced, so no spawned task is left running.
+    pub fn finish<R>(&self, f: impl FnOnce() -> R) -> Result<R, TaskError> {
         let scope = FinishScope::new(Arc::clone(&self.inner.sched.hub));
         let prev = TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
@@ -407,7 +425,10 @@ impl Runtime {
         });
         scope.check_out(); // the body itself
         self.wait_for(&mut || scope.is_done());
-        result
+        match scope.error() {
+            Some(err) => Err(err),
+            None => Ok(result),
+        }
     }
 
     /// Blocks the logical task until `pred` becomes true: help-first on a
@@ -558,15 +579,24 @@ impl Runtime {
             let r = rt.finish(f);
             *out.lock() = Some(r);
         });
-        // Wake the external waiter promptly on completion.
+        // Wake the external waiter promptly on completion (or poisoning).
         let hub = Arc::clone(&self.inner.sched.hub);
         fut.on_ready(move || hub.signal_all());
-        self.wait_for(&mut || fut.is_ready());
-        let result = slot
-            .lock()
-            .take()
-            .expect("block_on body completed without producing a value");
-        result
+        self.wait_for(&mut || fut.is_complete());
+        let result = slot.lock().take();
+        match result {
+            Some(Ok(r)) => r,
+            Some(Err(e)) => panic!("[hiper] unhandled task failure in block_on: {}", e),
+            None => {
+                // The body task itself panicked before storing a result; the
+                // dropped promise carries the poison.
+                let err = fut
+                    .poison_error()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "body produced no value".to_string());
+                panic!("[hiper] unhandled task failure in block_on: {}", err);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -658,18 +688,32 @@ impl Runtime {
                 t.scope = prev;
             }
         });
-        if let Some(scope) = scope {
-            scope.check_out();
-        }
-        self.inner.sched.stats.task_executed(shard);
-        if let Err(panic) = result {
+        if let Err(panic) = &result {
             let msg = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "<non-string panic>".to_string());
-            eprintln!("[hiper] task panicked (worker continues): {}", msg);
+            self.inner.sched.stats.task_panic(shard);
+            if trace_id != 0 {
+                hiper_trace::emit(EventKind::TaskPanic, trace_id, place.index() as u64, 0);
+            }
+            eprintln!(
+                "[hiper] task panicked (worker continues): {} (task={:#x} place={})",
+                msg,
+                trace_id,
+                place.index()
+            );
+            // Poison the scope *before* checking the failed task out so the
+            // finish waiter cannot observe a drained scope without the error.
+            if let Some(scope) = &scope {
+                scope.fail(TaskError::new(msg));
+            }
         }
+        if let Some(scope) = scope {
+            scope.check_out();
+        }
+        self.inner.sched.stats.task_executed(shard);
     }
 
     // ------------------------------------------------------------------

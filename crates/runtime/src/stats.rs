@@ -39,6 +39,7 @@ struct StatShard {
     helped: AtomicU64,
     wake_signals_sent: AtomicU64,
     wakes_skipped: AtomicU64,
+    task_panics: AtomicU64,
 }
 
 /// Scheduler-level counters: one padded shard per worker plus one trailing
@@ -99,6 +100,9 @@ impl SchedStats {
     pub(crate) fn wake_skipped(&self, shard: usize) {
         bump!(self.shard(shard).wakes_skipped);
     }
+    pub(crate) fn task_panic(&self, shard: usize) {
+        bump!(self.shard(shard).task_panics);
+    }
 
     /// A point-in-time copy of all counters, aggregated across shards.
     pub fn snapshot(&self) -> SchedStatsSnapshot {
@@ -114,6 +118,7 @@ impl SchedStats {
             snap.helped += s.helped.load(Ordering::Relaxed);
             snap.wake_signals_sent += s.wake_signals_sent.load(Ordering::Relaxed);
             snap.wakes_skipped += s.wakes_skipped.load(Ordering::Relaxed);
+            snap.task_panics += s.task_panics.load(Ordering::Relaxed);
         }
         snap
     }
@@ -142,6 +147,8 @@ pub struct SchedStatsSnapshot {
     pub wake_signals_sent: u64,
     /// Spawn-side wakeups skipped because no worker was parked.
     pub wakes_skipped: u64,
+    /// Tasks whose body panicked (the panic poisons the enclosing scope).
+    pub task_panics: u64,
 }
 
 impl fmt::Display for SchedStatsSnapshot {
@@ -149,7 +156,7 @@ impl fmt::Display for SchedStatsSnapshot {
         write!(
             f,
             "tasks={} pops={} steals={} batch_steals={} injector={} parks={} helped={} \
-             wakes_sent={} wakes_skipped={}",
+             wakes_sent={} wakes_skipped={} panics={}",
             self.tasks_executed,
             self.pops,
             self.steals,
@@ -158,7 +165,8 @@ impl fmt::Display for SchedStatsSnapshot {
             self.parks,
             self.helped,
             self.wake_signals_sent,
-            self.wakes_skipped
+            self.wakes_skipped,
+            self.task_panics
         )
     }
 }
@@ -278,6 +286,7 @@ mod tests {
         s.help(0);
         s.wake_sent(0);
         s.wake_skipped(s.external_shard());
+        s.task_panic(0);
         let snap = s.snapshot();
         assert_eq!(snap.tasks_executed, 2);
         assert_eq!(snap.pops, 1);
@@ -288,11 +297,13 @@ mod tests {
         assert_eq!(snap.helped, 1);
         assert_eq!(snap.wake_signals_sent, 1);
         assert_eq!(snap.wakes_skipped, 1);
+        assert_eq!(snap.task_panics, 1);
         let shown = snap.to_string();
         assert!(shown.contains("tasks=2"));
         assert!(shown.contains("batch_steals=1"));
         assert!(shown.contains("wakes_sent=1"));
         assert!(shown.contains("wakes_skipped=1"));
+        assert!(shown.contains("panics=1"));
     }
 
     #[test]

@@ -10,8 +10,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use hiper_platform::PlaceId;
+use parking_lot::Mutex;
 
 use crate::event::WakeHub;
+use crate::promise::TaskError;
 
 /// The closure a task executes.
 pub(crate) type TaskFn = Box<dyn FnOnce() + Send + 'static>;
@@ -49,6 +51,9 @@ impl std::fmt::Debug for Task {
 pub struct FinishScope {
     pending: AtomicUsize,
     hub: Arc<WakeHub>,
+    /// First task failure recorded under this scope, if any; `finish`
+    /// surfaces it as its `Err` once the scope drains.
+    failed: Mutex<Option<TaskError>>,
 }
 
 impl FinishScope {
@@ -57,7 +62,23 @@ impl FinishScope {
         Arc::new(FinishScope {
             pending: AtomicUsize::new(1),
             hub,
+            failed: Mutex::new(None),
         })
+    }
+
+    /// Records a task failure; the first error wins. Must happen *before*
+    /// the failing task's `check_out` so the `finish` waiter cannot observe
+    /// a drained scope without the error.
+    pub(crate) fn fail(&self, err: TaskError) {
+        let mut slot = self.failed.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    /// The first recorded failure, if any.
+    pub fn error(&self) -> Option<TaskError> {
+        self.failed.lock().clone()
     }
 
     /// Registers one more task under this scope.

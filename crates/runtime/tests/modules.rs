@@ -68,7 +68,7 @@ fn module_platform_assertion_fails_build() {
         .module(module as Arc<dyn SchedulerModule>)
         .build();
     match result {
-        Err(e) => assert!(e.message.contains("no GPU place"), "{}", e),
+        Err(e) => assert!(e.to_string().contains("no GPU place"), "{}", e),
         Ok(rt) => {
             rt.shutdown();
             panic!("build should fail when the platform assertion fails");

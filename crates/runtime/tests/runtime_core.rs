@@ -32,7 +32,8 @@ fn finish_waits_for_all_spawns() {
                     c.fetch_add(1, Ordering::Relaxed);
                 });
             }
-        });
+        })
+        .expect("no task panicked");
         // All 100 must have completed before finish returned.
         assert_eq!(c.load(Ordering::SeqCst), 100);
     });
@@ -60,7 +61,8 @@ fn finish_waits_for_transitive_spawns() {
                     });
                 }
             });
-        });
+        })
+        .expect("no task panicked");
         assert_eq!(c.load(Ordering::SeqCst), 10);
     });
     rt.shutdown();
@@ -83,10 +85,12 @@ fn nested_finish_scopes() {
                 api::async_(move || {
                     o3.lock().push("inner");
                 });
-            });
+            })
+            .expect("no task panicked");
             // Inner finish completed here; "inner" must be recorded.
             assert!(o.lock().contains(&"inner"));
-        });
+        })
+        .expect("no task panicked");
         assert_eq!(order.lock().len(), 2);
     });
     rt.shutdown();
@@ -107,7 +111,8 @@ fn single_worker_does_not_deadlock() {
             for _ in 0..50 {
                 api::async_(|| {});
             }
-        });
+        })
+        .expect("no task panicked");
         total
     });
     assert_eq!(result, 5);
@@ -145,7 +150,8 @@ fn async_await_runs_after_dependency() {
                 flag2.store(1, Ordering::SeqCst);
                 p.put(());
             });
-        });
+        })
+        .expect("no task panicked");
         assert_eq!(flag.load(Ordering::SeqCst), 2);
     });
     rt.shutdown();
@@ -172,7 +178,8 @@ fn finish_waits_for_not_yet_eligible_await_tasks() {
             api::async_await(&f, move || {
                 r.store(1, Ordering::SeqCst);
             });
-        });
+        })
+        .expect("no task panicked");
         assert_eq!(r.load(Ordering::SeqCst), 1);
         satisfier.join().unwrap();
     });
@@ -236,7 +243,7 @@ fn forasync_2d_and_3d_cover_space() {
     let c2 = Arc::clone(&count);
     let c3 = Arc::clone(&count);
     rt.block_on(move || {
-        api::finish(|| {});
+        api::finish(|| {}).expect("no task panicked");
         hiper_runtime::Runtime::current()
             .unwrap()
             .forasync_2d((8, 9), 2, move |_i, _j| {
@@ -287,7 +294,8 @@ fn spawn_at_places_tasks_at_target_place() {
             rt2.spawn_at(interconnect, move || {
                 s.store(1, Ordering::SeqCst);
             });
-        });
+        })
+        .expect("no task panicked");
         assert_eq!(seen.load(Ordering::SeqCst), 1);
     });
     rt.shutdown();
@@ -306,7 +314,8 @@ fn external_thread_spawn_and_finish() {
                 c.fetch_add(1, Ordering::Relaxed);
             });
         }
-    });
+    })
+    .expect("no task panicked");
     assert_eq!(count.load(Ordering::SeqCst), 10);
     rt.shutdown();
 }
@@ -337,7 +346,8 @@ fn stats_count_executed_tasks() {
             for _ in 0..50 {
                 api::async_(|| {});
             }
-        });
+        })
+        .expect("no task panicked");
     });
     let stats = rt.sched_stats();
     assert!(stats.tasks_executed >= 50, "stats: {}", stats);
@@ -356,9 +366,15 @@ fn shutdown_is_idempotent() {
 fn task_panic_does_not_kill_worker() {
     let rt = rt(1);
     rt.block_on(|| {
-        api::finish(|| {
+        let r = api::finish(|| {
             api::async_(|| panic!("intentional test panic"));
         });
+        let err = r.expect_err("finish must surface the task panic");
+        assert!(
+            err.to_string().contains("intentional test panic"),
+            "{}",
+            err
+        );
         // The single worker survived and still executes tasks.
         let f = api::async_future(|| 11);
         assert_eq!(f.get(), 11);
@@ -442,4 +458,63 @@ fn hostbuffer_f64_views() {
     let mut out = vec![0.0; 10];
     buf.read_f64s(0, &mut out);
     assert_eq!(out, vals);
+}
+
+#[test]
+fn task_panics_are_counted_in_sched_stats() {
+    let rt = rt(2);
+    rt.block_on(|| {
+        let r = api::finish(|| {
+            api::async_(|| panic!("counted panic a"));
+            api::async_(|| panic!("counted panic b"));
+        });
+        assert!(r.is_err());
+    });
+    let snap = rt.sched_stats();
+    assert_eq!(snap.task_panics, 2, "{}", snap);
+    rt.shutdown();
+}
+
+#[test]
+fn dependents_of_a_poisoned_future_fail_fast() {
+    // The dependency's body panics, poisoning its future via the dropped
+    // promise. The dependent body must never run; the enclosing finish
+    // surfaces the propagated failure instead.
+    let rt = rt(2);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r = Arc::clone(&ran);
+    rt.block_on(move || {
+        let out = api::finish(move || {
+            let dep = api::async_future(|| -> u64 { panic!("poisoned dependency") });
+            api::async_await(&dep, move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        let err = out.expect_err("finish must surface the poisoned dependency");
+        assert!(err.to_string().contains("dependency poisoned"), "{}", err);
+    });
+    assert_eq!(ran.load(Ordering::SeqCst), 0, "dependent body must not run");
+    rt.shutdown();
+}
+
+#[test]
+fn finish_drains_fully_before_surfacing_the_error() {
+    // A panicking sibling must not cut the scope short: the slow sibling
+    // still completes before finish returns (with the error).
+    let rt = rt(2);
+    let done = Arc::new(AtomicUsize::new(0));
+    let d = Arc::clone(&done);
+    let d2 = Arc::clone(&done);
+    rt.block_on(move || {
+        let out = api::finish(move || {
+            api::async_(|| panic!("fast failing sibling"));
+            api::async_(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert!(out.is_err());
+        assert_eq!(d2.load(Ordering::SeqCst), 1, "scope must drain fully");
+    });
+    rt.shutdown();
 }

@@ -120,7 +120,8 @@ fn runtime_spawn_park_race_100_scopes() {
                     hits.fetch_add(1, Ordering::Relaxed);
                 });
             }
-        });
+        })
+        .expect("no task panicked");
         assert_eq!(
             hits.load(Ordering::Relaxed),
             before + 32,
@@ -151,7 +152,8 @@ fn spawn_fast_path_skips_wakes_when_nobody_parked() {
                         ran.fetch_add(1, Ordering::Relaxed);
                     });
                 }
-            });
+            })
+            .expect("no task panicked");
         }
     });
     assert_eq!(ran.load(Ordering::Relaxed), TASKS);
@@ -191,7 +193,8 @@ fn batch_steals_are_counted() {
                 ran.fetch_add(1, Ordering::Relaxed);
             });
         }
-    });
+    })
+    .expect("no task panicked");
     assert_eq!(ran.load(Ordering::Relaxed), TASKS);
     let snap = rt.sched_stats();
     assert_eq!(snap.tasks_executed, TASKS);

@@ -17,7 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
-use hiper_netsim::{Channel, Message, Rank, Transport};
+use hiper_netsim::{Channel, Message, Rank, ReliableTransport, RetryConfig, Transport};
+use hiper_runtime::ModuleError;
 use parking_lot::{Condvar, Mutex};
 
 use crate::heap::{SymHeap, SymPtr};
@@ -188,9 +189,13 @@ impl ShmemWorld {
 }
 
 /// One rank's endpoint of the raw SHMEM library.
+///
+/// Traffic is routed through a [`ReliableTransport`]: a pass-through with
+/// no armed fault plan, acked/retransmitted/resequenced delivery under
+/// fault injection (put-ordering survives drops and reordering).
 pub struct RawShmem {
     world: ShmemWorld,
-    transport: Transport,
+    transport: Arc<ReliableTransport>,
     alloc_next: Mutex<usize>,
     slots: Mutex<HashMap<u64, Arc<OneShot>>>,
     next_slot: AtomicU64,
@@ -213,9 +218,10 @@ impl RawShmem {
             transport.nranks(),
             "world size must match cluster size"
         );
+        let rel = ReliableTransport::new(transport, "shmem", RetryConfig::default());
         let raw = Arc::new(RawShmem {
             world,
-            transport: transport.clone(),
+            transport: rel,
             alloc_next: Mutex::new(0),
             slots: Mutex::new(HashMap::new()),
             next_slot: AtomicU64::new(1),
@@ -228,8 +234,20 @@ impl RawShmem {
             coll_seq: AtomicU64::new(0),
         });
         let raw2 = Arc::clone(&raw);
-        transport.register_handler(Channel::SHMEM, Box::new(move |m| raw2.on_message(m)));
+        raw.transport
+            .register_handler(Channel::SHMEM, Box::new(move |m| raw2.on_message(m)));
         raw
+    }
+
+    /// Reliable-delivery health: `Err` once any peer has exhausted its
+    /// retry budget (fault injection only).
+    pub fn health(&self) -> Result<(), ModuleError> {
+        self.transport.health()
+    }
+
+    /// Retransmissions performed so far (0 without fault injection).
+    pub fn retries(&self) -> u64 {
+        self.transport.retry_count()
     }
 
     /// This rank (`shmem_my_pe`).

@@ -213,7 +213,8 @@ fn async_when_fires_on_remote_put() {
                 shmem.async_when(flag.offset, Cmp::Eq, 1, move || {
                     g.store(heap.load_u64(off), std::sync::atomic::Ordering::SeqCst);
                 });
-            });
+            })
+            .expect("no task panicked");
             got.load(std::sync::atomic::Ordering::SeqCst)
         }
     });
@@ -231,7 +232,8 @@ fn async_when_fires_immediately_if_already_true() {
             shmem.async_when(flag.offset, Cmp::Ge, 2, move || {
                 h.store(1, std::sync::atomic::Ordering::SeqCst);
             });
-        });
+        })
+        .expect("no task panicked");
         hit.load(std::sync::atomic::Ordering::SeqCst)
     });
     assert_eq!(results[0], 1);

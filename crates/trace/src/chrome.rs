@@ -138,7 +138,10 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
             &track.label,
         );
         for e in &track.events {
-            if matches!(e.kind, EventKind::NetSend | EventKind::NetDeliver) {
+            if matches!(
+                e.kind,
+                EventKind::NetSend | EventKind::NetDeliver | EventKind::NetDrop | EventKind::NetDup
+            ) {
                 ranks_seen.insert(e.a >> 32);
                 ranks_seen.insert(e.a & 0xffff_ffff);
             }
@@ -339,6 +342,66 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 );
                 continue;
             }
+            EventKind::NetDrop | EventKind::NetDup => {
+                let (src, dst) = (e.a >> 32, e.a & 0xffff_ffff);
+                let mut args = vec![
+                    ("src", src.to_string()),
+                    ("dst", dst.to_string()),
+                    ("bytes", e.b.to_string()),
+                ];
+                if e.kind == EventKind::NetDrop {
+                    args.push(("cause", e.c.to_string()));
+                }
+                push_event(
+                    &mut out,
+                    &EventJson {
+                        name: if e.kind == EventKind::NetDrop {
+                            "drop"
+                        } else {
+                            "dup"
+                        },
+                        ph: 'i',
+                        ts_ns: e.ts_ns,
+                        pid: NETSIM_PID,
+                        tid: src,
+                        dur_ns: None,
+                        args,
+                        thread_scoped_instant: true,
+                    },
+                );
+                continue;
+            }
+            EventKind::RelRetry => {
+                let (src, dst) = (e.a >> 32, e.a & 0xffff_ffff);
+                push_event(
+                    &mut out,
+                    &EventJson {
+                        name: "retry",
+                        ph: 'i',
+                        ts_ns: e.ts_ns,
+                        pid: NETSIM_PID,
+                        tid: src,
+                        dur_ns: None,
+                        args: vec![
+                            ("dst", dst.to_string()),
+                            ("seq", e.b.to_string()),
+                            ("attempt", e.c.to_string()),
+                        ],
+                        thread_scoped_instant: true,
+                    },
+                );
+                continue;
+            }
+            EventKind::TaskPanic => EventJson {
+                name: "task panic",
+                ph: 'i',
+                ts_ns: e.ts_ns,
+                pid: RUNTIME_PID,
+                tid,
+                dur_ns: None,
+                args: vec![("task", e.a.to_string()), ("place", e.b.to_string())],
+                thread_scoped_instant: true,
+            },
         };
         push_event(&mut out, &json);
     }

@@ -55,6 +55,19 @@ pub enum EventKind {
     /// A simulated-network message was delivered. `a` = src<<32|dst,
     /// `b` = wire bytes.
     NetDeliver = 13,
+    /// A simulated-network message was dropped by fault injection (or a
+    /// panicking handler). `a` = src<<32|dst, `b` = wire bytes, `c` = cause
+    /// (1 = random drop, 2 = partition/kill window, 3 = handler panic).
+    NetDrop = 14,
+    /// Fault injection delivered an extra copy of a message.
+    /// `a` = src<<32|dst, `b` = wire bytes.
+    NetDup = 15,
+    /// A reliable transport retransmitted an unacked frame.
+    /// `a` = src<<32|dst, `b` = frame sequence number, `c` = attempt count.
+    RelRetry = 16,
+    /// A task panicked and poisoned its finish scope. `a` = task id
+    /// (0 when spawned untraced), `b` = place index.
+    TaskPanic = 17,
 }
 
 impl EventKind {
@@ -75,6 +88,10 @@ impl EventKind {
             11 => ModuleExit,
             12 => NetSend,
             13 => NetDeliver,
+            14 => NetDrop,
+            15 => NetDup,
+            16 => RelRetry,
+            17 => TaskPanic,
             _ => return None,
         })
     }
@@ -96,6 +113,10 @@ impl EventKind {
             ModuleExit => "module_exit",
             NetSend => "net_send",
             NetDeliver => "net_deliver",
+            NetDrop => "net_drop",
+            NetDup => "net_dup",
+            RelRetry => "rel_retry",
+            TaskPanic => "task_panic",
         }
     }
 }

@@ -27,7 +27,8 @@ fn main() {
                     c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 });
             }
-        });
+        })
+        .expect("no task panicked");
         println!(
             "finish waited for {} tasks",
             counter.load(std::sync::atomic::Ordering::SeqCst)

@@ -33,7 +33,8 @@ fn main() {
                                 std::hint::black_box((0..500).sum::<u64>());
                             });
                         }
-                    });
+                    })
+                    .expect("no task panicked");
                     if env.rank == 0 {
                         mpi.send(1, round, &[round]);
                         let _ = mpi.recv::<u64>(Some(1), Some(round));

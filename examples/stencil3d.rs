@@ -144,7 +144,8 @@ fn main() {
                                 });
                             }
                         }
-                    });
+                    })
+                    .expect("no task panicked");
 
                     gpu.device_synchronize(0);
                     let norm = slab.with_f64(|v| v.iter().map(|x| x * x).sum::<f64>());

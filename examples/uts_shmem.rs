@@ -117,7 +117,8 @@ fn main() {
                         shmem.async_when(done_flag.offset, Cmp::Eq, 1, move || {
                             println!("rank {} notified of completion via shmem_async_when", rank);
                         });
-                    });
+                    })
+                    .expect("no task panicked");
                 }
                 (local_count, totals[0])
             },

@@ -127,7 +127,8 @@ fn four_modules_compose_on_one_runtime() {
                         shmem.async_when(flag.offset, Cmp::Eq, n as i64, move || {
                             t2.store(heap.load_u64(off), std::sync::atomic::Ordering::SeqCst);
                         });
-                    });
+                    })
+                    .expect("no task panicked");
                     final_sum = total.load(std::sync::atomic::Ordering::SeqCst);
                 }
                 let received = got.get();

@@ -134,7 +134,7 @@ proptest! {
                     });
                 }
             }
-            finish(|| spawn_level(&w2, &c));
+            finish(|| spawn_level(&w2, &c)).expect("no task panicked");
         });
         prop_assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), expected);
         rt.shutdown();

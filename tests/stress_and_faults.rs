@@ -27,11 +27,13 @@ fn task_storm_with_nested_finish() {
                                 c.fetch_add(1, Ordering::Relaxed);
                             });
                         }
-                    });
+                    })
+                    .expect("no task panicked");
                     c.fetch_add(1, Ordering::Relaxed);
                 });
             }
-        });
+        })
+        .expect("no task panicked");
     });
     assert_eq!(count.load(Ordering::SeqCst), 50 * 41);
     rt.shutdown();
@@ -87,10 +89,16 @@ fn panicking_tasks_do_not_poison_the_cluster() {
                 (vec![Arc::clone(&mpi) as Arc<dyn SchedulerModule>], mpi)
             },
             |env, mpi| {
-                // A task panics on each rank; workers survive.
-                finish(|| {
+                // A task panics on each rank; workers survive and the
+                // enclosing finish surfaces the failure as an error.
+                let failed = finish(|| {
                     async_(|| panic!("injected fault"));
                 });
+                assert!(failed.is_err(), "finish must surface the task panic");
+                assert!(
+                    failed.unwrap_err().to_string().contains("injected fault"),
+                    "error must carry the panic message"
+                );
                 // Cluster still functions afterwards.
                 if env.rank == 0 {
                     mpi.send(1, 9, &[123u64]);

@@ -25,7 +25,8 @@ fn traced_run_produces_valid_chrome_json() {
             forasync_1d(10_000, 256, |i| {
                 std::hint::black_box(i);
             });
-        });
+        })
+        .expect("no task panicked");
     });
     rt.shutdown();
 
