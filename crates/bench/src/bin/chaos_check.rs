@@ -18,7 +18,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hiper_bench::isx::{self, IsxParams};
-use hiper_bench::util::{print_net_stats, print_rank_stats, stats_enabled, trace_session};
+use hiper_bench::util::{
+    metrics_session, print_net_stats, print_rank_stats, stats_enabled, trace_session,
+};
 use hiper_bench::uts::{self, UtsParams};
 use hiper_checkpoint::CheckpointModule;
 use hiper_mpi::{MpiModule, ReduceOp};
@@ -325,6 +327,7 @@ fn measure_fanout_ms() -> f64 {
 
 fn main() {
     let trace = trace_session();
+    let _metrics = metrics_session();
     let traced = trace.is_some();
     let seed = arg_seed();
     println!("chaos_check: seed {:#x}", seed);

@@ -16,7 +16,8 @@ use std::sync::Arc;
 
 use hiper_bench::geo::{self, GeoParams};
 use hiper_bench::util::{
-    env_param, print_rank_stats, print_table, stats_enabled, summarize, trace_session, Timing,
+    env_param, metrics_session, print_rank_stats, print_table, stats_enabled, summarize,
+    trace_session, Timing,
 };
 use hiper_gpu::GpuModule;
 use hiper_mpi::MpiModule;
@@ -82,6 +83,7 @@ fn run_geo(nodes: usize, params: GeoParams, hiper: bool, reps: usize) -> (Timing
 
 fn main() {
     let _trace = trace_session();
+    let _metrics = metrics_session();
     let nodes_max = env_param("HIPER_NODES_MAX", 8);
     let n = env_param("HIPER_GEO_N", 24);
     let steps = env_param("HIPER_GEO_STEPS", 8);

@@ -16,7 +16,8 @@
 use std::sync::Arc;
 
 use hiper_bench::util::{
-    env_param, print_rank_stats, print_table, stats_enabled, summarize, trace_session, Timing,
+    env_param, metrics_session, print_rank_stats, print_table, stats_enabled, summarize,
+    trace_session, Timing,
 };
 use hiper_bench::uts::{self, UtsParams};
 use hiper_forkjoin::Pool;
@@ -83,6 +84,7 @@ fn run_impl(which: Impl, nodes: usize, params: UtsParams, expected: u64, reps: u
 
 fn main() {
     let _trace = trace_session();
+    let _metrics = metrics_session();
     let nodes_max = env_param("HIPER_NODES_MAX", 8);
     let reps = env_param("HIPER_REPS", 3);
     let params = UtsParams {

@@ -17,7 +17,8 @@ use std::sync::Arc;
 
 use hiper_bench::graph500::{self, G500Params};
 use hiper_bench::util::{
-    env_param, print_rank_stats, print_table, stats_enabled, summarize, trace_session, Timing,
+    env_param, metrics_session, print_rank_stats, print_table, stats_enabled, summarize,
+    trace_session, Timing,
 };
 use hiper_mpi::MpiModule;
 use hiper_netsim::{NetConfig, SpmdBuilder};
@@ -85,6 +86,7 @@ fn run_g500(
 
 fn main() {
     let _trace = trace_session();
+    let _metrics = metrics_session();
     let nodes_max = env_param("HIPER_NODES_MAX", 8);
     let reps = env_param("HIPER_REPS", 3);
     let params = G500Params {

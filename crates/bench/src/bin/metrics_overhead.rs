@@ -1,0 +1,102 @@
+//! Measures what the metrics registry costs: the spawn-heavy fanout
+//! workload run with metrics disabled and enabled, plus the raw per-record
+//! histogram cost, written to `BENCH_metrics_overhead.json`.
+//!
+//! The disabled numbers back the acceptance bar: every instrumented site
+//! guards its clock reads behind one relaxed load of the global enable
+//! flag, so the disabled median must sit within 2% of the enabled=never
+//! hot path (`BENCH_sched_hotpath.json` territory).
+//!
+//! ```text
+//! cargo run --release -p hiper-bench --bin metrics_overhead -- [out.json]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hiper_platform::autogen;
+use hiper_runtime::{api, Runtime};
+
+/// Same fanout as `trace_overhead` / the perf gate: 8 producers x 1000
+/// tiny consumers, hammering spawn/wake/steal — every metrics-instrumented
+/// scheduler path.
+fn fanout(rt: &Runtime) -> u64 {
+    let acc = Arc::new(AtomicU64::new(0));
+    let a = Arc::clone(&acc);
+    rt.block_on(move || {
+        api::finish(|| {
+            for _ in 0..8 {
+                let a = Arc::clone(&a);
+                api::async_(move || {
+                    for _ in 0..1000 {
+                        let a = Arc::clone(&a);
+                        api::async_(move || {
+                            a.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        })
+        .expect("no task panicked");
+    });
+    acc.load(Ordering::Relaxed)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn time_fanout(rt: &Runtime, warmup: usize, reps: usize) -> (f64, f64, f64) {
+    for _ in 0..warmup {
+        assert_eq!(fanout(rt), 8000);
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            fanout(rt);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let med = median(&mut samples);
+    (samples[0], med, samples[samples.len() - 1])
+}
+
+/// ns per `Histogram::record` call (enabled path) over `n` calls.
+fn record_cost(n: u64) -> f64 {
+    let h = hiper_metrics::histogram("hiper_bench_record_cost_ns");
+    let t0 = Instant::now();
+    for i in 0..n {
+        h.record(i);
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / n as f64
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_metrics_overhead.json".to_string());
+    let warmup = hiper_bench::util::env_param("HIPER_WARMUP", 5);
+    let reps = hiper_bench::util::env_param("HIPER_REPS", 31);
+
+    let rt = Runtime::new(autogen::smp(4));
+
+    hiper_metrics::set_enabled(false);
+    let (dis_min, dis_med, dis_max) = time_fanout(&rt, warmup, reps);
+
+    hiper_metrics::set_enabled(true);
+    let record_ns = record_cost(10_000_000);
+    let (en_min, en_med, en_max) = time_fanout(&rt, warmup, reps);
+    hiper_metrics::set_enabled(false);
+
+    rt.shutdown();
+
+    let overhead_pct = (en_med / dis_med - 1.0) * 100.0;
+    let json = format!(
+        "{{\n  \"bench\": \"metrics_overhead\",\n  \"workload\": \"fanout_8x1000_producer_consumer\",\n  \"workers\": 4,\n  \"reps\": {reps},\n  \"disabled\": {{ \"min_ms\": {dis_min:.4}, \"median_ms\": {dis_med:.4}, \"max_ms\": {dis_max:.4} }},\n  \"enabled\": {{ \"min_ms\": {en_min:.4}, \"median_ms\": {en_med:.4}, \"max_ms\": {en_max:.4}, \"record_ns\": {record_ns:.3} }},\n  \"enabled_over_disabled_pct\": {overhead_pct:.2}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write results");
+    print!("{}", json);
+    println!("wrote {}", out);
+}

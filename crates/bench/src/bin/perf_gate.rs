@@ -1,0 +1,125 @@
+//! The CI performance regression gate: runs the canonical workloads
+//! (scheduler fanout, MPI ping-pong, ISx) `HIPER_REPS` times each, writes
+//! the fresh medians + IQRs to `BENCH_perf_gate.json`, and compares them
+//! against the checked-in baseline with the noise-aware rule from
+//! [`hiper_bench::perfgate`].
+//!
+//! ```text
+//! cargo run --release -p hiper-bench --bin perf_gate
+//! cargo run --release -p hiper-bench --bin perf_gate -- --update-baseline
+//! ```
+//!
+//! Flags:
+//!
+//! * `--baseline FILE` — baseline to gate against (default
+//!   `configs/perf_gate_baseline.json`)
+//! * `--out FILE` — where to write the fresh results (default
+//!   `BENCH_perf_gate.json`)
+//! * `--update-baseline` — also overwrite the baseline file with the fresh
+//!   results (run on a quiet machine, then commit)
+//! * `HIPER_REPS` — timed reps per workload (default 7)
+//! * `HIPER_GATE_SLACK_PCT` / `HIPER_GATE_IQR_MULT` — tuning knobs
+//!
+//! Exits 0 when every metric holds, 1 on any regression, 2 on usage/IO
+//! errors. A missing baseline file is exit 2 with a hint to run
+//! `--update-baseline` — CI must never silently pass because the baseline
+//! vanished.
+
+use hiper_bench::perfgate::{
+    compare, gate_json, parse_gate_json, run_all, DEFAULT_IQR_MULT, DEFAULT_SLACK_PCT,
+};
+use hiper_bench::util::env_param;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    let eq = format!("{}=", flag);
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&eq).map(str::to_string))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path =
+        arg_value(&args, "--baseline").unwrap_or_else(|| "configs/perf_gate_baseline.json".into());
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_perf_gate.json".into());
+    let update_baseline = args.iter().any(|a| a == "--update-baseline");
+    let reps = env_param("HIPER_REPS", 7);
+    let slack_pct = env_f64("HIPER_GATE_SLACK_PCT", DEFAULT_SLACK_PCT);
+    let iqr_mult = env_f64("HIPER_GATE_IQR_MULT", DEFAULT_IQR_MULT);
+
+    let _metrics = hiper_bench::util::metrics_session();
+
+    eprintln!(
+        "perf_gate: {} reps/workload, slack {:.1}%, {}x IQR noise allowance",
+        reps, slack_pct, iqr_mult
+    );
+    let current = run_all(reps);
+    let fresh = gate_json(&current);
+    if let Err(e) = std::fs::write(&out_path, &fresh) {
+        eprintln!("perf_gate: cannot write {}: {}", out_path, e);
+        std::process::exit(2);
+    }
+    println!("wrote {}", out_path);
+
+    if update_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, &fresh) {
+            eprintln!("perf_gate: cannot write {}: {}", baseline_path, e);
+            std::process::exit(2);
+        }
+        println!("updated baseline {}", baseline_path);
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "perf_gate: cannot read baseline {}: {} \
+                 (run with --update-baseline to create it)",
+                baseline_path, e
+            );
+            std::process::exit(2);
+        }
+    };
+    let baseline = match parse_gate_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf_gate: bad baseline {}: {}", baseline_path, e);
+            std::process::exit(2);
+        }
+    };
+
+    let checks = compare(&baseline, &current, slack_pct, iqr_mult);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}  verdict",
+        "metric", "baseline", "current", "limit"
+    );
+    let mut regressed = false;
+    for c in &checks {
+        let (cur, verdict) = match (&c.current, c.regressed) {
+            (Some(cur), false) => (format!("{:.4}", cur.median), "ok"),
+            (Some(cur), true) => (format!("{:.4}", cur.median), "REGRESSED"),
+            (None, _) => ("missing".to_string(), "MISSING"),
+        };
+        println!(
+            "{:<14} {:>12.4} {:>12} {:>12.4}  {}",
+            c.metric, c.baseline.median, cur, c.limit_ms, verdict
+        );
+        regressed |= c.regressed;
+    }
+    if regressed {
+        eprintln!("perf_gate: REGRESSION against {}", baseline_path);
+        std::process::exit(1);
+    }
+    println!("perf_gate: OK against {}", baseline_path);
+}

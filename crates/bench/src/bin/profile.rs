@@ -1,0 +1,59 @@
+//! Post-mortem profiler: replays a Chrome trace (written by any harness's
+//! `--trace out.json`) into the task-DAG critical path, per-worker
+//! utilization timelines, and load-imbalance / steal-locality summaries.
+//!
+//! ```text
+//! cargo run --release -p hiper-bench --bin profile -- trace.json [--out summary.txt]
+//! ```
+//!
+//! The critical path is the longest spawn chain ending at the last task to
+//! finish, decomposed into compute, module (communication), pop-wait and
+//! steal-wait segments that tile its wall interval exactly — the number to
+//! attack first when a run is slower than expected.
+//!
+//! Exits 0 on success, 1 when the trace holds no complete task, 2 on
+//! usage/IO errors.
+
+use hiper_bench::traceload::load_chrome_trace;
+use hiper_trace::analysis::ProfileAnalysis;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = match args.get(1).filter(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: profile <trace.json> [--out summary.txt]");
+            std::process::exit(2);
+        }
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        });
+
+    let data = match load_chrome_trace(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("profile: cannot load {}: {}", path, e);
+            std::process::exit(2);
+        }
+    };
+    let analysis = ProfileAnalysis::build(&data);
+    let rendered = analysis.to_string();
+    print!("{}", rendered);
+    if let Some(out) = out {
+        if let Err(e) = std::fs::write(&out, &rendered) {
+            eprintln!("profile: cannot write {}: {}", out, e);
+            std::process::exit(2);
+        }
+        println!("wrote {}", out);
+    }
+    if analysis.critical_path.is_none() {
+        eprintln!("profile: no complete task in {} — nothing to analyze", path);
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,11 @@
 //!   order (the exporter globally sorts by time);
 //! * per track, `B`/`E` duration events pair up with matching names and end
 //!   balanced — unless that track recorded a `dropped events` marker, in
-//!   which case unbalanced spans are reported but tolerated.
+//!   which case unbalanced spans are reported but tolerated;
+//! * task lifecycle correlation: every `task` begin span carries a task id
+//!   that some `spawn` instant announced — an orphan begin means spawn
+//!   events were lost (or the exporter broke attribution). Orphans are an
+//!   error on a lossless trace and reported counts on a lossy one.
 //!
 //! ```text
 //! cargo run --release -p hiper-bench --bin trace_check -- out.json
@@ -17,9 +21,31 @@
 //!
 //! Exits 0 on a valid trace, 1 on any violation, 2 on usage/IO errors.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hiper_platform::json::Json;
+
+/// Task-DAG correlation counters across the whole trace.
+#[derive(Default)]
+struct TaskDag {
+    /// Distinct task ids announced by `spawn` instants.
+    spawned: BTreeSet<u64>,
+    /// Distinct task ids that began a `task` span.
+    begun: BTreeSet<u64>,
+}
+
+impl TaskDag {
+    /// Begun task ids that were never spawned (attribution holes).
+    fn orphan_begins(&self) -> Vec<u64> {
+        self.begun.difference(&self.spawned).copied().collect()
+    }
+
+    /// Spawned task ids that never began (lost begins, or the trace was cut
+    /// before they ran).
+    fn unbegun_spawns(&self) -> usize {
+        self.spawned.difference(&self.begun).count()
+    }
+}
 
 struct Track {
     last_ts: f64,
@@ -49,15 +75,17 @@ fn fail(errors: &mut Vec<String>, msg: String) {
     }
 }
 
-/// Validates the parsed document; returns (per-track summary, errors).
-fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, Vec<String>) {
+/// Validates the parsed document; returns (per-track summary, task-DAG
+/// correlation, errors).
+fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, TaskDag, Vec<String>) {
     let mut errors = Vec::new();
     let mut tracks: BTreeMap<(u64, u64), Track> = BTreeMap::new();
+    let mut dag = TaskDag::default();
     let events = match doc.get("traceEvents").and_then(Json::as_array) {
         Some(a) => a,
         None => {
             fail(&mut errors, "no traceEvents array".into());
-            return (tracks, errors);
+            return (tracks, dag, errors);
         }
     };
     for (i, ev) in events.iter().enumerate() {
@@ -106,6 +134,18 @@ fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, Vec<String>) {
         if name == "dropped events" {
             track.lossy = true;
         }
+        let task_arg = ev
+            .get("args")
+            .and_then(|a| a.get("task"))
+            .and_then(Json::as_f64)
+            .map(|t| t as u64);
+        if let Some(task) = task_arg {
+            if name == "spawn" {
+                dag.spawned.insert(task);
+            } else if name == "task" && ph == 'B' {
+                dag.begun.insert(task);
+            }
+        }
         match ph {
             'B' => track.stack.push(name),
             'E' => match track.stack.pop() {
@@ -148,7 +188,20 @@ fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, Vec<String>) {
             );
         }
     }
-    (tracks, errors)
+    let orphans = dag.orphan_begins();
+    if !orphans.is_empty() && !tracks.values().any(|t| t.lossy) {
+        let sample: Vec<String> = orphans.iter().take(5).map(|t| t.to_string()).collect();
+        fail(
+            &mut errors,
+            format!(
+                "{} task begin(s) with no matching spawn on a lossless trace \
+                 (e.g. task {})",
+                orphans.len(),
+                sample.join(", task ")
+            ),
+        );
+    }
+    (tracks, dag, errors)
 }
 
 fn main() {
@@ -173,7 +226,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (tracks, errors) = check(&doc);
+    let (tracks, dag, errors) = check(&doc);
     let events: u64 = tracks.values().map(|t| t.events).sum();
     let spans: u64 = tracks.values().map(|t| t.spans).sum();
     println!(
@@ -182,6 +235,13 @@ fn main() {
         events,
         spans,
         tracks.len()
+    );
+    println!(
+        "  task DAG: {} spawned, {} began, {} orphan begin(s), {} spawn(s) never began",
+        dag.spawned.len(),
+        dag.begun.len(),
+        dag.orphan_begins().len(),
+        dag.unbegun_spawns()
     );
     for ((pid, tid), t) in &tracks {
         println!(

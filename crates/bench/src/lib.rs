@@ -21,6 +21,8 @@ pub mod geo;
 pub mod graph500;
 pub mod hpgmg;
 pub mod isx;
+pub mod perfgate;
 pub mod sha1;
+pub mod traceload;
 pub mod util;
 pub mod uts;

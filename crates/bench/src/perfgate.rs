@@ -1,0 +1,374 @@
+//! The performance regression gate: canonical microbench workloads
+//! (scheduler fanout, MPI ping-pong, ISx), robust summary statistics
+//! (median + interquartile range), and the noise-aware baseline comparison
+//! the `perf_gate` binary applies in CI.
+//!
+//! The compare rule is deliberately conservative for noisy shared runners:
+//! a metric regresses only when
+//!
+//! ```text
+//! current.median > baseline.median * (1 + slack_pct/100)
+//!                  + iqr_mult * (baseline.iqr + current.iqr)
+//! ```
+//!
+//! i.e. the median must move past a relative slack *plus* a multiple of the
+//! combined spread of both measurements. A genuinely slower scheduler fails
+//! the gate; a noisy rep does not. The comparison is pure logic over two
+//! summaries, so the doctored-baseline test exercises exactly the code CI
+//! runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hiper_mpi::MpiModule;
+use hiper_netsim::{NetConfig, SpmdBuilder};
+use hiper_platform::autogen;
+use hiper_platform::json::Json;
+use hiper_runtime::{api, Runtime, SchedulerModule};
+use hiper_shmem::{ShmemModule, ShmemWorld};
+
+use crate::isx::{self, IsxParams};
+
+/// Default relative slack (percent) before a median move counts.
+pub const DEFAULT_SLACK_PCT: f64 = 10.0;
+/// Default multiplier on combined IQR noise.
+pub const DEFAULT_IQR_MULT: f64 = 3.0;
+
+/// Robust summary of one metric's repeated measurements (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Median of the samples (ms).
+    pub median: f64,
+    /// Interquartile range, q75 - q25 (ms).
+    pub iqr: f64,
+    /// Number of samples summarized.
+    pub reps: usize,
+}
+
+/// Sorts `samples` (ms) and reduces them to median + IQR.
+pub fn summarize_ms(mut samples: Vec<f64>) -> MetricSummary {
+    assert!(!samples.is_empty(), "cannot summarize zero samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| {
+        let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+        samples[idx]
+    };
+    MetricSummary {
+        median: q(0.5),
+        iqr: (q(0.75) - q(0.25)).max(0.0),
+        reps: samples.len(),
+    }
+}
+
+/// One metric's verdict from a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Metric name (e.g. `fanout_ms`).
+    pub metric: String,
+    /// Checked-in baseline summary.
+    pub baseline: MetricSummary,
+    /// Freshly measured summary (`None` when the metric vanished from the
+    /// current run — itself a gate failure).
+    pub current: Option<MetricSummary>,
+    /// The threshold the current median was held against (ms).
+    pub limit_ms: f64,
+    /// True when this metric fails the gate.
+    pub regressed: bool,
+}
+
+/// The regression predicate; see the module docs for the rule.
+pub fn is_regression(
+    baseline: &MetricSummary,
+    current: &MetricSummary,
+    slack_pct: f64,
+    iqr_mult: f64,
+) -> bool {
+    current.median > regression_limit(baseline, current, slack_pct, iqr_mult)
+}
+
+/// The threshold the current median must stay at or under.
+pub fn regression_limit(
+    baseline: &MetricSummary,
+    current: &MetricSummary,
+    slack_pct: f64,
+    iqr_mult: f64,
+) -> f64 {
+    baseline.median * (1.0 + slack_pct / 100.0) + iqr_mult * (baseline.iqr + current.iqr)
+}
+
+/// Compares every baseline metric against the current run. Metrics missing
+/// from `current` fail (the gate must not silently narrow); metrics new in
+/// `current` are ignored here and picked up when the baseline is updated.
+pub fn compare(
+    baseline: &BTreeMap<String, MetricSummary>,
+    current: &BTreeMap<String, MetricSummary>,
+    slack_pct: f64,
+    iqr_mult: f64,
+) -> Vec<GateCheck> {
+    baseline
+        .iter()
+        .map(|(name, base)| match current.get(name) {
+            Some(cur) => {
+                let limit = regression_limit(base, cur, slack_pct, iqr_mult);
+                GateCheck {
+                    metric: name.clone(),
+                    baseline: *base,
+                    current: Some(*cur),
+                    limit_ms: limit,
+                    regressed: cur.median > limit,
+                }
+            }
+            None => GateCheck {
+                metric: name.clone(),
+                baseline: *base,
+                current: None,
+                limit_ms: base.median,
+                regressed: true,
+            },
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------
+
+/// Scheduler fanout: 8 producers × 1000 tiny consumers on a 4-worker SMP
+/// runtime — the spawn/wake/steal hot path (same shape as the
+/// `task_overhead` bench and the trace/chaos overhead gates).
+pub fn run_fanout(reps: usize) -> MetricSummary {
+    let rt = Runtime::new(autogen::smp(4));
+    let one = |rt: &Runtime| {
+        let acc = Arc::new(AtomicU64::new(0));
+        let a = Arc::clone(&acc);
+        rt.block_on(move || {
+            api::finish(|| {
+                for _ in 0..8 {
+                    let a = Arc::clone(&a);
+                    api::async_(move || {
+                        for _ in 0..1000 {
+                            let a = Arc::clone(&a);
+                            api::async_(move || {
+                                a.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            })
+            .expect("no task panicked");
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 8000);
+    };
+    for _ in 0..2 {
+        one(&rt);
+    }
+    let samples = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            one(&rt);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    rt.shutdown();
+    summarize_ms(samples)
+}
+
+/// MPI ping-pong: 50 empty-message round trips between 2 netsim ranks —
+/// module taskification + simulated-interconnect latency path.
+pub fn run_pingpong(reps: usize) -> MetricSummary {
+    const ROUNDS: usize = 50;
+    let per_rank = SpmdBuilder::new(2)
+        .net(NetConfig::default())
+        .workers_per_rank(2)
+        .run(
+            |_r, t| {
+                let mpi = MpiModule::new(t);
+                (vec![Arc::clone(&mpi) as Arc<dyn SchedulerModule>], mpi)
+            },
+            move |env, mpi| {
+                let mut samples = Vec::new();
+                for rep in 0..reps + 1 {
+                    mpi.barrier();
+                    let t0 = Instant::now();
+                    for _ in 0..ROUNDS {
+                        if env.rank == 0 {
+                            mpi.send::<u8>(1, 1, &[]);
+                            let _ = mpi.recv::<u8>(Some(1), Some(2));
+                        } else {
+                            let _ = mpi.recv::<u8>(Some(0), Some(1));
+                            mpi.send::<u8>(0, 2, &[]);
+                        }
+                    }
+                    // First lap is warmup (handler registration, first
+                    // steals); drop it.
+                    if rep > 0 {
+                        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+                samples
+            },
+        );
+    summarize_ms(per_rank[0].clone())
+}
+
+/// ISx bucket sort, 2 SHMEM ranks × 2 workers, 4096 keys/rank — the
+/// all-to-all + local-sort composite the paper's Fig. 5 scales up.
+pub fn run_isx(reps: usize) -> MetricSummary {
+    let params = IsxParams {
+        keys_per_rank: 4096,
+        key_max: 1 << 16,
+        ..Default::default()
+    };
+    let heap = (params.keys_per_rank * 2 * 8 + (1 << 16)).next_power_of_two();
+    let world = ShmemWorld::new(2, heap);
+    let per_rank = SpmdBuilder::new(2)
+        .net(NetConfig::default())
+        .workers_per_rank(2)
+        .run(
+            move |_r, t| {
+                let shmem = ShmemModule::new(world.clone(), t);
+                (vec![Arc::clone(&shmem) as Arc<dyn SchedulerModule>], shmem)
+            },
+            move |_env, shmem| {
+                let raw = Arc::clone(shmem.raw());
+                let watermark = raw.alloc_watermark();
+                let mut samples = Vec::new();
+                for rep in 0..reps + 1 {
+                    shmem.barrier_all();
+                    raw.reset_alloc(watermark);
+                    shmem.barrier_all();
+                    let t0 = Instant::now();
+                    let result = isx::run_hiper(&shmem, &params);
+                    shmem.barrier_all();
+                    let dt = t0.elapsed().as_secs_f64() * 1e3;
+                    assert!(isx::verify(&raw, &params, &result));
+                    if rep > 0 {
+                        samples.push(dt);
+                    }
+                }
+                samples
+            },
+        );
+    summarize_ms(per_rank[0].clone())
+}
+
+/// Runs the full gate suite, returning named summaries.
+pub fn run_all(reps: usize) -> BTreeMap<String, MetricSummary> {
+    let mut out = BTreeMap::new();
+    out.insert("fanout_ms".to_string(), run_fanout(reps));
+    out.insert("pingpong_ms".to_string(), run_pingpong(reps));
+    out.insert("isx_ms".to_string(), run_isx(reps));
+    out
+}
+
+// ---------------------------------------------------------------------
+// JSON (de)serialization — baseline files and BENCH_perf_gate.json
+// ---------------------------------------------------------------------
+
+/// Serializes summaries into the gate's JSON document.
+pub fn gate_json(metrics: &BTreeMap<String, MetricSummary>) -> String {
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".to_string(), Json::from("perf_gate"));
+    let mut m = BTreeMap::new();
+    for (name, s) in metrics {
+        let mut entry = BTreeMap::new();
+        entry.insert("median_ms".to_string(), Json::Number(s.median));
+        entry.insert("iqr_ms".to_string(), Json::Number(s.iqr));
+        entry.insert("reps".to_string(), Json::from(s.reps));
+        m.insert(name.clone(), Json::Object(entry));
+    }
+    doc.insert("metrics".to_string(), Json::Object(m));
+    let mut out = Json::Object(doc).pretty();
+    out.push('\n');
+    out
+}
+
+/// Parses a gate JSON document back into summaries.
+pub fn parse_gate_json(text: &str) -> Result<BTreeMap<String, MetricSummary>, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_object)
+        .ok_or("missing metrics object")?;
+    let mut out = BTreeMap::new();
+    for (name, entry) in metrics {
+        let field = |k: &str| {
+            entry
+                .get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metric {} missing {}", name, k))
+        };
+        out.insert(
+            name.clone(),
+            MetricSummary {
+                median: field("median_ms")?,
+                iqr: field("iqr_ms")?,
+                reps: field("reps")? as usize,
+            },
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(median: f64, iqr: f64) -> MetricSummary {
+        MetricSummary {
+            median,
+            iqr,
+            reps: 9,
+        }
+    }
+
+    #[test]
+    fn summarize_is_robust_to_outliers() {
+        let m = summarize_ms(vec![1.0, 1.1, 0.9, 1.0, 100.0]);
+        assert_eq!(m.median, 1.0);
+        assert_eq!(m.reps, 5);
+        assert!(m.iqr < 100.0);
+    }
+
+    #[test]
+    fn regression_requires_clearing_slack_and_noise() {
+        // 10% slack, 3x IQR: 1.0ms baseline with 0.05 IQR -> limit 1.25.
+        let base = s(1.0, 0.05);
+        assert!(!is_regression(&base, &s(1.24, 0.0), 10.0, 3.0));
+        assert!(is_regression(&base, &s(1.26, 0.0), 10.0, 3.0));
+        // Wide current-run noise raises the limit.
+        assert!(!is_regression(&base, &s(1.5, 0.1), 10.0, 3.0));
+    }
+
+    #[test]
+    fn compare_flags_missing_metric() {
+        let mut base = BTreeMap::new();
+        base.insert("fanout_ms".to_string(), s(1.0, 0.1));
+        let checks = compare(&base, &BTreeMap::new(), 10.0, 3.0);
+        assert_eq!(checks.len(), 1);
+        assert!(checks[0].regressed);
+        assert!(checks[0].current.is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("fanout_ms".to_string(), s(1.2345, 0.0678));
+        metrics.insert("isx_ms".to_string(), s(20.5, 1.25));
+        let text = gate_json(&metrics);
+        let parsed = parse_gate_json(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let f = parsed["fanout_ms"];
+        assert!((f.median - 1.2345).abs() < 1e-9);
+        assert!((f.iqr - 0.0678).abs() < 1e-9);
+        assert_eq!(f.reps, 9);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_gate_json("{}").is_err());
+        assert!(parse_gate_json("{\"metrics\": {\"x\": {}}}").is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! Re-parses a Chrome trace-event JSON file (as written by
+//! [`hiper_trace::chrome`]) back into [`TraceData`], so the post-mortem
+//! analyzer ([`hiper_trace::analysis`]) can run over traces from earlier
+//! runs — the `profile` binary's input path.
+//!
+//! Lives here rather than in `hiper-trace` so the trace crate stays free of
+//! the JSON parser (`hiper_platform::json`). The loader understands exactly
+//! the event vocabulary the exporter emits; unknown `B`/`E` span names on
+//! the runtime pid are treated as module spans (that is what they are on
+//! export), and anything else unknown is skipped.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use hiper_platform::json::Json;
+use hiper_trace::{EventKind, TraceData, TraceEvent};
+
+const RUNTIME_PID: u64 = 1;
+const NETSIM_PID: u64 = 2;
+
+struct TrackBuilder {
+    label: String,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+/// Loads and parses a Chrome trace file.
+pub fn load_chrome_trace(path: impl AsRef<Path>) -> std::io::Result<TraceData> {
+    let text = std::fs::read_to_string(path)?;
+    parse_chrome_trace(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn num(v: Option<&Json>) -> u64 {
+    v.and_then(Json::as_f64).unwrap_or(0.0) as u64
+}
+
+fn ts_ns(e: &Json) -> u64 {
+    // `ts`/`dur` are microseconds with fractional ns ("1234.567").
+    (e.get("ts").and_then(Json::as_f64).unwrap_or(0.0) * 1_000.0).round() as u64
+}
+
+fn link_word(src: u64, dst: u64) -> u64 {
+    (src << 32) | dst
+}
+
+/// Interns a module-span name back into the trace string table, returning
+/// `(module_id, op_id)`. Strings are leaked: ids must stay resolvable for
+/// the program's lifetime, matching live-trace semantics.
+fn intern_span_name(name: &str) -> (u64, u64) {
+    let (module, op) = match name.split_once(':') {
+        Some((m, o)) => (m, Some(o)),
+        None => (name, None),
+    };
+    let m = hiper_trace::intern(Box::leak(module.to_string().into_boxed_str()));
+    let o = op.map_or(0, |o| {
+        hiper_trace::intern(Box::leak(o.to_string().into_boxed_str()))
+    });
+    (m, o)
+}
+
+/// Parses Chrome trace-event JSON text into [`TraceData`].
+pub fn parse_chrome_trace(text: &str) -> Result<TraceData, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+
+    let mut tracks: BTreeMap<(u64, u64), TrackBuilder> = BTreeMap::new();
+    fn track(
+        tracks: &mut BTreeMap<(u64, u64), TrackBuilder>,
+        pid: u64,
+        tid: u64,
+    ) -> &mut TrackBuilder {
+        tracks.entry((pid, tid)).or_insert_with(|| TrackBuilder {
+            label: if pid == NETSIM_PID {
+                format!("rank {}", tid)
+            } else {
+                format!("track-{}", tid)
+            },
+            events: Vec::new(),
+            dropped: 0,
+        })
+    }
+
+    for e in events {
+        let name = e.get("name").and_then(Json::as_str).unwrap_or("");
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        let pid = num(e.get("pid"));
+        let tid = num(e.get("tid"));
+        let args = e.get("args");
+        let arg = |k: &str| num(args.and_then(|a| a.get(k)));
+
+        if ph == "M" {
+            if name == "thread_name" && pid == RUNTIME_PID {
+                if let Some(label) = args.and_then(|a| a.get("name")).and_then(Json::as_str) {
+                    track(&mut tracks, pid, tid).label = label.to_string();
+                }
+            }
+            continue;
+        }
+        let ts = ts_ns(e);
+        let push = |t: &mut TrackBuilder, kind: EventKind, a: u64, b: u64, c: u64| {
+            t.events.push(TraceEvent {
+                ts_ns: ts,
+                kind,
+                a,
+                b,
+                c,
+            });
+        };
+
+        if pid == NETSIM_PID {
+            match (name, ph) {
+                (n, "X") if n.starts_with("msg to ") => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(
+                        t,
+                        EventKind::NetSend,
+                        link_word(arg("src"), arg("dst")),
+                        arg("bytes"),
+                        arg("delay_ns"),
+                    );
+                }
+                ("deliver", _) => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(
+                        t,
+                        EventKind::NetDeliver,
+                        link_word(arg("src"), tid),
+                        arg("bytes"),
+                        0,
+                    );
+                }
+                ("drop", _) => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(
+                        t,
+                        EventKind::NetDrop,
+                        link_word(arg("src"), arg("dst")),
+                        arg("bytes"),
+                        arg("cause"),
+                    );
+                }
+                ("dup", _) => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(
+                        t,
+                        EventKind::NetDup,
+                        link_word(arg("src"), arg("dst")),
+                        arg("bytes"),
+                        0,
+                    );
+                }
+                ("retry", _) => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(
+                        t,
+                        EventKind::RelRetry,
+                        link_word(tid, arg("dst")),
+                        arg("seq"),
+                        arg("attempt"),
+                    );
+                }
+                _ => {}
+            }
+            continue;
+        }
+
+        let t = track(&mut tracks, pid, tid);
+        match (name, ph) {
+            ("dropped events", _) => t.dropped += arg("count"),
+            ("spawn", _) => push(
+                t,
+                EventKind::TaskSpawn,
+                arg("task"),
+                arg("parent"),
+                arg("place"),
+            ),
+            ("task", "B") => push(t, EventKind::TaskBegin, arg("task"), 0, arg("place")),
+            ("task", "E") => push(t, EventKind::TaskEnd, arg("task"), 0, 0),
+            ("pop", _) => push(t, EventKind::Pop, arg("task"), arg("place"), 0),
+            ("steal", _) => push(
+                t,
+                EventKind::Steal,
+                arg("task"),
+                arg("victim"),
+                arg("place"),
+            ),
+            ("steal.batch", _) => push(t, EventKind::BatchSteal, arg("banked"), 0, 0),
+            ("injector", _) => push(t, EventKind::InjectorDrain, arg("task"), arg("place"), 0),
+            ("park", "B") => push(t, EventKind::Park, 0, 0, 0),
+            ("park", "E") => push(t, EventKind::Unpark, arg("woken"), 0, 0),
+            ("task panic", _) => push(t, EventKind::TaskPanic, arg("task"), arg("place"), 0),
+            (other, "B") => {
+                let (m, o) = intern_span_name(other);
+                push(t, EventKind::ModuleEnter, m, o, arg("bytes"));
+            }
+            (other, "E") => {
+                let (m, o) = intern_span_name(other);
+                push(t, EventKind::ModuleExit, m, o, 0);
+            }
+            _ => {}
+        }
+    }
+
+    Ok(TraceData {
+        tracks: tracks
+            .into_values()
+            .map(|t| hiper_trace::TrackData {
+                label: t.label,
+                events: t.events,
+                dropped: t.dropped,
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiper_trace::chrome::chrome_trace_json;
+    use hiper_trace::TrackData;
+
+    fn e(ts: u64, kind: EventKind, a: u64, b: u64, c: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            kind,
+            a,
+            b,
+            c,
+        }
+    }
+
+    #[test]
+    fn roundtrips_task_events_through_chrome_json() {
+        let original = TraceData {
+            tracks: vec![TrackData {
+                label: "hiper-worker-0".into(),
+                events: vec![
+                    e(1_000, EventKind::TaskSpawn, 7, 3, 0),
+                    e(2_000, EventKind::Steal, 7, 1, 0),
+                    e(2_500, EventKind::TaskBegin, 7, 0, 0),
+                    e(9_000, EventKind::TaskEnd, 7, 0, 0),
+                ],
+                dropped: 4,
+            }],
+        };
+        let json = chrome_trace_json(&original);
+        let loaded = parse_chrome_trace(&json).unwrap();
+        assert_eq!(loaded.tracks.len(), 1);
+        let t = &loaded.tracks[0];
+        assert_eq!(t.label, "hiper-worker-0");
+        assert_eq!(t.dropped, 4);
+        let kinds: Vec<EventKind> = t.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::TaskSpawn,
+                EventKind::Steal,
+                EventKind::TaskBegin,
+                EventKind::TaskEnd
+            ]
+        );
+        let spawn = &t.events[0];
+        assert_eq!((spawn.ts_ns, spawn.a, spawn.b), (1_000, 7, 3));
+        let steal = &t.events[1];
+        assert_eq!(steal.b, 1, "victim survives the roundtrip");
+    }
+
+    #[test]
+    fn roundtrips_module_spans_and_net_events() {
+        let m = hiper_trace::intern("mpi");
+        let o = hiper_trace::intern("send");
+        let original = TraceData {
+            tracks: vec![TrackData {
+                label: "hiper-worker-1".into(),
+                events: vec![
+                    e(100, EventKind::ModuleEnter, m, o, 64),
+                    e(900, EventKind::ModuleExit, m, o, 0),
+                    e(1_000, EventKind::NetSend, (2 << 32) | 5, 128, 40_000),
+                ],
+                dropped: 0,
+            }],
+        };
+        let json = chrome_trace_json(&original);
+        let loaded = parse_chrome_trace(&json).unwrap();
+        let runtime_track = loaded
+            .tracks
+            .iter()
+            .find(|t| t.label == "hiper-worker-1")
+            .unwrap();
+        let enter = runtime_track
+            .events
+            .iter()
+            .find(|ev| ev.kind == EventKind::ModuleEnter)
+            .unwrap();
+        assert_eq!(hiper_trace::resolve(enter.a), "mpi");
+        assert_eq!(hiper_trace::resolve(enter.b), "send");
+        assert_eq!(enter.c, 64);
+        let net_track = loaded.tracks.iter().find(|t| t.label == "rank 2").unwrap();
+        let send = &net_track.events[0];
+        assert_eq!(send.kind, EventKind::NetSend);
+        assert_eq!((send.a >> 32, send.a & 0xffff_ffff), (2, 5));
+        assert_eq!((send.b, send.c), (128, 40_000));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"other\": 1}").is_err());
+    }
+}

@@ -114,6 +114,14 @@ pub fn trace_session() -> Option<hiper_trace::TraceSession> {
     hiper_trace::session_from_env_args()
 }
 
+/// Starts a metrics session when `--metrics[=FILE]` (or `HIPER_METRICS`)
+/// was given. Hold the returned guard for the whole run; dropping it
+/// disables collection and writes the OpenMetrics dump to the file (or
+/// stderr when no file was named).
+pub fn metrics_session() -> Option<hiper_metrics::MetricsSession> {
+    hiper_metrics::session_from_env_args()
+}
+
 /// True when `--stats` was passed (or `HIPER_STATS` is set to anything but
 /// `0`): harness binaries then print per-rank scheduler and module counters.
 pub fn stats_enabled() -> bool {
@@ -131,6 +139,14 @@ pub fn print_rank_stats(tag: &str, rt: &hiper_runtime::Runtime) {
         eprintln!(
             "[stats {}] module {}: {} calls, {:?} total",
             tag, module, calls, total
+        );
+    }
+    let dropped = hiper_trace::rings_dropped();
+    if dropped > 0 {
+        eprintln!(
+            "[stats {}] trace: WARNING {} event(s) dropped by ring wraparound \
+             (trace incomplete; raise HIPER_TRACE_BUF)",
+            tag, dropped
         );
     }
 }

@@ -1,0 +1,140 @@
+//! Proves the perf gate actually gates: the `perf_gate` binary must pass
+//! against a baseline recorded from the same machine, and must fail (exit 1)
+//! against a doctored baseline claiming the workloads used to be 1000x
+//! faster — an injected regression.
+//!
+//! Runs the real binary via `CARGO_BIN_EXE_perf_gate`, so the flag parsing,
+//! file IO, and exit codes are all under test, not just the compare logic
+//! (which has its own unit tests in `perfgate`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use hiper_bench::perfgate::{
+    compare, gate_json, is_regression, parse_gate_json, MetricSummary, DEFAULT_IQR_MULT,
+    DEFAULT_SLACK_PCT,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hiper_gate_test_{}_{}", std::process::id(), name))
+}
+
+#[test]
+fn binary_passes_on_real_baseline_and_fails_on_doctored_one() {
+    let baseline = tmp("baseline.json");
+    let doctored = tmp("doctored.json");
+    let out = tmp("out.json");
+    let bin = env!("CARGO_BIN_EXE_perf_gate");
+
+    // 1. Record a baseline and gate against it in one go: must pass.
+    let status = Command::new(bin)
+        .args(["--baseline"])
+        .arg(&baseline)
+        .arg("--out")
+        .arg(&out)
+        .arg("--update-baseline")
+        .env("HIPER_REPS", "3")
+        .status()
+        .expect("run perf_gate");
+    assert!(
+        status.success(),
+        "perf_gate regressed against its own freshly recorded baseline"
+    );
+
+    // 2. Doctor the baseline: claim everything used to run 1000x faster,
+    //    with zero spread. Gate with the noise allowance off so the verdict
+    //    depends only on the medians — a deterministic injected regression.
+    let real = parse_gate_json(&std::fs::read_to_string(&baseline).expect("read baseline"))
+        .expect("parse baseline");
+    assert_eq!(real.len(), 3, "gate must cover fanout, pingpong, and isx");
+    let fast: BTreeMap<String, MetricSummary> = real
+        .iter()
+        .map(|(k, s)| {
+            (
+                k.clone(),
+                MetricSummary {
+                    median: s.median / 1000.0,
+                    iqr: 0.0,
+                    reps: s.reps,
+                },
+            )
+        })
+        .collect();
+    std::fs::write(&doctored, gate_json(&fast)).expect("write doctored baseline");
+
+    let status = Command::new(bin)
+        .arg("--baseline")
+        .arg(&doctored)
+        .arg("--out")
+        .arg(&out)
+        .env("HIPER_REPS", "3")
+        .env("HIPER_GATE_IQR_MULT", "0")
+        .status()
+        .expect("run perf_gate");
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "perf_gate did not fail on a baseline 1000x faster than reality"
+    );
+
+    // 3. A missing baseline is a hard error (exit 2), never a silent pass.
+    let gone = tmp("nonexistent.json");
+    let status = Command::new(bin)
+        .arg("--baseline")
+        .arg(&gone)
+        .arg("--out")
+        .arg(&out)
+        .env("HIPER_REPS", "1")
+        .status()
+        .expect("run perf_gate");
+    assert_eq!(status.code(), Some(2));
+
+    for p in [baseline, doctored, out] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn compare_logic_survives_the_baseline_file_format() {
+    // Synthetic end-to-end through the JSON layer: a 100x slowdown must be
+    // flagged even with default (generous) noise allowances.
+    let mut base = BTreeMap::new();
+    for name in ["fanout_ms", "pingpong_ms", "isx_ms"] {
+        base.insert(
+            name.to_string(),
+            MetricSummary {
+                median: 2.0,
+                iqr: 0.2,
+                reps: 7,
+            },
+        );
+    }
+    let base = parse_gate_json(&gate_json(&base)).unwrap();
+    let slow: BTreeMap<String, MetricSummary> = base
+        .iter()
+        .map(|(k, s)| {
+            (
+                k.clone(),
+                MetricSummary {
+                    median: s.median * 100.0,
+                    iqr: s.iqr,
+                    reps: s.reps,
+                },
+            )
+        })
+        .collect();
+    let checks = compare(&base, &slow, DEFAULT_SLACK_PCT, DEFAULT_IQR_MULT);
+    assert!(
+        checks.iter().all(|c| c.regressed),
+        "100x slowdown slipped through"
+    );
+    let checks = compare(&base, &base, DEFAULT_SLACK_PCT, DEFAULT_IQR_MULT);
+    assert!(checks.iter().all(|c| !c.regressed), "identical run flagged");
+    assert!(!is_regression(
+        &base["fanout_ms"],
+        &base["fanout_ms"],
+        DEFAULT_SLACK_PCT,
+        DEFAULT_IQR_MULT
+    ));
+}

@@ -1,0 +1,112 @@
+//! Property tests for the sharded log₂ histograms: sharding must never
+//! lose or invent samples, and every value — across the full `u64` range,
+//! including the 0 and `u64::MAX` edges — must land in the bucket whose
+//! range contains it.
+
+use std::sync::Arc;
+
+use hiper_metrics::{bucket_index, bucket_upper_bound, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// Mix of edge values and full-range values: plain `any::<u64>()` almost
+/// never generates the small values where bucket boundaries are densest.
+fn interesting_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        0u64..1024,
+        any::<u64>(),
+        // Exact powers of two and their neighbours (bucket boundaries).
+        (0u32..64).prop_map(|s| 1u64 << s),
+        (1u32..64).prop_map(|s| (1u64 << s) - 1),
+        (0u32..63).prop_map(|s| (1u64 << s) + 1),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bucket_contains_its_value(v in interesting_u64()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        if v == 0 {
+            prop_assert_eq!(i, 0);
+        } else {
+            // Lower bound: 2^i <= v.
+            prop_assert!(v >= (1u64 << i), "v={} below bucket {} floor", v, i);
+            // Upper bound: v < 2^(i+1), except bucket 63 which is closed at
+            // u64::MAX (its upper bound saturates).
+            if i < 63 {
+                prop_assert!(v < (1u64 << (i + 1)), "v={} above bucket {} ceiling", v, i);
+            }
+            prop_assert!(v <= bucket_upper_bound(i));
+        }
+    }
+
+    #[test]
+    fn recorded_sample_lands_in_exactly_one_bucket(v in interesting_u64()) {
+        let h = Histogram::default();
+        h.record(v);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, 1);
+        prop_assert_eq!(snap.max, v);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), 1);
+        prop_assert_eq!(snap.buckets[bucket_index(v)], 1);
+    }
+
+    #[test]
+    fn merged_shards_preserve_count_and_sum(values in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        // Record from several threads so multiple shards are exercised; the
+        // snapshot must see every sample exactly once.
+        let h = Arc::new(Histogram::default());
+        let chunk = (values.len() / 4).max(1);
+        let handles: Vec<_> = values
+            .chunks(chunk)
+            .map(|c| {
+                let h = Arc::clone(&h);
+                let c = c.to_vec();
+                std::thread::spawn(move || {
+                    for v in c {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+        // Per-bucket: the merged bucket counts must match a sequential
+        // recount of the same values.
+        let mut expect = [0u64; HIST_BUCKETS];
+        for &v in &values {
+            expect[bucket_index(v)] += 1;
+        }
+        prop_assert_eq!(snap.buckets, expect);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let q50 = snap.quantile(0.50);
+        let q90 = snap.quantile(0.90);
+        let q99 = snap.quantile(0.99);
+        prop_assert!(q50 <= q90 && q90 <= q99);
+        prop_assert!(q99 <= snap.max, "quantiles clamp to the observed max");
+        // The median's bucket upper bound must not be below the true median
+        // sample (the estimate only over-approximates within its bucket).
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2];
+        prop_assert!(q50 >= true_median.min(snap.max) || bucket_index(q50) >= bucket_index(true_median));
+    }
+}

@@ -26,6 +26,13 @@ fn link_word(src: Rank, dst: Rank) -> u64 {
     ((src as u64) << 32) | dst as u64
 }
 
+/// Cached handle to the in-flight-messages gauge (queue depth of the timed
+/// delivery heap; the peak value is the high-water mark of the run).
+fn in_flight_gauge() -> &'static hiper_metrics::Gauge {
+    static G: std::sync::OnceLock<&'static hiper_metrics::Gauge> = std::sync::OnceLock::new();
+    G.get_or_init(|| hiper_metrics::gauge("hiper_netsim_in_flight"))
+}
+
 /// Network model parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct NetConfig {
@@ -332,6 +339,9 @@ impl DeliveryEngine {
             msg,
         };
         st.queue.push(Reverse(entry));
+        if hiper_metrics::enabled() {
+            in_flight_gauge().set(st.queue.len() as i64);
+        }
         self.cond.notify_all();
     }
 
@@ -376,6 +386,9 @@ impl DeliveryEngine {
                     match st.queue.peek() {
                         Some(Reverse(head)) if head.due <= now => {
                             let Reverse(entry) = st.queue.pop().unwrap();
+                            if hiper_metrics::enabled() {
+                                in_flight_gauge().set(st.queue.len() as i64);
+                            }
                             let idx = entry.msg.dst * 256 + entry.msg.channel.0 as usize;
                             let handler = st.handlers[idx].clone();
                             break Some((entry.msg, handler));

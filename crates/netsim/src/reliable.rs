@@ -349,6 +349,9 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
         }
         for (dst, channel, tag, frame, seq, attempt) in resend {
             me.retries.fetch_add(1, Ordering::Relaxed);
+            if hiper_metrics::enabled() {
+                hiper_metrics::counter("hiper_reliable_retransmits_total").inc();
+            }
             if hiper_trace::enabled() {
                 hiper_trace::emit(
                     EventKind::RelRetry,

@@ -76,9 +76,31 @@ thread_local! {
     static TLS: RefCell<Option<Tls>> = const { RefCell::new(None) };
 }
 
+/// Cached `'static` handles for the runtime's metric instruments; resolved
+/// from the registry once and then read lock-free.
+pub(crate) mod met {
+    use hiper_metrics::Histogram;
+    use std::sync::OnceLock;
+
+    macro_rules! cached_histogram {
+        ($fn_name:ident, $metric:literal) => {
+            pub(crate) fn $fn_name() -> &'static Histogram {
+                static H: OnceLock<&'static Histogram> = OnceLock::new();
+                H.get_or_init(|| hiper_metrics::histogram($metric))
+            }
+        };
+    }
+
+    cached_histogram!(queue_latency, "hiper_task_queue_latency_ns");
+    cached_histogram!(task_run, "hiper_task_run_ns");
+    cached_histogram!(steal_latency, "hiper_steal_latency_ns");
+    cached_histogram!(finish_scope, "hiper_finish_scope_ns");
+}
+
 /// Builds a task, assigning it a trace id and emitting its spawn event
-/// (with the spawning task as parent) when tracing is enabled. One relaxed
-/// atomic load when tracing is off.
+/// (with the spawning task as parent) when tracing is enabled, and stamping
+/// its spawn time when metrics are enabled. One relaxed atomic load per
+/// subsystem when both are off.
 fn make_task(f: TaskFn, place: PlaceId, scope: Option<Arc<FinishScope>>) -> Task {
     let trace_id = hiper_trace::fresh_task_id();
     if trace_id != 0 {
@@ -89,11 +111,17 @@ fn make_task(f: TaskFn, place: PlaceId, scope: Option<Arc<FinishScope>>) -> Task
             place.index() as u64,
         );
     }
+    let spawn_ns = if hiper_metrics::enabled() {
+        hiper_trace::clock::now_ns().max(1)
+    } else {
+        0
+    };
     Task {
         f,
         place,
         scope,
         trace_id,
+        spawn_ns,
     }
 }
 
@@ -382,6 +410,11 @@ impl Runtime {
     /// first recorded failure). The scope always drains fully before the
     /// error is surfaced, so no spawned task is left running.
     pub fn finish<R>(&self, f: impl FnOnce() -> R) -> Result<R, TaskError> {
+        let finish_t0 = if hiper_metrics::enabled() {
+            hiper_trace::clock::now_ns().max(1)
+        } else {
+            0
+        };
         let scope = FinishScope::new(Arc::clone(&self.inner.sched.hub));
         let prev = TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
@@ -425,6 +458,9 @@ impl Runtime {
         });
         scope.check_out(); // the body itself
         self.wait_for(&mut || scope.is_done());
+        if finish_t0 != 0 {
+            met::finish_scope().record(hiper_trace::clock::now_ns().saturating_sub(finish_t0));
+        }
         match scope.error() {
             Some(err) => Err(err),
             None => Ok(result),
@@ -661,6 +697,7 @@ impl Runtime {
             scope,
             place,
             trace_id,
+            spawn_ns,
         } = task;
         let (prev, shard) = TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
@@ -678,7 +715,19 @@ impl Runtime {
         } else {
             None
         };
+        // Tasks stamped at spawn (metrics were on) report queue latency and
+        // run time; unstamped tasks pay nothing here beyond the field move.
+        let begin_ns = if spawn_ns != 0 {
+            let now = hiper_trace::clock::now_ns();
+            met::queue_latency().record(now.saturating_sub(spawn_ns));
+            now
+        } else {
+            0
+        };
         let result = catch_unwind(AssertUnwindSafe(f));
+        if spawn_ns != 0 {
+            met::task_run().record(hiper_trace::clock::now_ns().saturating_sub(begin_ns));
+        }
         if let Some(prev_task) = prev_trace {
             hiper_trace::set_current_task(prev_task);
             hiper_trace::emit(EventKind::TaskEnd, trace_id, 0, 0);

@@ -142,6 +142,20 @@ impl Scheduler {
         // always reachable by `me` and stealable by everyone who could reach
         // this worker's deques before.
         let home = &owned[self.homes[me].index()];
+        // Steal latency clock: started only once the pop path has missed
+        // (so it measures the cost of going off-worker) and only while
+        // metrics are on.
+        let steal_t0 = if hiper_metrics::enabled() {
+            hiper_trace::clock::now_ns().max(1)
+        } else {
+            0
+        };
+        let record_steal = |t0: u64| {
+            if t0 != 0 {
+                crate::runtime::met::steal_latency()
+                    .record(hiper_trace::clock::now_ns().saturating_sub(t0));
+            }
+        };
         // Steal path: only tasks created by others.
         for &p in &self.paths[me].steal {
             let place = &self.places[p.index()];
@@ -150,6 +164,7 @@ impl Scheduler {
                 if hiper_trace::enabled() {
                     hiper_trace::emit(EventKind::InjectorDrain, task.trace_id, p.index() as u64, 0);
                 }
+                record_steal(steal_t0);
                 self.after_batch(me, home);
                 return Some(task);
             }
@@ -167,6 +182,7 @@ impl Scheduler {
                                     p.index() as u64,
                                 );
                             }
+                            record_steal(steal_t0);
                             self.after_batch(me, home);
                             return Some(task);
                         }

@@ -151,12 +151,55 @@ pub struct SchedStatsSnapshot {
     pub task_panics: u64,
 }
 
+impl SchedStatsSnapshot {
+    /// Steals (including injector drains) per executed task. Near 0 means
+    /// work stayed local; near 1 means almost every task crossed a deque.
+    pub fn steals_per_task(&self) -> f64 {
+        if self.tasks_executed == 0 {
+            return 0.0;
+        }
+        (self.steals + self.injector_hits) as f64 / self.tasks_executed as f64
+    }
+
+    /// Fraction of spawn-side wake decisions that actually unparked a
+    /// worker: `sent / (sent + skipped)`. Low values mean the pool was
+    /// already saturated (wakes were unnecessary); this is the targeted-
+    /// wakeup efficiency the hot-path overhaul (PR 1) optimizes for.
+    pub fn wake_efficiency(&self) -> f64 {
+        let total = self.wake_signals_sent + self.wakes_skipped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.wake_signals_sent as f64 / total as f64
+    }
+
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    /// Snapshots are cumulative since runtime start; the perf gate diffs
+    /// a snapshot pair to attribute counts to one measured region.
+    pub fn diff(&self, earlier: &SchedStatsSnapshot) -> SchedStatsSnapshot {
+        SchedStatsSnapshot {
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            pops: self.pops.saturating_sub(earlier.pops),
+            steals: self.steals.saturating_sub(earlier.steals),
+            batch_steals: self.batch_steals.saturating_sub(earlier.batch_steals),
+            injector_hits: self.injector_hits.saturating_sub(earlier.injector_hits),
+            parks: self.parks.saturating_sub(earlier.parks),
+            helped: self.helped.saturating_sub(earlier.helped),
+            wake_signals_sent: self
+                .wake_signals_sent
+                .saturating_sub(earlier.wake_signals_sent),
+            wakes_skipped: self.wakes_skipped.saturating_sub(earlier.wakes_skipped),
+            task_panics: self.task_panics.saturating_sub(earlier.task_panics),
+        }
+    }
+}
+
 impl fmt::Display for SchedStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "tasks={} pops={} steals={} batch_steals={} injector={} parks={} helped={} \
-             wakes_sent={} wakes_skipped={} panics={}",
+             wakes_sent={} wakes_skipped={} panics={} steals/task={:.3} wake_eff={:.3}",
             self.tasks_executed,
             self.pops,
             self.steals,
@@ -166,7 +209,9 @@ impl fmt::Display for SchedStatsSnapshot {
             self.helped,
             self.wake_signals_sent,
             self.wakes_skipped,
-            self.task_panics
+            self.task_panics,
+            self.steals_per_task(),
+            self.wake_efficiency()
         )
     }
 }
@@ -223,6 +268,11 @@ impl ModuleStats {
 pub struct ModuleTimer<'a> {
     stats: &'a ModuleStats,
     module: &'static str,
+    /// Operation name (empty for untagged [`ModuleStats::time`] calls) and
+    /// payload byte count; fed to the metrics registry on drop when metrics
+    /// are enabled.
+    op: &'static str,
+    bytes: u64,
     start: std::time::Instant,
     /// Interned (module, op) ids when a ModuleEnter event was emitted; the
     /// Drop emits the matching ModuleExit (even if tracing was disabled in
@@ -254,6 +304,8 @@ impl ModuleStats {
         ModuleTimer {
             stats: self,
             module,
+            op,
+            bytes,
             start: std::time::Instant::now(),
             traced,
         }
@@ -262,7 +314,15 @@ impl ModuleStats {
 
 impl Drop for ModuleTimer<'_> {
     fn drop(&mut self) {
-        self.stats.record(self.module, self.start.elapsed());
+        let elapsed = self.start.elapsed();
+        self.stats.record(self.module, elapsed);
+        if hiper_metrics::enabled() {
+            let om = hiper_metrics::module_op(self.module, self.op);
+            om.latency_ns.record(elapsed.as_nanos() as u64);
+            if self.bytes != 0 {
+                om.bytes.add(self.bytes);
+            }
+        }
         if let Some((m, o)) = self.traced {
             hiper_trace::emit_always(hiper_trace::EventKind::ModuleExit, m, o, 0);
         }

@@ -30,6 +30,10 @@ pub(crate) struct Task {
     /// Trace identity: nonzero only for tasks spawned while tracing was
     /// enabled (0 = untraced; the executor emits no events for it).
     pub trace_id: u64,
+    /// Spawn timestamp (trace-clock ns), nonzero only for tasks spawned
+    /// while metrics were enabled; the executor records the spawn→begin
+    /// queue latency from it.
+    pub spawn_ns: u64,
 }
 
 impl std::fmt::Debug for Task {

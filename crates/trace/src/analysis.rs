@@ -1,0 +1,705 @@
+//! Post-mortem trace analysis: task-DAG critical path, per-worker
+//! utilization timelines, and load-imbalance / steal-locality summaries.
+//!
+//! Works over drained [`TraceData`] — either a live drain at the end of a
+//! run or a Chrome trace re-parsed back into events (`hiper-bench` ships
+//! the loader). The critical path is the longest spawn/join chain in the
+//! task DAG: starting from the task that *finished last*, walk parent
+//! spawn links back to a root, then partition the wall interval of that
+//! chain into contiguous segments — parent compute, module (communication)
+//! time inside it, and each child's spawn→begin queue wait, classified by
+//! how the executing worker acquired the task (own pop vs steal/injector).
+//! The segments are boundaries of one interval, so they sum to the chain's
+//! wall time *exactly*; any scheduling improvement must shrink one of them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ring::EventKind;
+use crate::TraceData;
+
+/// How the executing worker obtained a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Acquisition {
+    /// Popped from the worker's own deque.
+    Pop,
+    /// Stolen from another worker's deque; payload is the victim worker.
+    Steal(u64),
+    /// Drained from a place injector (external / cross-place submission).
+    Injector,
+    /// No acquisition event seen (e.g. ran inline or events dropped).
+    #[default]
+    Unknown,
+}
+
+/// One task's lifecycle, joined across tracks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskRecord {
+    /// Parent task id (0 = spawned from outside any traced task).
+    pub parent: u64,
+    /// Spawn timestamp (0 = spawn not seen).
+    pub spawn_ts: u64,
+    /// Begin timestamp (0 = begin not seen).
+    pub begin_ts: u64,
+    /// End timestamp (0 = end not seen).
+    pub end_ts: u64,
+    /// Track index the task executed on.
+    pub track: usize,
+    /// How the executing worker got it.
+    pub acquired: Acquisition,
+}
+
+/// What a critical-path segment's time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// The chain task was executing user code.
+    Compute,
+    /// The chain task was inside a module call (communication or other
+    /// pluggable-library time).
+    Module,
+    /// The next chain task sat in a deque until its home worker popped it.
+    PopWait,
+    /// The next chain task sat queued until a thief stole it (or drained it
+    /// from an injector) — scheduling latency, the work-stealing tax.
+    StealWait,
+}
+
+impl SegmentKind {
+    /// Stable lowercase label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentKind::Compute => "compute",
+            SegmentKind::Module => "module",
+            SegmentKind::PopWait => "pop-wait",
+            SegmentKind::StealWait => "steal-wait",
+        }
+    }
+}
+
+/// One contiguous slice of the critical path.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Task the slice is attributed to.
+    pub task: u64,
+    /// What the time went to.
+    pub kind: SegmentKind,
+    /// Slice start (trace-clock ns).
+    pub start_ns: u64,
+    /// Slice length (ns).
+    pub dur_ns: u64,
+}
+
+/// The longest spawn chain and its exact time decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Task ids root-first.
+    pub chain: Vec<u64>,
+    /// Wall time from the root's begin to the leaf's end.
+    pub total_ns: u64,
+    /// Contiguous decomposition of `total_ns`; durations sum to it exactly.
+    pub segments: Vec<Segment>,
+    /// Time the chain spent computing.
+    pub compute_ns: u64,
+    /// Time the chain spent inside module calls.
+    pub module_ns: u64,
+    /// Queue waits resolved by the spawning worker's own pop.
+    pub pop_wait_ns: u64,
+    /// Queue waits resolved by a steal or injector drain.
+    pub steal_wait_ns: u64,
+}
+
+/// One worker's (track's) activity summary plus a coarse utilization
+/// timeline: `bins[i]` is the busy fraction of the i-th slice of the run.
+#[derive(Debug, Clone)]
+pub struct WorkerTimeline {
+    /// Track label (thread name).
+    pub label: String,
+    /// Tasks that began here.
+    pub tasks: u64,
+    /// Time inside top-level task spans.
+    pub busy_ns: u64,
+    /// Time inside park spans.
+    pub parked_ns: u64,
+    /// Busy fraction per time slice, over the whole-trace wall interval.
+    pub bins: Vec<f64>,
+}
+
+/// Load-imbalance and steal-locality aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct LoadSummary {
+    /// Tasks begun on the busiest track.
+    pub max_tasks: u64,
+    /// Tasks begun on the least-busy worker track.
+    pub min_tasks: u64,
+    /// Mean tasks per worker track.
+    pub mean_tasks: f64,
+    /// `max_tasks / mean_tasks`; 1.0 = perfectly balanced.
+    pub imbalance: f64,
+    /// Own-deque pops.
+    pub pops: u64,
+    /// Cross-worker steals.
+    pub steals: u64,
+    /// Injector drains.
+    pub injector_hits: u64,
+    /// Steals whose victim was the thief's first probe (`me + 1`): high
+    /// means the rotation finds work immediately — good steal locality.
+    pub first_probe_steals: u64,
+    /// Mean probe depth over steals with a known thief worker index.
+    pub mean_probe_depth: f64,
+}
+
+/// Full post-mortem analysis of one drained trace.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileAnalysis {
+    /// First event timestamp (ns, trace clock).
+    pub start_ns: u64,
+    /// Last-minus-first event timestamp.
+    pub wall_ns: u64,
+    /// Total events analyzed.
+    pub events: u64,
+    /// Events lost to ring wraparound (analysis may be partial).
+    pub dropped: u64,
+    /// The longest spawn chain, when the trace holds any complete task.
+    pub critical_path: Option<CriticalPath>,
+    /// Per-track activity (tracks with at least one event).
+    pub workers: Vec<WorkerTimeline>,
+    /// Imbalance and locality aggregates.
+    pub load: LoadSummary,
+}
+
+/// Utilization timeline resolution.
+const BINS: usize = 40;
+
+/// Parses a worker index out of a `hiper-worker-N` thread label.
+fn worker_index(label: &str) -> Option<u64> {
+    label.strip_prefix("hiper-worker-")?.parse().ok()
+}
+
+/// Adds `[s, e)`'s overlap with each bin of `[t0, t0 + wall)` to `bins`.
+fn bin_interval(bins: &mut [f64], t0: u64, wall: u64, s: u64, e: u64) {
+    if wall == 0 || e <= s {
+        return;
+    }
+    let width = (wall as f64 / bins.len() as f64).max(1.0);
+    for (i, bin) in bins.iter_mut().enumerate() {
+        let bs = t0 as f64 + i as f64 * width;
+        let be = bs + width;
+        let lo = (s as f64).max(bs);
+        let hi = (e as f64).min(be);
+        if hi > lo {
+            *bin += (hi - lo) / width;
+        }
+    }
+}
+
+impl ProfileAnalysis {
+    /// Analyzes drained trace data.
+    pub fn build(data: &TraceData) -> ProfileAnalysis {
+        let mut out = ProfileAnalysis::default();
+        let mut tasks: BTreeMap<u64, TaskRecord> = BTreeMap::new();
+        let mut min_ts = u64::MAX;
+        let mut max_ts = 0u64;
+
+        // Pass 1: join task lifecycles across tracks and collect acquisition
+        // + steal-locality counters.
+        let mut probe_depths: Vec<u64> = Vec::new();
+        for (ti, track) in data.tracks.iter().enumerate() {
+            out.dropped += track.dropped;
+            let thief = worker_index(&track.label);
+            let workers_hint = data
+                .tracks
+                .iter()
+                .filter_map(|t| worker_index(&t.label))
+                .max()
+                .map(|m| m + 1);
+            for e in &track.events {
+                out.events += 1;
+                min_ts = min_ts.min(e.ts_ns);
+                max_ts = max_ts.max(e.ts_ns);
+                match e.kind {
+                    EventKind::TaskSpawn => {
+                        let rec = tasks.entry(e.a).or_default();
+                        rec.parent = e.b;
+                        rec.spawn_ts = e.ts_ns;
+                    }
+                    EventKind::TaskBegin => {
+                        let rec = tasks.entry(e.a).or_default();
+                        rec.begin_ts = e.ts_ns;
+                        rec.track = ti;
+                    }
+                    EventKind::TaskEnd => {
+                        tasks.entry(e.a).or_default().end_ts = e.ts_ns;
+                    }
+                    EventKind::Pop => {
+                        out.load.pops += 1;
+                        if e.a != 0 {
+                            tasks.entry(e.a).or_default().acquired = Acquisition::Pop;
+                        }
+                    }
+                    EventKind::Steal => {
+                        out.load.steals += 1;
+                        if e.a != 0 {
+                            tasks.entry(e.a).or_default().acquired = Acquisition::Steal(e.b);
+                        }
+                        if let (Some(me), Some(workers)) = (thief, workers_hint) {
+                            let depth = (e.b + workers - me) % workers;
+                            probe_depths.push(depth.max(1));
+                            if depth == 1 {
+                                out.load.first_probe_steals += 1;
+                            }
+                        }
+                    }
+                    EventKind::InjectorDrain => {
+                        out.load.injector_hits += 1;
+                        if e.a != 0 {
+                            tasks.entry(e.a).or_default().acquired = Acquisition::Injector;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if min_ts == u64::MAX {
+            return out;
+        }
+        out.start_ns = min_ts;
+        out.wall_ns = max_ts - min_ts;
+        if !probe_depths.is_empty() {
+            out.load.mean_probe_depth =
+                probe_depths.iter().sum::<u64>() as f64 / probe_depths.len() as f64;
+        }
+
+        // Pass 2: per-track spans — top-level task busy intervals feed the
+        // utilization bins, module intervals feed critical-path attribution.
+        let mut module_intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); data.tracks.len()];
+        for (ti, track) in data.tracks.iter().enumerate() {
+            if track.events.is_empty() {
+                continue;
+            }
+            let mut tl = WorkerTimeline {
+                label: track.label.clone(),
+                tasks: 0,
+                busy_ns: 0,
+                parked_ns: 0,
+                bins: vec![0.0; BINS],
+            };
+            let mut task_stack: Vec<u64> = Vec::new();
+            let mut module_stack: Vec<u64> = Vec::new();
+            let mut park_start: Option<u64> = None;
+            for e in &track.events {
+                match e.kind {
+                    EventKind::TaskBegin => {
+                        tl.tasks += 1;
+                        task_stack.push(e.ts_ns);
+                    }
+                    EventKind::TaskEnd => {
+                        if let Some(begin) = task_stack.pop() {
+                            if task_stack.is_empty() {
+                                tl.busy_ns += e.ts_ns.saturating_sub(begin);
+                                bin_interval(&mut tl.bins, min_ts, out.wall_ns, begin, e.ts_ns);
+                            }
+                        }
+                    }
+                    EventKind::Park => park_start = Some(e.ts_ns),
+                    EventKind::Unpark => {
+                        if let Some(begin) = park_start.take() {
+                            tl.parked_ns += e.ts_ns.saturating_sub(begin);
+                        }
+                    }
+                    EventKind::ModuleEnter => module_stack.push(e.ts_ns),
+                    EventKind::ModuleExit => {
+                        if let Some(begin) = module_stack.pop() {
+                            // Top-level module spans only: nested calls are
+                            // already covered by the outer interval.
+                            if module_stack.is_empty() {
+                                module_intervals[ti].push((begin, e.ts_ns));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            out.workers.push(tl);
+        }
+
+        // Load imbalance over *worker* tracks (external threads excluded —
+        // their "tasks" are finish-scope bodies, not stealable work).
+        let worker_tasks: Vec<u64> = out
+            .workers
+            .iter()
+            .filter(|w| worker_index(&w.label).is_some())
+            .map(|w| w.tasks)
+            .collect();
+        if !worker_tasks.is_empty() {
+            out.load.max_tasks = worker_tasks.iter().copied().max().unwrap_or(0);
+            out.load.min_tasks = worker_tasks.iter().copied().min().unwrap_or(0);
+            out.load.mean_tasks =
+                worker_tasks.iter().sum::<u64>() as f64 / worker_tasks.len() as f64;
+            if out.load.mean_tasks > 0.0 {
+                out.load.imbalance = out.load.max_tasks as f64 / out.load.mean_tasks;
+            }
+        }
+
+        out.critical_path = critical_path(&tasks, &module_intervals);
+        out
+    }
+}
+
+/// Total overlap between `[s, e)` and the (unsorted, top-level, pairwise
+/// disjoint) intervals recorded for one track.
+fn overlap_ns(intervals: &[(u64, u64)], s: u64, e: u64) -> u64 {
+    intervals
+        .iter()
+        .map(|&(is, ie)| ie.min(e).saturating_sub(is.max(s)))
+        .sum()
+}
+
+fn critical_path(
+    tasks: &BTreeMap<u64, TaskRecord>,
+    module_intervals: &[Vec<(u64, u64)>],
+) -> Option<CriticalPath> {
+    // Leaf: the last-finishing complete task that spawned nothing. Finish
+    // scopes make ancestors end *after* all their descendants (the join),
+    // so the raw last-to-finish task is usually the root and its "chain"
+    // would be one task long; the last true leaf's chain is the actual
+    // longest spawn chain bounding the makespan from below. Fall back to
+    // any complete task when every complete task has children (truncated
+    // traces).
+    let parents: std::collections::BTreeSet<u64> = tasks
+        .values()
+        .map(|r| r.parent)
+        .filter(|&p| p != 0)
+        .collect();
+    let complete = |r: &&TaskRecord| r.begin_ts != 0 && r.end_ts != 0;
+    let (&leaf_id, _) = tasks
+        .iter()
+        .filter(|(id, r)| complete(r) && !parents.contains(id))
+        .max_by_key(|(_, r)| r.end_ts)
+        .or_else(|| {
+            tasks
+                .iter()
+                .filter(|(_, r)| complete(r))
+                .max_by_key(|(_, r)| r.end_ts)
+        })?;
+
+    // Walk spawn links back to a root (a task whose parent was untraced or
+    // never began). Guard against cycles from garbled events.
+    let mut chain = vec![leaf_id];
+    let mut cur = leaf_id;
+    while chain.len() <= tasks.len() {
+        let parent = tasks[&cur].parent;
+        match tasks.get(&parent) {
+            Some(p) if parent != 0 && p.begin_ts != 0 && !chain.contains(&parent) => {
+                chain.push(parent);
+                cur = parent;
+            }
+            _ => break,
+        }
+    }
+    chain.reverse();
+
+    let mut cp = CriticalPath {
+        chain: chain.clone(),
+        ..CriticalPath::default()
+    };
+    let root = &tasks[&chain[0]];
+    let leaf = &tasks[&chain[chain.len() - 1]];
+    let start = root.begin_ts;
+    cp.total_ns = leaf.end_ts.saturating_sub(start);
+
+    // Partition [root.begin, leaf.end] at every child's spawn and begin.
+    // Timestamps are clamped monotone so the slices tile the interval
+    // exactly even if cross-thread clock reads jitter by a few ns.
+    let mut push = |cp: &mut CriticalPath, task: u64, kind: SegmentKind, s: u64, e: u64| {
+        let dur = e.saturating_sub(s);
+        if dur == 0 {
+            return;
+        }
+        match kind {
+            SegmentKind::Compute => cp.compute_ns += dur,
+            SegmentKind::Module => cp.module_ns += dur,
+            SegmentKind::PopWait => cp.pop_wait_ns += dur,
+            SegmentKind::StealWait => cp.steal_wait_ns += dur,
+        }
+        cp.segments.push(Segment {
+            task,
+            kind,
+            start_ns: s,
+            dur_ns: dur,
+        });
+    };
+    // Splits one execution slice of `owner` into compute + module time
+    // using the owner track's module intervals. The module total within
+    // the slice is emitted as a single segment (attribution, not layout).
+    let compute_slice = |cp: &mut CriticalPath,
+                         push: &mut dyn FnMut(&mut CriticalPath, u64, SegmentKind, u64, u64),
+                         owner: u64,
+                         rec: &TaskRecord,
+                         s: u64,
+                         e: u64| {
+        let m = module_intervals
+            .get(rec.track)
+            .map_or(0, |iv| overlap_ns(iv, s, e))
+            .min(e.saturating_sub(s));
+        push(cp, owner, SegmentKind::Compute, s, e.saturating_sub(m));
+        push(cp, owner, SegmentKind::Module, e.saturating_sub(m), e);
+    };
+
+    let mut mark = start;
+    for win in chain.windows(2) {
+        let (parent_id, child_id) = (win[0], win[1]);
+        let parent = &tasks[&parent_id];
+        let child = &tasks[&child_id];
+        let spawn = child.spawn_ts.clamp(mark, u64::MAX);
+        let begin = child.begin_ts.clamp(spawn, u64::MAX);
+        compute_slice(&mut cp, &mut push, parent_id, parent, mark, spawn);
+        let wait_kind = match child.acquired {
+            Acquisition::Pop | Acquisition::Unknown => SegmentKind::PopWait,
+            Acquisition::Steal(_) | Acquisition::Injector => SegmentKind::StealWait,
+        };
+        push(&mut cp, child_id, wait_kind, spawn, begin);
+        mark = begin;
+    }
+    let end = leaf.end_ts.clamp(mark, u64::MAX);
+    compute_slice(&mut cp, &mut push, chain[chain.len() - 1], leaf, mark, end);
+    Some(cp)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{} ns", ns)
+    }
+}
+
+fn bar(frac: f64) -> char {
+    const RAMP: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    let i = (frac.clamp(0.0, 1.0) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[i]
+}
+
+impl fmt::Display for CriticalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "critical path: {} tasks, {} wall",
+            self.chain.len(),
+            fmt_ns(self.total_ns)
+        )?;
+        let pct = |ns: u64| {
+            if self.total_ns == 0 {
+                0.0
+            } else {
+                100.0 * ns as f64 / self.total_ns as f64
+            }
+        };
+        writeln!(
+            f,
+            "  compute    {:>12} ({:5.1}%)",
+            fmt_ns(self.compute_ns),
+            pct(self.compute_ns)
+        )?;
+        writeln!(
+            f,
+            "  module     {:>12} ({:5.1}%)",
+            fmt_ns(self.module_ns),
+            pct(self.module_ns)
+        )?;
+        writeln!(
+            f,
+            "  pop-wait   {:>12} ({:5.1}%)",
+            fmt_ns(self.pop_wait_ns),
+            pct(self.pop_wait_ns)
+        )?;
+        writeln!(
+            f,
+            "  steal-wait {:>12} ({:5.1}%)",
+            fmt_ns(self.steal_wait_ns),
+            pct(self.steal_wait_ns)
+        )?;
+        let mut worst: Vec<&Segment> = self.segments.iter().collect();
+        worst.sort_by_key(|s| std::cmp::Reverse(s.dur_ns));
+        writeln!(f, "  longest segments:")?;
+        for s in worst.iter().take(8) {
+            writeln!(
+                f,
+                "    task {:>6}  {:<10} {:>12}",
+                s.task,
+                s.kind.name(),
+                fmt_ns(s.dur_ns)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ProfileAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "profile: {} events ({} dropped), wall {}",
+            self.events,
+            self.dropped,
+            fmt_ns(self.wall_ns)
+        )?;
+        if let Some(cp) = &self.critical_path {
+            write!(f, "{}", cp)?;
+        }
+        if !self.workers.is_empty() {
+            writeln!(
+                f,
+                "  per-worker utilization (busy over run, {} bins):",
+                BINS
+            )?;
+            for w in &self.workers {
+                let util = if self.wall_ns > 0 {
+                    100.0 * w.busy_ns as f64 / self.wall_ns as f64
+                } else {
+                    0.0
+                };
+                let line: String = w.bins.iter().map(|&b| bar(b)).collect();
+                writeln!(
+                    f,
+                    "    {:<24} [{}] busy {:>10} ({:5.1}%)  parked {:>10}  tasks {}",
+                    w.label,
+                    line,
+                    fmt_ns(w.busy_ns),
+                    util,
+                    fmt_ns(w.parked_ns),
+                    w.tasks
+                )?;
+            }
+        }
+        let l = &self.load;
+        writeln!(
+            f,
+            "  load: tasks/worker mean {:.1} min {} max {} (imbalance {:.2}x)",
+            l.mean_tasks, l.min_tasks, l.max_tasks, l.imbalance
+        )?;
+        writeln!(
+            f,
+            "  acquisition: pops {} steals {} injector {}",
+            l.pops, l.steals, l.injector_hits
+        )?;
+        if l.steals > 0 {
+            writeln!(
+                f,
+                "  steal locality: first-probe {}/{} ({:.1}%), mean probe depth {:.2}",
+                l.first_probe_steals,
+                l.steals,
+                100.0 * l.first_probe_steals as f64 / l.steals.max(1) as f64,
+                l.mean_probe_depth
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::TraceEvent;
+    use crate::TrackData;
+
+    fn e(ts: u64, kind: EventKind, a: u64, b: u64, c: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            kind,
+            a,
+            b,
+            c,
+        }
+    }
+
+    /// root(1) runs on worker-0, spawns child(2) at t=200 which is stolen
+    /// by worker-1, begins at t=500, ends at t=900.
+    fn two_task_chain() -> TraceData {
+        TraceData {
+            tracks: vec![
+                TrackData {
+                    label: "hiper-worker-0".into(),
+                    events: vec![
+                        e(100, EventKind::TaskBegin, 1, 0, 0),
+                        e(200, EventKind::TaskSpawn, 2, 1, 0),
+                        e(400, EventKind::TaskEnd, 1, 0, 0),
+                    ],
+                    dropped: 0,
+                },
+                TrackData {
+                    label: "hiper-worker-1".into(),
+                    events: vec![
+                        e(480, EventKind::Steal, 2, 0, 0),
+                        e(500, EventKind::TaskBegin, 2, 0, 0),
+                        e(900, EventKind::TaskEnd, 2, 0, 0),
+                    ],
+                    dropped: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn critical_path_segments_tile_the_interval() {
+        let analysis = ProfileAnalysis::build(&two_task_chain());
+        let cp = analysis.critical_path.expect("chain present");
+        assert_eq!(cp.chain, vec![1, 2]);
+        assert_eq!(cp.total_ns, 800, "root begin 100 -> leaf end 900");
+        let sum: u64 = cp.segments.iter().map(|s| s.dur_ns).sum();
+        assert_eq!(sum, cp.total_ns, "segments partition the interval");
+        assert_eq!(cp.compute_ns, 500, "100..200 on root + 500..900 on leaf");
+        assert_eq!(cp.steal_wait_ns, 300, "spawn 200 -> begin 500, stolen");
+        assert_eq!(cp.pop_wait_ns, 0);
+    }
+
+    #[test]
+    fn module_time_is_attributed_inside_compute() {
+        let mut data = two_task_chain();
+        // Leaf spends 300..? no — worker-1 runs a module span inside task 2.
+        data.tracks[1].events = vec![
+            e(480, EventKind::Steal, 2, 0, 0),
+            e(500, EventKind::TaskBegin, 2, 0, 0),
+            e(600, EventKind::ModuleEnter, 1, 0, 0),
+            e(850, EventKind::ModuleExit, 1, 0, 0),
+            e(900, EventKind::TaskEnd, 2, 0, 0),
+        ];
+        let cp = ProfileAnalysis::build(&data)
+            .critical_path
+            .expect("chain present");
+        assert_eq!(cp.module_ns, 250);
+        assert_eq!(cp.compute_ns, 250, "100..200 + (400 - 250) on leaf");
+        let sum: u64 = cp.segments.iter().map(|s| s.dur_ns).sum();
+        assert_eq!(sum, cp.total_ns);
+    }
+
+    #[test]
+    fn load_summary_counts_acquisitions() {
+        let analysis = ProfileAnalysis::build(&two_task_chain());
+        assert_eq!(analysis.load.steals, 1);
+        assert_eq!(analysis.load.pops, 0);
+        assert_eq!(analysis.load.first_probe_steals, 1, "worker-1 stole from 0");
+        assert_eq!(analysis.workers.len(), 2);
+        assert!((analysis.load.imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_path() {
+        let analysis = ProfileAnalysis::build(&TraceData::default());
+        assert!(analysis.critical_path.is_none());
+        assert_eq!(analysis.events, 0);
+        // Display must not panic on the empty analysis.
+        let _ = analysis.to_string();
+    }
+
+    #[test]
+    fn display_mentions_all_sections() {
+        let shown = ProfileAnalysis::build(&two_task_chain()).to_string();
+        assert!(shown.contains("critical path"));
+        assert!(shown.contains("per-worker utilization"));
+        assert!(shown.contains("steal locality"));
+    }
+}

@@ -30,6 +30,7 @@
 //! own oldest events and the loss is surfaced as a dropped-events counter,
 //! never as a stall of the traced program.
 
+pub mod analysis;
 pub mod chrome;
 pub mod clock;
 pub mod report;
@@ -240,6 +241,25 @@ impl TraceData {
     }
 }
 
+/// Events lost to ring wraparound so far, across all rings, *without*
+/// draining (the collector cursors are left untouched, so a later
+/// [`drain`] still returns everything still reachable). Harness `--stats`
+/// reports poll this to warn that a trace is incomplete.
+pub fn rings_dropped() -> u64 {
+    let reg = registry();
+    let rings = reg.rings.lock();
+    rings
+        .iter()
+        .map(|entry| {
+            let written = entry.ring.written();
+            let reachable = entry.ring.capacity() as u64;
+            written
+                .saturating_sub(reachable)
+                .saturating_sub(entry.read_pos)
+        })
+        .sum()
+}
+
 /// Drains every registered ring (incremental: a second drain returns only
 /// events emitted since the first). Call after the traced workload has
 /// quiesced — at shutdown or between phases — so writers aren't racing the
@@ -299,6 +319,18 @@ impl TraceSession {
         let data = drain();
         let json = chrome::chrome_trace_json(&data);
         std::fs::write(&self.path, json)?;
+        if data.dropped() > 0 {
+            // Loud by design: a wrapped ring means the timeline has holes
+            // and every downstream analysis (trace_check pairing, critical
+            // path, queue latencies) is undercounting.
+            eprintln!(
+                "[hiper-trace] WARNING: {} event(s) lost to ring wraparound — \
+                 the trace is INCOMPLETE; raise HIPER_TRACE_BUF (current \
+                 default {} events/thread) or trace a shorter window",
+                data.dropped(),
+                registry().ring_capacity
+            );
+        }
         if self.report {
             let rpt = report::TraceReport::build(&data);
             eprintln!(
