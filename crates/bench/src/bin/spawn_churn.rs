@@ -1,0 +1,64 @@
+//! Standalone runner for the spawn-churn workload (the allocation-path
+//! microbench gated by `perf_gate`): a future-based fib storm, an
+//! empty-task burst, and a saturated grain-1 `forasync`.
+//!
+//! ```text
+//! cargo run --release -p hiper-bench --bin spawn_churn
+//! ```
+//!
+//! Prints the median + IQR and, with `--out FILE`, writes them as gate
+//! JSON (the same schema `perf_gate` consumes). `HIPER_REPS` sets the
+//! timed repetitions (default 9). `--stats` prints scheduler counters,
+//! which is the quickest way to see the new allocation-path counters
+//! (`tasks_inline`, `slab_hits`/`slab_misses`, `splits_elided`,
+//! `promise_inline_waiters`) move.
+
+use std::collections::BTreeMap;
+
+use hiper_bench::perfgate::{gate_json, run_spawn_churn};
+use hiper_bench::util::env_param;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let reps = env_param("HIPER_REPS", 9);
+
+    let _trace = hiper_bench::util::trace_session();
+    let _metrics = hiper_bench::util::metrics_session();
+
+    let summary = run_spawn_churn(reps);
+    println!(
+        "spawn_churn: median {:.4} ms, iqr {:.4} ms ({} reps)",
+        summary.median, summary.iqr, summary.reps
+    );
+    if hiper_bench::util::stats_enabled() {
+        // Counters for one extra, observed rep on a fresh runtime.
+        let rt = hiper_runtime::Runtime::new(hiper_platform::autogen::smp(4));
+        let before = rt.sched_stats();
+        let acc = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let a = std::sync::Arc::clone(&acc);
+        let rt2 = rt.clone();
+        rt.block_on(move || {
+            rt2.forasync_1d(50_000, 1, move |_| {
+                a.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        eprintln!(
+            "[stats spawn_churn] sched: {}",
+            rt.sched_stats().diff(&before)
+        );
+        rt.shutdown();
+    }
+    if let Some(path) = out_path {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("spawn_churn_ms".to_string(), summary);
+        if let Err(e) = std::fs::write(&path, gate_json(&metrics)) {
+            eprintln!("spawn_churn: cannot write {}: {}", path, e);
+            std::process::exit(2);
+        }
+        println!("wrote {}", path);
+    }
+}

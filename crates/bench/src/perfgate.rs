@@ -254,12 +254,73 @@ pub fn run_isx(reps: usize) -> MetricSummary {
     summarize_ms(per_rank[0].clone())
 }
 
+/// Spawn churn: the per-task *allocation* path, as opposed to the search
+/// path `run_fanout` stresses. Three phases on a 4-worker SMP runtime:
+///
+/// 1. a future-based recursive fib(21) with a sequential cutoff at 10 —
+///    ~376 `spawn_future` + help-first `get` round trips, i.e. a
+///    promise/continuation storm;
+/// 2. a single-producer burst of 4000 empty tasks under one finish scope —
+///    the spawn/execute slab-recycling cycle with nothing else in the way;
+/// 3. a grain-1 `forasync` over 50k iterations — saturated fine-grained
+///    loop where eager splitting would publish ~one task per iteration.
+pub fn run_spawn_churn(reps: usize) -> MetricSummary {
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_seq(n - 1) + fib_seq(n - 2)
+        }
+    }
+    fn fib(rt: &Runtime, n: u64) -> u64 {
+        if n < 10 {
+            return fib_seq(n);
+        }
+        let rt2 = rt.clone();
+        let upper = rt.spawn_future(move || fib(&rt2, n - 1));
+        let lower = fib(rt, n - 2);
+        upper.get() + lower
+    }
+    let rt = Runtime::new(autogen::smp(4));
+    let one = |rt: &Runtime| {
+        let rt2 = rt.clone();
+        rt.block_on(move || {
+            assert_eq!(fib(&rt2, 21), 10946);
+            api::finish(|| {
+                for _ in 0..4000 {
+                    api::async_(|| {});
+                }
+            })
+            .expect("no task panicked");
+            let acc = Arc::new(AtomicU64::new(0));
+            let a = Arc::clone(&acc);
+            rt2.forasync_1d(50_000, 1, move |_| {
+                a.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(acc.load(Ordering::Relaxed), 50_000);
+        });
+    };
+    for _ in 0..2 {
+        one(&rt);
+    }
+    let samples = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            one(&rt);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    rt.shutdown();
+    summarize_ms(samples)
+}
+
 /// Runs the full gate suite, returning named summaries.
 pub fn run_all(reps: usize) -> BTreeMap<String, MetricSummary> {
     let mut out = BTreeMap::new();
     out.insert("fanout_ms".to_string(), run_fanout(reps));
     out.insert("pingpong_ms".to_string(), run_pingpong(reps));
     out.insert("isx_ms".to_string(), run_isx(reps));
+    out.insert("spawn_churn_ms".to_string(), run_spawn_churn(reps));
     out
 }
 

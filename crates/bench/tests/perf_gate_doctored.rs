@@ -47,7 +47,11 @@ fn binary_passes_on_real_baseline_and_fails_on_doctored_one() {
     //    depends only on the medians — a deterministic injected regression.
     let real = parse_gate_json(&std::fs::read_to_string(&baseline).expect("read baseline"))
         .expect("parse baseline");
-    assert_eq!(real.len(), 3, "gate must cover fanout, pingpong, and isx");
+    assert_eq!(
+        real.len(),
+        4,
+        "gate must cover fanout, pingpong, isx, and spawn_churn"
+    );
     let fast: BTreeMap<String, MetricSummary> = real
         .iter()
         .map(|(k, s)| {

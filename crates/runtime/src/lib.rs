@@ -34,6 +34,7 @@ pub mod module;
 mod promise;
 mod runtime;
 mod scheduler;
+mod smallfn;
 pub mod stats;
 mod task;
 

@@ -12,15 +12,70 @@
 //! Rust substitution for the C++ implementation's Boost.Context call-stack
 //! suspension (see DESIGN.md §2.1); the paper-visible property ("blocking
 //! operations do not actually block CPU threads") is preserved.
+//!
+//! # Lock-free state machine (DESIGN.md §2.11)
+//!
+//! The promise used to be a `Mutex<State>` plus a `Condvar`, with a `Vec` of
+//! boxed continuations — three allocations and a lock round-trip for the
+//! common one-producer/one-consumer case. It is now a single atomic state
+//! word:
+//!
+//! ```text
+//! EMPTY ──register──▶ WAITERS ──put/poison──▶ READY / POISONED
+//!   │                    ▲ │
+//!   └────put/poison──────┘ └─(transient LOCKED while a thread mutates
+//!                              the waiter slots or writes the outcome)
+//! ```
+//!
+//! The first continuation lands in an *inline* slot ([`SmallFn`], no
+//! allocation when its captures fit); later ones go to an overflow `Vec`.
+//! The outcome cell is written exactly once, while the state word is held in
+//! the transient `LOCKED` state, and published by the `Release` store of the
+//! terminal state; readers load the state with `Acquire` before touching the
+//! cell, so the happens-before edge is state-store → state-load. The condvar
+//! is touched only on the genuinely-blocking external path (a non-worker
+//! thread inside [`Future::wait`]); completers skip even the mutex unless
+//! the `parked` counter — checked with the same fence/Dekker protocol the
+//! scheduler's `WakeHub` uses — says someone is actually asleep.
 
+use std::cell::UnsafeCell;
 use std::fmt;
+use std::mem;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-/// Continuation thunk run when a promise is satisfied. Thunks typically
-/// enqueue a task, so they must be cheap and must not block.
-type ReadyThunk = Box<dyn FnOnce() + Send>;
+use crate::smallfn::SmallFn;
+
+/// Continuations stored in the promise's inline slot since process start
+/// (the `promise_inline_waiters` counter surfaced via
+/// [`SchedStatsSnapshot`](crate::stats::SchedStatsSnapshot)). Process-global:
+/// promises are not bound to a runtime instance.
+static INLINE_WAITERS: AtomicU64 = AtomicU64::new(0);
+
+/// Total continuations stored in promise inline slots, process-wide.
+pub(crate) fn inline_waiters_total() -> u64 {
+    INLINE_WAITERS.load(Ordering::Relaxed)
+}
+
+/// Park safety net for external waiters. Completion always notifies (see
+/// the Dekker argument on `complete`), so this only fires if that argument
+/// is ever violated; it turns a hypothetical hang into latency.
+const EXTERNAL_PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+// State-word values.
+/// No value, no waiters.
+const EMPTY: usize = 0;
+/// Transient: one thread is mutating the waiter slots or the outcome cell.
+const LOCKED: usize = 1;
+/// At least one continuation registered; no value yet.
+const WAITERS: usize = 2;
+/// Outcome cell holds `Ok(value)`.
+const READY: usize = 3;
+/// Outcome cell holds `Err(TaskError)`.
+const POISONED: usize = 4;
 
 /// Why a task (and any promise it was meant to satisfy) failed.
 #[derive(Debug, Clone)]
@@ -46,16 +101,125 @@ impl fmt::Display for TaskError {
 
 impl std::error::Error for TaskError {}
 
-enum State<T> {
-    Pending(Vec<ReadyThunk>),
-    Ready(T),
-    /// The producing task failed; waiters fail fast instead of hanging.
-    Poisoned(TaskError),
+struct Shared<T> {
+    /// The state word; see the module docs for the transition diagram.
+    state: AtomicUsize,
+    /// Inline slot for the first continuation: the common single-waiter
+    /// case stores its thunk here without touching the allocator.
+    inline: UnsafeCell<Option<SmallFn>>,
+    /// Second and later continuations. Lazily allocated by `Vec`.
+    overflow: UnsafeCell<Vec<SmallFn>>,
+    /// The outcome. Written exactly once while `state == LOCKED`; read only
+    /// after an `Acquire` load observed `READY` or `POISONED`, and never
+    /// mutated after that, so shared `&` reads are race-free.
+    outcome: UnsafeCell<Option<Result<T, TaskError>>>,
+    /// External threads currently inside the blocking section of `wait`.
+    /// Completers check it (after a `SeqCst` fence) to skip the mutex and
+    /// condvar entirely when nobody is parked — the overwhelmingly common
+    /// case, since workers help instead of parking.
+    parked: AtomicUsize,
+    park_lock: Mutex<()>,
+    park_cond: Condvar,
 }
 
-struct Shared<T> {
-    state: Mutex<State<T>>,
-    cond: Condvar,
+// Same bounds the old `Mutex<State<T>>` representation had: the cells are
+// only touched under the state-word protocol described on each field.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn new() -> Shared<T> {
+        Shared {
+            state: AtomicUsize::new(EMPTY),
+            inline: UnsafeCell::new(None),
+            overflow: UnsafeCell::new(Vec::new()),
+            outcome: UnsafeCell::new(None),
+            parked: AtomicUsize::new(0),
+            park_lock: Mutex::new(()),
+            park_cond: Condvar::new(),
+        }
+    }
+
+    /// Acquires the transient `LOCKED` state from `EMPTY` or `WAITERS`
+    /// (spinning out any concurrent holder — critical sections are a few
+    /// instructions) and returns the state transitioned *from*. Terminal
+    /// states are returned as-is without locking.
+    fn lock_or_terminal(&self) -> usize {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            match cur {
+                EMPTY | WAITERS => {
+                    match self.state.compare_exchange_weak(
+                        cur,
+                        LOCKED,
+                        Ordering::Acquire,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => return cur,
+                        Err(seen) => cur = seen,
+                    }
+                }
+                LOCKED => {
+                    std::hint::spin_loop();
+                    cur = self.state.load(Ordering::Acquire);
+                }
+                terminal => return terminal,
+            }
+        }
+    }
+
+    /// True once the state word is terminal (value or poison).
+    fn is_terminal(&self) -> bool {
+        matches!(self.state.load(Ordering::Acquire), READY | POISONED)
+    }
+
+    /// Reads the completed outcome. Must only be called after observing a
+    /// terminal state with `Acquire` ordering.
+    fn outcome(&self) -> &Result<T, TaskError> {
+        debug_assert!(self.is_terminal());
+        unsafe { (*self.outcome.get()).as_ref().unwrap() }
+    }
+
+    /// Moves the promise to a terminal state, publishing `result` and
+    /// returning the drained continuations — or `None` if the promise was
+    /// already terminal (the caller decides whether that is a panic).
+    fn complete(&self, result: Result<T, TaskError>) -> Option<(Option<SmallFn>, Vec<SmallFn>)> {
+        let from = self.lock_or_terminal();
+        match from {
+            EMPTY | WAITERS => {
+                let terminal = if result.is_ok() { READY } else { POISONED };
+                // Exclusive access: every other thread spins on LOCKED or
+                // has not observed a terminal state yet.
+                unsafe { *self.outcome.get() = Some(result) };
+                let inline = unsafe { (*self.inline.get()).take() };
+                let overflow = unsafe { mem::take(&mut *self.overflow.get()) };
+                self.state.store(terminal, Ordering::Release);
+                // Wake parked external waiters. Dekker: the waiter does a
+                // SeqCst RMW on `parked` and then re-checks the state; we
+                // publish the state and then (after a SeqCst fence) load
+                // `parked`. Either we see their registration, or their
+                // re-check sees the terminal state — never neither. Taking
+                // the lock before notifying closes the check-to-sleep gap.
+                fence(Ordering::SeqCst);
+                if self.parked.load(Ordering::Relaxed) != 0 {
+                    let _guard = self.park_lock.lock();
+                    self.park_cond.notify_all();
+                }
+                Some((inline, overflow))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Runs drained continuations in registration order (inline slot first).
+fn run_thunks(thunks: (Option<SmallFn>, Vec<SmallFn>)) {
+    if let Some(t) = thunks.0 {
+        t.call();
+    }
+    for t in thunks.1 {
+        t.call();
+    }
 }
 
 /// The write end: a single-assignment container (paper's `promise_t`).
@@ -84,13 +248,10 @@ impl<T> Default for Promise<T> {
 }
 
 impl<T> Promise<T> {
-    /// Creates an unsatisfied promise.
+    /// Creates an unsatisfied promise. One allocation: the shared `Arc`.
     pub fn new() -> Promise<T> {
         Promise {
-            shared: Arc::new(Shared {
-                state: Mutex::new(State::Pending(Vec::new())),
-                cond: Condvar::new(),
-            }),
+            shared: Arc::new(Shared::new()),
         }
     }
 
@@ -103,22 +264,22 @@ impl<T> Promise<T> {
     }
 
     /// Satisfies the promise, releasing every waiter and running every
-    /// registered continuation (in registration order).
+    /// registered continuation (in registration order). Allocation-free:
+    /// the no-waiter case is a single CAS, the inline-waiter case adds one
+    /// thunk call.
     ///
     /// # Panics
     /// Panics on double-put: a promise is single-assignment.
     pub fn put(self, value: T) {
-        let thunks = {
-            let mut st = self.shared.state.lock();
-            match std::mem::replace(&mut *st, State::Ready(value)) {
-                State::Pending(thunks) => thunks,
-                State::Ready(_) => panic!("promise satisfied twice"),
-                State::Poisoned(e) => panic!("promise satisfied after poisoning: {}", e),
-            }
-        };
-        self.shared.cond.notify_all();
-        for thunk in thunks {
-            thunk();
+        match self.shared.complete(Ok(value)) {
+            Some(thunks) => run_thunks(thunks),
+            None => match self.shared.state.load(Ordering::Acquire) {
+                POISONED => panic!(
+                    "promise satisfied after poisoning: {}",
+                    self.shared.outcome().as_ref().err().unwrap()
+                ),
+                _ => panic!("promise satisfied twice"),
+            },
         }
     }
 
@@ -131,28 +292,16 @@ impl<T> Promise<T> {
     }
 
     fn poison_shared(shared: &Shared<T>, err: TaskError) {
-        let thunks = {
-            let mut st = shared.state.lock();
-            match &mut *st {
-                State::Pending(thunks) => {
-                    let thunks = std::mem::take(thunks);
-                    *st = State::Poisoned(err);
-                    thunks
-                }
-                // Already satisfied or poisoned: keep the first outcome.
-                _ => return,
-            }
-        };
-        shared.cond.notify_all();
-        for thunk in thunks {
-            thunk();
+        // Already satisfied or poisoned: keep the first outcome.
+        if let Some(thunks) = shared.complete(Err(err)) {
+            run_thunks(thunks);
         }
     }
 
     /// True if [`put`](Self::put) has already happened (only possible via
     /// other handles; a `Promise` is consumed by `put`).
     pub fn is_satisfied(&self) -> bool {
-        matches!(&*self.shared.state.lock(), State::Ready(_))
+        self.shared.state.load(Ordering::Acquire) == READY
     }
 }
 
@@ -161,7 +310,7 @@ impl<T> Drop for Promise<T> {
     /// task died (panicked, or was discarded at shutdown) and its value
     /// will never arrive — waiters must fail fast, not hang.
     fn drop(&mut self) {
-        if matches!(&*self.shared.state.lock(), State::Pending(_)) {
+        if !self.shared.is_terminal() {
             Self::poison_shared(
                 &self.shared,
                 TaskError::new("promise dropped without a value"),
@@ -173,24 +322,25 @@ impl<T> Drop for Promise<T> {
 impl<T: Send + 'static> Future<T> {
     /// True if the value is available.
     pub fn is_ready(&self) -> bool {
-        matches!(&*self.shared.state.lock(), State::Ready(_))
+        self.shared.state.load(Ordering::Acquire) == READY
     }
 
     /// True if the producing task failed and the value will never arrive.
     pub fn is_poisoned(&self) -> bool {
-        matches!(&*self.shared.state.lock(), State::Poisoned(_))
+        self.shared.state.load(Ordering::Acquire) == POISONED
     }
 
     /// True once the future reached a terminal state (value or poison).
     pub fn is_complete(&self) -> bool {
-        !matches!(&*self.shared.state.lock(), State::Pending(_))
+        self.shared.is_terminal()
     }
 
     /// The poisoning error, if the future is poisoned.
     pub fn poison_error(&self) -> Option<TaskError> {
-        match &*self.shared.state.lock() {
-            State::Poisoned(e) => Some(e.clone()),
-            _ => None,
+        if self.is_poisoned() {
+            self.shared.outcome().as_ref().err().cloned()
+        } else {
+            None
         }
     }
 
@@ -198,23 +348,39 @@ impl<T: Send + 'static> Future<T> {
     /// satisfaction *or* poisoning, so dependents of a failed producer can
     /// fail fast instead of leaking. If the future is already complete the
     /// thunk runs immediately on the calling thread.
+    ///
+    /// The first registration on a pending future lands in the inline slot:
+    /// no allocation when the thunk's captures fit in
+    /// [`SMALL_FN_BYTES`](crate::smallfn::SMALL_FN_BYTES).
     pub fn on_ready(&self, thunk: impl FnOnce() + Send + 'static) {
-        {
-            let mut st = self.shared.state.lock();
-            if let State::Pending(thunks) = &mut *st {
-                thunks.push(Box::new(thunk));
-                return;
-            }
+        let shared = &self.shared;
+        if shared.is_terminal() {
+            thunk();
+            return;
         }
-        thunk();
+        let (thunk, _inlined) = SmallFn::new(thunk);
+        match shared.lock_or_terminal() {
+            EMPTY | WAITERS => {
+                let slot = unsafe { &mut *shared.inline.get() };
+                if slot.is_none() {
+                    *slot = Some(thunk);
+                    INLINE_WAITERS.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    unsafe { (*shared.overflow.get()).push(thunk) };
+                }
+                shared.state.store(WAITERS, Ordering::Release);
+            }
+            // Completed while we were building the thunk: run it now.
+            _terminal => thunk.call(),
+        }
     }
 
     /// Blocks the *logical* task until the future completes (value or
     /// poison).
     ///
     /// On a worker thread this is help-first: the worker executes other
-    /// eligible tasks while waiting. On an external thread it parks on a
-    /// condvar.
+    /// eligible tasks while waiting. On an external thread it parks on the
+    /// promise's condvar — the only path that touches the mutex.
     pub fn wait(&self) {
         if self.is_complete() {
             return;
@@ -227,11 +393,17 @@ impl<T: Send + 'static> Future<T> {
         if crate::runtime::Runtime::try_help_current(&mut || self.is_complete()) {
             return;
         }
-        // External thread: park.
-        let mut st = self.shared.state.lock();
-        while matches!(&*st, State::Pending(_)) {
-            self.shared.cond.wait(&mut st);
+        // External thread: park. The SeqCst RMW on `parked` is our half of
+        // the Dekker protocol with `Shared::complete` (see there).
+        let shared = &self.shared;
+        shared.parked.fetch_add(1, Ordering::SeqCst);
+        if !shared.is_terminal() {
+            let mut guard = shared.park_lock.lock();
+            while !shared.is_terminal() {
+                shared.park_cond.wait_for(&mut guard, EXTERNAL_PARK_TIMEOUT);
+            }
         }
+        shared.parked.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Runs `f` against the value by reference, waiting first if necessary.
@@ -241,11 +413,9 @@ impl<T: Send + 'static> Future<T> {
     /// [`result`](Self::result) to observe failure as a value.
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
         self.wait();
-        let st = self.shared.state.lock();
-        match &*st {
-            State::Ready(v) => f(v),
-            State::Poisoned(e) => panic!("future poisoned: {}", e),
-            State::Pending(_) => unreachable!("wait() returned while pending"),
+        match self.shared.outcome() {
+            Ok(v) => f(v),
+            Err(e) => panic!("future poisoned: {}", e),
         }
     }
 
@@ -254,10 +424,10 @@ impl<T: Send + 'static> Future<T> {
     where
         T: Clone,
     {
-        let st = self.shared.state.lock();
-        match &*st {
-            State::Ready(v) => Some(v.clone()),
-            _ => None,
+        if self.is_ready() {
+            self.shared.outcome().as_ref().ok().cloned()
+        } else {
+            None
         }
     }
 
@@ -268,12 +438,7 @@ impl<T: Send + 'static> Future<T> {
         T: Clone,
     {
         self.wait();
-        let st = self.shared.state.lock();
-        match &*st {
-            State::Ready(v) => Ok(v.clone()),
-            State::Poisoned(e) => Err(e.clone()),
-            State::Pending(_) => unreachable!("wait() returned while pending"),
-        }
+        self.shared.outcome().clone().map_err(|e| e.clone())
     }
 }
 
@@ -287,7 +452,7 @@ impl<T: Clone + Send + 'static> Future<T> {
 
 impl<T> fmt::Debug for Future<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let ready = matches!(&*self.shared.state.lock(), State::Ready(_));
+        let ready = self.shared.state.load(Ordering::Acquire) == READY;
         f.debug_struct("Future").field("ready", &ready).finish()
     }
 }
@@ -310,7 +475,7 @@ pub fn when_all<T: Send + 'static>(futures: &[Future<T>]) -> Future<()> {
         p.put(());
         return f;
     }
-    let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(futures.len()));
+    let remaining = Arc::new(AtomicUsize::new(futures.len()));
     let first_err: Arc<Mutex<Option<TaskError>>> = Arc::new(Mutex::new(None));
     let p = Arc::new(Mutex::new(Some(p)));
     for fut in futures {
@@ -325,7 +490,7 @@ pub fn when_all<T: Send + 'static>(futures: &[Future<T>]) -> Future<()> {
                     *slot = Some(e);
                 }
             }
-            if remaining.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 if let Some(p) = p.lock().take() {
                     match first_err.lock().take() {
                         Some(e) => p.poison(e),
@@ -376,6 +541,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "after poisoning")]
+    fn put_after_poison_panics() {
+        let p: Promise<u32> = Promise::new();
+        let _f = p.future();
+        let p2 = Promise {
+            shared: Arc::clone(&p.shared),
+        };
+        p.poison(TaskError::new("producer died"));
+        p2.put(2);
+    }
+
+    #[test]
     fn continuations_run_on_put_in_order() {
         let p = Promise::new();
         let f = p.future();
@@ -400,6 +577,17 @@ mod tests {
             r.store(1, Ordering::SeqCst);
         });
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn inline_slot_counts_first_waiter() {
+        let before = inline_waiters_total();
+        let p = Promise::new();
+        let f = p.future();
+        f.on_ready(|| {});
+        f.on_ready(|| {}); // overflow, not inline
+        assert_eq!(inline_waiters_total(), before + 1);
+        p.put(());
     }
 
     #[test]
@@ -514,5 +702,79 @@ mod tests {
             .unwrap()
             .message
             .contains("one input failed"));
+    }
+
+    #[test]
+    fn poison_after_waiters_registered_runs_each_exactly_once() {
+        let p: Promise<u32> = Promise::new();
+        let f = p.future();
+        let counts: Vec<Arc<AtomicUsize>> = (0..5).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        for c in &counts {
+            let c = Arc::clone(c);
+            f.on_ready(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        p.poison(TaskError::new("late failure"));
+        for c in &counts {
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        }
+        // Late registration on a poisoned future still runs immediately.
+        let late = Arc::new(AtomicUsize::new(0));
+        let l = Arc::clone(&late);
+        f.on_ready(move || {
+            l.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(late.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_registrations_race_put_none_lost_or_duplicated() {
+        // Many threads register continuations while another thread puts;
+        // every continuation must run exactly once whatever the interleave.
+        for round in 0..50 {
+            let p = Promise::new();
+            let f = p.future();
+            const THREADS: usize = 4;
+            const PER_THREAD: usize = 8;
+            let counts: Vec<Arc<AtomicUsize>> = (0..THREADS * PER_THREAD)
+                .map(|_| Arc::new(AtomicUsize::new(0)))
+                .collect();
+            let registrars: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let f = f.clone();
+                    let counts: Vec<_> = counts[t * PER_THREAD..(t + 1) * PER_THREAD]
+                        .iter()
+                        .map(Arc::clone)
+                        .collect();
+                    thread::spawn(move || {
+                        for c in counts {
+                            f.on_ready(move || {
+                                c.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    })
+                })
+                .collect();
+            let putter = thread::spawn(move || {
+                if round % 2 == 0 {
+                    thread::yield_now();
+                }
+                p.put(round);
+            });
+            for r in registrars {
+                r.join().unwrap();
+            }
+            putter.join().unwrap();
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::SeqCst),
+                    1,
+                    "continuation {} ran a wrong number of times (round {})",
+                    i,
+                    round
+                );
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@ use crate::module::{ModuleError, SchedulerModule};
 use crate::promise::{Future, Promise, TaskError};
 use crate::scheduler::Scheduler;
 use crate::stats::{ModuleStats, SchedStatsSnapshot};
-use crate::task::{FinishScope, Task, TaskFn};
+use crate::task::{BodyKind, FinishScope, Task, TaskBody};
 
 /// Maximum depth of nested help-first blocking before a worker falls back to
 /// parking (bounds stack growth; see DESIGN.md §2.1).
@@ -101,7 +101,7 @@ pub(crate) mod met {
 /// (with the spawning task as parent) when tracing is enabled, and stamping
 /// its spawn time when metrics are enabled. One relaxed atomic load per
 /// subsystem when both are off.
-fn make_task(f: TaskFn, place: PlaceId, scope: Option<Arc<FinishScope>>) -> Task {
+fn make_task(body: TaskBody, place: PlaceId, scope: Option<Arc<FinishScope>>) -> Task {
     let trace_id = hiper_trace::fresh_task_id();
     if trace_id != 0 {
         hiper_trace::emit(
@@ -117,7 +117,7 @@ fn make_task(f: TaskFn, place: PlaceId, scope: Option<Arc<FinishScope>>) -> Task
         0
     };
     Task {
-        f,
+        body,
         place,
         scope,
         trace_id,
@@ -200,6 +200,10 @@ fn worker_main(rt: Runtime, id: usize, owned: Vec<Worker<Task>>) {
     // park ladder.
     let mut misses: u32 = 0;
     loop {
+        // Captured *before* the search: if it is still unchanged at park
+        // time, the failed search below is proof enough that every queue is
+        // empty and `maybe_has_work` can skip its exact scan.
+        let seen = sched.publish_epoch();
         let task = TLS.with(|tls| {
             let tls = tls.borrow();
             let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
@@ -223,14 +227,14 @@ fn worker_main(rt: Runtime, id: usize, owned: Vec<Worker<Task>>) {
             continue;
         }
         // Park protocol: register idle (SeqCst RMW inside), then re-check
-        // every reachable queue. A spawner either sees our registration (and
-        // targets us with a wake) or we see its task here — never neither
-        // (see the Dekker argument in event.rs).
+        // for published work. A spawner either sees our registration (and
+        // targets us with a wake) or we see its epoch bump here — never
+        // neither (see the Dekker argument in event.rs).
         sched.hub.register_idle(id);
         let again = TLS.with(|tls| {
             let tls = tls.borrow();
             let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
-            sched.maybe_has_work(id, &w.owned)
+            sched.maybe_has_work(id, &w.owned, seen)
         });
         if again || sched.is_shutdown() {
             sched.hub.cancel_idle(id);
@@ -295,6 +299,23 @@ impl Runtime {
         self.inner.sched.stats.snapshot()
     }
 
+    /// True when at least one worker is parked or registering idle — i.e.
+    /// publishing more work right now would actually recruit parallelism.
+    /// One relaxed load; `forasync` polls this to decide whether to split
+    /// (publish its untouched half) or keep iterating sequentially.
+    pub(crate) fn split_demand(&self) -> bool {
+        self.inner.sched.hub.idle_count() > 0
+    }
+
+    /// Credits `n` elided forasync splits to the calling thread's shard.
+    /// Called once per `split_run` frame, not per elision.
+    pub(crate) fn note_splits_elided(&self, n: u64) {
+        self.inner
+            .sched
+            .stats
+            .splits_elided_n(self.current_shard(), n);
+    }
+
     // ------------------------------------------------------------------
     // Task creation (paper §II-B4)
     // ------------------------------------------------------------------
@@ -302,13 +323,14 @@ impl Runtime {
     /// `async`: creates a task at the place closest to the current thread
     /// (its home place on a worker; the first worker home otherwise).
     pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
-        self.spawn_at(self.here(), f);
+        let (body, kind) = TaskBody::new(f);
+        self.spawn_body(None, body, kind);
     }
 
     /// `async_at`: creates a task at a specific place.
     pub fn spawn_at(&self, place: PlaceId, f: impl FnOnce() + Send + 'static) {
-        let scope = self.current_scope_checked_in();
-        self.enqueue(make_task(Box::new(f), place, scope));
+        let (body, kind) = TaskBody::new(f);
+        self.spawn_body(Some(place), body, kind);
     }
 
     /// Like [`spawn_at`](Self::spawn_at) but enqueues FIFO (to the place's
@@ -316,10 +338,12 @@ impl Runtime {
     /// re-spawns itself this way lets every other eligible task at the place
     /// run first (the paper's polling tasks, §II-C1 step 3).
     pub fn spawn_at_yield(&self, place: PlaceId, f: impl FnOnce() + Send + 'static) {
+        let (body, kind) = TaskBody::new(f);
         let scope = self.current_scope_checked_in();
+        self.inner.sched.stats.task_body(usize::MAX, kind);
         self.inner
             .sched
-            .spawn_external(make_task(Box::new(f), place, scope));
+            .spawn_external(make_task(body, place, scope));
     }
 
     /// `async_future`: creates a task and returns a future satisfied with
@@ -379,7 +403,10 @@ impl Runtime {
                 }
                 return;
             }
-            rt.enqueue_prechecked(make_task(Box::new(f), place, scope));
+            // The body is wrapped when the dependency fires — usually on the
+            // completer's worker thread, so the slot comes off its free list.
+            let (body, kind) = TaskBody::new(f);
+            rt.enqueue_prechecked(make_task(body, place, scope), kind);
         });
     }
 
@@ -545,6 +572,10 @@ impl Runtime {
             if pred() {
                 break;
             }
+            // As in worker_main: epoch before the search, so an unchanged
+            // epoch at park time lets `maybe_has_work` trust this search's
+            // empty verdict without rescanning.
+            let seen = sched.publish_epoch();
             let task = if too_deep {
                 None
             } else {
@@ -581,7 +612,7 @@ impl Runtime {
                         || TLS.with(|tls| {
                             let tls = tls.borrow();
                             let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
-                            sched.maybe_has_work(id, &w.owned)
+                            sched.maybe_has_work(id, &w.owned, seen)
                         });
                     if again {
                         sched.hub.cancel_idle(id);
@@ -651,6 +682,32 @@ impl Runtime {
         .unwrap_or_else(|| self.inner.sched.homes[0])
     }
 
+    /// If the calling thread is a worker of *this* runtime, returns its
+    /// current finish scope (not checked in; may be `None` inside no scope).
+    /// Returns `None` when the caller is not one of our workers. `forasync`
+    /// uses this to decide whether a loop may run inline on the caller.
+    pub(crate) fn worker_scope(&self) -> Option<Option<Arc<FinishScope>>> {
+        TLS.with(|tls| {
+            tls.borrow()
+                .as_ref()
+                .filter(|t| t.worker.is_some() && Arc::ptr_eq(&t.rt.inner, &self.inner))
+                .map(|t| t.scope.clone())
+        })
+    }
+
+    /// The stats shard for the calling thread: its worker id on one of our
+    /// workers, the external shard otherwise.
+    pub(crate) fn current_shard(&self) -> usize {
+        TLS.with(|tls| {
+            tls.borrow()
+                .as_ref()
+                .filter(|t| Arc::ptr_eq(&t.rt.inner, &self.inner))
+                .and_then(|t| t.worker.as_ref())
+                .map(|w| w.id)
+                .unwrap_or(usize::MAX)
+        })
+    }
+
     /// Captures the current finish scope (if it belongs to this runtime) and
     /// checks a new task into it.
     fn current_scope_checked_in(&self) -> Option<Arc<FinishScope>> {
@@ -666,34 +723,70 @@ impl Runtime {
         })
     }
 
-    /// Routes a fully-formed task to the right queue (its scope check-in has
-    /// already happened in `current_scope_checked_in`).
-    fn enqueue(&self, task: Task) {
-        self.enqueue_prechecked(task);
+    /// The consolidated spawn path: one TLS pass captures the current finish
+    /// scope (checking the task in), resolves the placement (`None` = the
+    /// spawner's home place) and routes the task — own deque for a worker of
+    /// this runtime, place injector otherwise. The old path paid three
+    /// separate TLS borrows per spawn (scope capture, worker probe, deque
+    /// access); this is the per-task hot path, so they are folded into one.
+    fn spawn_body(&self, place: Option<PlaceId>, body: TaskBody, kind: BodyKind) {
+        let sched = &self.inner.sched;
+        let external = TLS.with(|tls| {
+            let tls = tls.borrow();
+            match tls.as_ref() {
+                Some(t) if Arc::ptr_eq(&t.rt.inner, &self.inner) => {
+                    let scope = t.scope.as_ref().map(|s| {
+                        s.check_in();
+                        Arc::clone(s)
+                    });
+                    match t.worker.as_ref() {
+                        Some(w) => {
+                            let place = place.unwrap_or(sched.homes[w.id]);
+                            sched.stats.task_body(w.id, kind);
+                            sched.spawn_from_worker(w.id, &w.owned, make_task(body, place, scope));
+                            None
+                        }
+                        None => Some(make_task(body, place.unwrap_or(sched.homes[0]), scope)),
+                    }
+                }
+                // Thread belongs to no runtime (or another runtime): no
+                // scope to inherit, spawn through the injector.
+                _ => Some(make_task(body, place.unwrap_or(sched.homes[0]), None)),
+            }
+        });
+        if let Some(task) = external {
+            sched.stats.task_body(usize::MAX, kind);
+            sched.spawn_external(task);
+        }
     }
 
-    /// Enqueues a task whose scope check-in already happened (also the
+    /// Enqueues a task whose scope check-in already happened (the
     /// continuation path of `spawn_await`).
-    pub(crate) fn enqueue_prechecked(&self, task: Task) {
+    pub(crate) fn enqueue_prechecked(&self, task: Task, kind: BodyKind) {
         let sched = &self.inner.sched;
-        let on_own_worker = TLS.with(|tls| {
+        let routed = TLS.with(|tls| {
             let tls = tls.borrow();
-            matches!(tls.as_ref(), Some(t) if Arc::ptr_eq(&t.rt.inner, &self.inner) && t.worker.is_some())
+            match tls.as_ref() {
+                Some(t) if Arc::ptr_eq(&t.rt.inner, &self.inner) => match t.worker.as_ref() {
+                    Some(w) => {
+                        sched.stats.task_body(w.id, kind);
+                        sched.spawn_from_worker(w.id, &w.owned, task);
+                        None
+                    }
+                    None => Some(task),
+                },
+                _ => Some(task),
+            }
         });
-        if on_own_worker {
-            TLS.with(|tls| {
-                let tls = tls.borrow();
-                let w = tls.as_ref().unwrap().worker.as_ref().unwrap();
-                sched.spawn_from_worker(w.id, &w.owned, task);
-            });
-        } else {
+        if let Some(task) = routed {
+            sched.stats.task_body(usize::MAX, kind);
             sched.spawn_external(task);
         }
     }
 
     fn execute_task(&self, task: Task) {
         let Task {
-            f,
+            body,
             scope,
             place,
             trace_id,
@@ -724,7 +817,7 @@ impl Runtime {
         } else {
             0
         };
-        let result = catch_unwind(AssertUnwindSafe(f));
+        let result = catch_unwind(AssertUnwindSafe(|| body.call()));
         if spawn_ns != 0 {
             met::task_run().record(hiper_trace::clock::now_ns().saturating_sub(begin_ns));
         }

@@ -7,7 +7,7 @@
 //! (locality, pop path) or others' tasks (load balance, steal path) purely by
 //! which deque end and index it looks at.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{fence, AtomicBool, Ordering};
 use std::sync::Arc;
 
 use hiper_deque::{new_deque, Injector, Steal, Stealer, Worker};
@@ -90,6 +90,7 @@ impl Scheduler {
     /// worker's own deque at the task's place.
     pub fn spawn_from_worker(&self, me: usize, owned: &[Worker<Task>], task: Task) {
         owned[task.place.index()].push(task);
+        self.stats.published(me);
         self.wake(me);
     }
 
@@ -97,6 +98,7 @@ impl Scheduler {
     /// yield): goes to the place's FIFO injector.
     pub fn spawn_external(&self, task: Task) {
         self.places[task.place.index()].injector.push(task);
+        self.stats.published(self.stats.external_shard());
         self.wake(self.stats.external_shard());
     }
 
@@ -202,6 +204,9 @@ impl Scheduler {
         let banked = home.len();
         if banked > 0 {
             self.stats.batch_steal(me);
+            // The banked tasks just became stealable from our deque: that is
+            // a publication other workers' pre-park checks must notice.
+            self.stats.published(me);
             if hiper_trace::enabled() {
                 hiper_trace::emit(EventKind::BatchSteal, banked as u64, 0, 0);
             }
@@ -209,9 +214,34 @@ impl Scheduler {
         }
     }
 
-    /// True if any queue this worker can reach may hold work. Used as a
-    /// quick recheck before parking.
-    pub fn maybe_has_work(&self, me: usize, owned: &[Worker<Task>]) -> bool {
+    /// The current publish epoch; capture it *before* a full `find_task`
+    /// search to make that search's failure reusable by `maybe_has_work`.
+    pub fn publish_epoch(&self) -> u64 {
+        self.stats.publish_epoch()
+    }
+
+    /// True if any queue this worker can reach may hold work. Used as the
+    /// recheck between idle registration and parking.
+    ///
+    /// `seen` is the publish epoch the caller captured before its last full
+    /// (and failed) `find_task` search. Fast path: if the epoch is unchanged,
+    /// nothing was published anywhere since before that search proved every
+    /// reachable queue empty — queues only shrink otherwise — so the worker
+    /// may park on two relaxed-sum reads instead of the O(places × workers)
+    /// scan. If the epoch moved, fall back to the exact scan (the publication
+    /// may be at an unreachable place, already consumed, or targeted wakes
+    /// may already cover it; the scan keeps spurious wakeup-loops bounded).
+    ///
+    /// Ordering: the caller has just done the SeqCst idle registration; the
+    /// fence below orders our epoch read after it, pairing with the
+    /// publisher's bump-then-fence-then-check-idle sequence in `wake_one`
+    /// (same store-buffering argument as in `event.rs`, with the epoch
+    /// standing in for the queues themselves).
+    pub fn maybe_has_work(&self, me: usize, owned: &[Worker<Task>], seen: u64) -> bool {
+        fence(Ordering::SeqCst);
+        if self.stats.publish_epoch() == seen {
+            return false;
+        }
         self.paths[me]
             .pop
             .iter()

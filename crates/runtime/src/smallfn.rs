@@ -1,0 +1,180 @@
+//! Inline type-erased `FnOnce` storage.
+//!
+//! [`SmallFn`] is the allocation-lean replacement for `Box<dyn FnOnce()>`
+//! on the runtime's synchronization paths: closures whose captures fit in
+//! [`SMALL_FN_BYTES`] (and need no over-aligned storage) are stored *inside*
+//! the `SmallFn` value itself — no heap allocation — while oversized
+//! captures fall back to a plain box. The promise continuation slot and the
+//! external-waiter wakeup path are the main users; the task slab in
+//! `task.rs` uses the same erasure technique but with recycled heap slots
+//! (tasks must stay small while queued in the deques, continuations do not).
+
+use std::marker::PhantomData;
+use std::mem::{self, MaybeUninit};
+
+/// Inline capture budget. 48 bytes covers the runtime's own continuations
+/// (an `Arc` or two plus a couple of words) with room for small user
+/// captures; anything larger is boxed.
+pub(crate) const SMALL_FN_BYTES: usize = 48;
+
+const WORDS: usize = SMALL_FN_BYTES / mem::size_of::<usize>();
+
+/// Word-aligned inline storage. `usize` alignment is all we promise;
+/// closures with stricter alignment are boxed.
+type Data = [MaybeUninit<usize>; WORDS];
+
+enum Repr {
+    Inline {
+        data: Data,
+        /// Reads the closure out of `data` and calls it.
+        call: unsafe fn(*mut u8),
+        /// Drops the closure in place without calling it.
+        drop_in_place: unsafe fn(*mut u8),
+    },
+    Boxed(Box<dyn FnOnce() + Send>),
+}
+
+/// A `Send` `FnOnce()` that avoids heap allocation for small captures.
+pub(crate) struct SmallFn {
+    repr: Repr,
+    /// The payload is an erased `F: FnOnce() + Send` — `Send` but not
+    /// necessarily `Sync`; this marker keeps the auto traits honest.
+    _marker: PhantomData<Box<dyn FnOnce() + Send>>,
+}
+
+impl SmallFn {
+    /// Wraps `f`, storing it inline when it fits. The second return value
+    /// is `true` when the capture was inlined (no allocation happened).
+    pub(crate) fn new<F: FnOnce() + Send + 'static>(f: F) -> (SmallFn, bool) {
+        let repr = if mem::size_of::<F>() <= SMALL_FN_BYTES
+            && mem::align_of::<F>() <= mem::align_of::<usize>()
+        {
+            unsafe fn call_impl<F: FnOnce()>(p: *mut u8) {
+                ((p as *mut F).read())()
+            }
+            unsafe fn drop_impl<F>(p: *mut u8) {
+                std::ptr::drop_in_place(p as *mut F)
+            }
+            let mut data: Data = [MaybeUninit::uninit(); WORDS];
+            unsafe { (data.as_mut_ptr() as *mut F).write(f) };
+            Repr::Inline {
+                data,
+                call: call_impl::<F>,
+                drop_in_place: drop_impl::<F>,
+            }
+        } else {
+            Repr::Boxed(Box::new(f))
+        };
+        let inlined = matches!(repr, Repr::Inline { .. });
+        (
+            SmallFn {
+                repr,
+                _marker: PhantomData,
+            },
+            inlined,
+        )
+    }
+
+    /// Invokes the closure, consuming the wrapper.
+    pub(crate) fn call(self) {
+        // Move the repr out without running our Drop (which would drop the
+        // closure a second time).
+        let repr = unsafe { std::ptr::read(&self.repr) };
+        mem::forget(self);
+        match repr {
+            Repr::Inline { mut data, call, .. } => {
+                // `call` reads the closure onto the callee's stack before
+                // running user code, so a panic unwinds cleanly: the stack
+                // copy is dropped by unwinding and `data` holds nothing.
+                unsafe { call(data.as_mut_ptr() as *mut u8) }
+            }
+            Repr::Boxed(f) => f(),
+        }
+    }
+}
+
+impl Drop for SmallFn {
+    fn drop(&mut self) {
+        // Never called: release the capture. The Boxed variant drops
+        // naturally through the enum; inline storage needs the erased drop.
+        if let Repr::Inline {
+            data,
+            drop_in_place,
+            ..
+        } = &mut self.repr
+        {
+            unsafe { drop_in_place(data.as_mut_ptr() as *mut u8) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn small_capture_is_inlined_and_runs() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let (f, inlined) = SmallFn::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(inlined);
+        f.call();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn oversized_capture_falls_back_to_box() {
+        let big = [7u8; SMALL_FN_BYTES + 1];
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let (f, inlined) = SmallFn::new(move || {
+            h.fetch_add(big[0] as usize, Ordering::SeqCst);
+        });
+        assert!(!inlined);
+        f.call();
+        assert_eq!(hits.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn dropping_uncalled_releases_capture() {
+        let payload = Arc::new(());
+        let p = Arc::clone(&payload);
+        let (f, inlined) = SmallFn::new(move || {
+            let _keep = &p;
+        });
+        assert!(inlined);
+        drop(f);
+        assert_eq!(Arc::strong_count(&payload), 1, "capture must be dropped");
+
+        let p2 = Arc::clone(&payload);
+        let big = [0u8; SMALL_FN_BYTES + 1];
+        let (f, inlined) = SmallFn::new(move || {
+            let _keep = (&p2, &big);
+        });
+        assert!(!inlined);
+        drop(f);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn panic_in_inline_closure_unwinds_cleanly() {
+        let payload = Arc::new(());
+        let p = Arc::clone(&payload);
+        let (f, inlined) = SmallFn::new(move || {
+            let _keep = &p;
+            panic!("boom");
+        });
+        assert!(inlined);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.call()));
+        assert!(err.is_err());
+        assert_eq!(
+            Arc::strong_count(&payload),
+            1,
+            "unwinding must drop the capture exactly once"
+        );
+    }
+}

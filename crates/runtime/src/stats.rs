@@ -40,6 +40,14 @@ struct StatShard {
     wake_signals_sent: AtomicU64,
     wakes_skipped: AtomicU64,
     task_panics: AtomicU64,
+    tasks_inline: AtomicU64,
+    slab_hits: AtomicU64,
+    slab_misses: AtomicU64,
+    splits_elided: AtomicU64,
+    /// Tasks made visible to other workers (deque push, injector push,
+    /// batch-steal banking). The cross-shard sum is the *publish epoch* the
+    /// pre-park check compares against; see `Scheduler::maybe_has_work`.
+    tasks_published: AtomicU64,
 }
 
 /// Scheduler-level counters: one padded shard per worker plus one trailing
@@ -103,6 +111,52 @@ impl SchedStats {
     pub(crate) fn task_panic(&self, shard: usize) {
         bump!(self.shard(shard).task_panics);
     }
+    pub(crate) fn task_inline(&self, shard: usize, recycled: bool) {
+        let s = self.shard(shard);
+        bump!(s.tasks_inline);
+        if recycled {
+            bump!(s.slab_hits);
+        } else {
+            bump!(s.slab_misses);
+        }
+    }
+    /// Attributes a spawn's body storage: slab (hit or miss) counts as
+    /// inline, boxed bodies count nothing here (`tasks_executed` covers
+    /// volume; the gap `tasks_executed - tasks_inline` is the boxed share).
+    pub(crate) fn task_body(&self, shard: usize, kind: crate::task::BodyKind) {
+        match kind {
+            crate::task::BodyKind::SlabHit => self.task_inline(shard, true),
+            crate::task::BodyKind::SlabMiss => self.task_inline(shard, false),
+            crate::task::BodyKind::Boxed => {}
+        }
+    }
+    /// Batched: one RMW for a whole `split_run` frame's elisions.
+    pub(crate) fn splits_elided_n(&self, shard: usize, n: u64) {
+        self.shard(shard)
+            .splits_elided
+            .fetch_add(n, Ordering::Relaxed);
+    }
+    /// Records one task publication. Release, not relaxed: a parking worker
+    /// whose Acquire epoch read observes this bump must also observe the
+    /// queue push sequenced before it (see `Scheduler::maybe_has_work`).
+    /// Same `lock xadd` as relaxed on x86.
+    pub(crate) fn published(&self, shard: usize) {
+        self.shard(shard)
+            .tasks_published
+            .fetch_add(1, Ordering::Release);
+    }
+
+    /// The publish epoch: total tasks ever made visible to other workers.
+    /// Monotonic; a change between two reads means *something* was published
+    /// in between, and (Acquire pairing with the Release bump) the publishing
+    /// push itself is visible to the reader. Cold path only — workers read it
+    /// once per failed search, never per task.
+    pub(crate) fn publish_epoch(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.tasks_published.load(Ordering::Acquire))
+            .sum()
+    }
 
     /// A point-in-time copy of all counters, aggregated across shards.
     pub fn snapshot(&self) -> SchedStatsSnapshot {
@@ -119,7 +173,14 @@ impl SchedStats {
             snap.wake_signals_sent += s.wake_signals_sent.load(Ordering::Relaxed);
             snap.wakes_skipped += s.wakes_skipped.load(Ordering::Relaxed);
             snap.task_panics += s.task_panics.load(Ordering::Relaxed);
+            snap.tasks_inline += s.tasks_inline.load(Ordering::Relaxed);
+            snap.slab_hits += s.slab_hits.load(Ordering::Relaxed);
+            snap.slab_misses += s.slab_misses.load(Ordering::Relaxed);
+            snap.splits_elided += s.splits_elided.load(Ordering::Relaxed);
         }
+        // Process-global (promises are not bound to a runtime); monotonic, so
+        // `diff` attributes it to a measured region like the sharded counts.
+        snap.promise_inline_waiters = crate::promise::inline_waiters_total();
         snap
     }
 }
@@ -149,6 +210,17 @@ pub struct SchedStatsSnapshot {
     pub wakes_skipped: u64,
     /// Tasks whose body panicked (the panic poisons the enclosing scope).
     pub task_panics: u64,
+    /// Tasks whose closure was stored inline in a slab slot (no box).
+    pub tasks_inline: u64,
+    /// Inline tasks whose slot came off a free list (no allocation at all).
+    pub slab_hits: u64,
+    /// Inline tasks that had to allocate a fresh slot (it will recycle).
+    pub slab_misses: u64,
+    /// forasync splits skipped because every worker was already busy.
+    pub splits_elided: u64,
+    /// Promise continuations stored in the inline slot (process-global:
+    /// promises are not bound to a runtime instance).
+    pub promise_inline_waiters: u64,
 }
 
 impl SchedStatsSnapshot {
@@ -190,6 +262,13 @@ impl SchedStatsSnapshot {
                 .saturating_sub(earlier.wake_signals_sent),
             wakes_skipped: self.wakes_skipped.saturating_sub(earlier.wakes_skipped),
             task_panics: self.task_panics.saturating_sub(earlier.task_panics),
+            tasks_inline: self.tasks_inline.saturating_sub(earlier.tasks_inline),
+            slab_hits: self.slab_hits.saturating_sub(earlier.slab_hits),
+            slab_misses: self.slab_misses.saturating_sub(earlier.slab_misses),
+            splits_elided: self.splits_elided.saturating_sub(earlier.splits_elided),
+            promise_inline_waiters: self
+                .promise_inline_waiters
+                .saturating_sub(earlier.promise_inline_waiters),
         }
     }
 }
@@ -199,7 +278,8 @@ impl fmt::Display for SchedStatsSnapshot {
         write!(
             f,
             "tasks={} pops={} steals={} batch_steals={} injector={} parks={} helped={} \
-             wakes_sent={} wakes_skipped={} panics={} steals/task={:.3} wake_eff={:.3}",
+             wakes_sent={} wakes_skipped={} panics={} inline={} slab_hits={} slab_misses={} \
+             splits_elided={} promise_inline={} steals/task={:.3} wake_eff={:.3}",
             self.tasks_executed,
             self.pops,
             self.steals,
@@ -210,6 +290,11 @@ impl fmt::Display for SchedStatsSnapshot {
             self.wake_signals_sent,
             self.wakes_skipped,
             self.task_panics,
+            self.tasks_inline,
+            self.slab_hits,
+            self.slab_misses,
+            self.splits_elided,
+            self.promise_inline_waiters,
             self.steals_per_task(),
             self.wake_efficiency()
         )
@@ -347,6 +432,11 @@ mod tests {
         s.wake_sent(0);
         s.wake_skipped(s.external_shard());
         s.task_panic(0);
+        s.task_inline(0, true);
+        s.task_inline(1, false);
+        s.splits_elided_n(0, 1);
+        s.published(0);
+        s.published(s.external_shard());
         let snap = s.snapshot();
         assert_eq!(snap.tasks_executed, 2);
         assert_eq!(snap.pops, 1);
@@ -358,12 +448,33 @@ mod tests {
         assert_eq!(snap.wake_signals_sent, 1);
         assert_eq!(snap.wakes_skipped, 1);
         assert_eq!(snap.task_panics, 1);
+        assert_eq!(snap.tasks_inline, 2);
+        assert_eq!(snap.slab_hits, 1);
+        assert_eq!(snap.slab_misses, 1);
+        assert_eq!(snap.splits_elided, 1);
+        assert_eq!(s.publish_epoch(), 2);
         let shown = snap.to_string();
         assert!(shown.contains("tasks=2"));
         assert!(shown.contains("batch_steals=1"));
         assert!(shown.contains("wakes_sent=1"));
         assert!(shown.contains("wakes_skipped=1"));
         assert!(shown.contains("panics=1"));
+        assert!(shown.contains("inline=2"));
+        assert!(shown.contains("slab_hits=1"));
+        assert!(shown.contains("splits_elided=1"));
+    }
+
+    #[test]
+    fn diff_covers_allocation_counters() {
+        let s = SchedStats::new(1);
+        let before = s.snapshot();
+        s.task_inline(0, true);
+        s.splits_elided_n(0, 1);
+        let d = s.snapshot().diff(&before);
+        assert_eq!(d.tasks_inline, 1);
+        assert_eq!(d.slab_hits, 1);
+        assert_eq!(d.slab_misses, 0);
+        assert_eq!(d.splits_elided, 1);
     }
 
     #[test]

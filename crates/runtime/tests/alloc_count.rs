@@ -1,0 +1,131 @@
+//! Allocation-count regression tests for the lean spawn path.
+//!
+//! A counting `#[global_allocator]` (test-binary-only; integration tests are
+//! separate binaries, so nothing else inherits it) pins the two allocation
+//! properties the slab/inline work bought:
+//!
+//! 1. A satisfied single-waiter promise round-trip allocates at most the
+//!    promise's own `Arc` — the continuation rides the inline slot, the
+//!    outcome is stored in-place, and no waiter list is ever built.
+//! 2. A steady-state `forasync` over N iterations performs O(tasks actually
+//!    published) allocations, not O(N): elided splits must not leave
+//!    per-iteration garbage behind.
+//!
+//! Everything runs in ONE `#[test]` so the harness cannot interleave another
+//! test's allocations into a measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use hiper_platform::autogen;
+use hiper_runtime::{Promise, Runtime};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed side effect.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTING: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One promise round-trip with a single inline continuation.
+fn promise_round_trip() {
+    static HITS: AtomicUsize = AtomicUsize::new(0);
+    let seen = HITS.load(Ordering::SeqCst);
+    let p = Promise::<u32>::new();
+    let fut = p.future();
+    fut.on_ready(|| {
+        HITS.fetch_add(1, Ordering::SeqCst);
+    });
+    p.put(9);
+    assert_eq!(fut.get(), 9);
+    assert_eq!(HITS.load(Ordering::SeqCst), seen + 1);
+}
+
+#[test]
+fn spawn_path_allocation_budget() {
+    // ---- Part 1: single-waiter promise, measured before any Runtime ----
+    // exists, so no worker thread can pollute the window. Warm once to get
+    // lazy statics (panic machinery, etc.) out of the measurement.
+    promise_round_trip();
+    let before = allocs();
+    promise_round_trip();
+    let per_round_trip = allocs() - before;
+    assert!(
+        per_round_trip <= 1,
+        "single-waiter promise round-trip made {} allocations; \
+         the budget is 1 (the promise's Arc)",
+        per_round_trip
+    );
+
+    // ---- Part 2: steady-state forasync is O(published tasks), not O(N) ----
+    let rt = Runtime::new(autogen::smp(2));
+    let n = 20_000usize;
+
+    // Warm-up pass: worker TLS, slab free-lists, deque growth, trace lazy
+    // init — all the one-time costs the steady state should not pay again.
+    rt.block_on({
+        let rt = rt.clone();
+        move || {
+            rt.forasync_1d(n, 1, |i| {
+                std::hint::black_box(i);
+            })
+        }
+    });
+
+    let stats_before = rt.sched_stats();
+    let allocs_before = allocs();
+    rt.block_on({
+        let rt = rt.clone();
+        move || {
+            rt.forasync_1d(n, 1, |i| {
+                std::hint::black_box(i);
+            })
+        }
+    });
+    let allocs_delta = allocs() - allocs_before;
+    let stats = rt.sched_stats().diff(&stats_before);
+    rt.shutdown();
+
+    let published = stats.tasks_executed.max(1);
+    // Generous per-task budget (task body, latch/promise Arcs, closure Arc
+    // clones, deque slot) plus a fixed overhead allowance for the block_on
+    // round-trip itself. The point is the asymptotics: with grain 1 an
+    // eager-splitting runtime would be >= N allocations here.
+    let budget = published * 24 + 256;
+    assert!(
+        allocs_delta <= budget,
+        "steady-state forasync({}, grain=1) made {} allocations for {} published \
+         tasks (budget {}): allocations are scaling with N, not with tasks",
+        n,
+        allocs_delta,
+        published,
+        budget
+    );
+    assert!(
+        (allocs_delta as usize) < n / 4,
+        "steady-state forasync({}, grain=1) made {} allocations — O(N) regression",
+        n,
+        allocs_delta
+    );
+}

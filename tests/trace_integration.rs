@@ -18,10 +18,17 @@ fn traced_run_produces_valid_chrome_json() {
     let mut session = hiper::trace::TraceSession::start(&path);
     session.report = false;
 
-    // Local forasync workload on a 2-worker runtime.
+    // Local task + forasync workload on a 2-worker runtime. The explicit
+    // spawns pin the task-span count: forasync splits adaptively (it only
+    // publishes tasks when a worker is idle), so its span count varies.
     let rt = Runtime::new(hiper::platform::autogen::smp(2));
     rt.block_on(|| {
         finish(|| {
+            for _ in 0..64 {
+                async_(|| {
+                    std::hint::black_box(0);
+                });
+            }
             forasync_1d(10_000, 256, |i| {
                 std::hint::black_box(i);
             });
