@@ -13,7 +13,13 @@
 //! * task lifecycle correlation: every `task` begin span carries a task id
 //!   that some `spawn` instant announced — an orphan begin means spawn
 //!   events were lost (or the exporter broke attribution). Orphans are an
-//!   error on a lossless trace and reported counts on a lossy one.
+//!   error on a lossless trace and reported counts on a lossy one;
+//! * causal message edges: every `msg_deliver` instant names a message id
+//!   some `msg_send` announced with the same src/dst link (orphans are an
+//!   error on a lossless trace), no message id is sent twice, and each
+//!   delivery lands no earlier than its send plus the modeled delay the
+//!   paired `NetSend` span advertised (`delay_ns` arg, matched by link and
+//!   shared timestamp) — jitter and FIFO clamping may only postpone it.
 //!
 //! ```text
 //! cargo run --release -p hiper-bench --bin trace_check -- out.json
@@ -47,6 +53,94 @@ impl TaskDag {
     }
 }
 
+/// One `msg_send` endpoint, keyed by message id.
+struct MsgSendEv {
+    ts: f64,
+    src: u64,
+    dst: u64,
+}
+
+/// Causal message-edge correlation across the whole trace.
+#[derive(Default)]
+struct MsgEdges {
+    /// `msg_send` instants by message id.
+    sends: BTreeMap<u64, MsgSendEv>,
+    /// `msg_deliver` instants: (message id, ts, src, dst).
+    delivers: Vec<(u64, f64, u64, u64)>,
+    /// Modeled one-way delay (us) per `NetSend`, keyed by (src, dst,
+    /// ts bit pattern) — the causal `msg_send` shares the timestamp.
+    net_delays: BTreeMap<(u64, u64, u64), f64>,
+    /// Delivers whose send is missing.
+    orphan_delivers: u64,
+}
+
+/// Timestamp slack (us) for the modeled-delay check: export renders
+/// microseconds from nanosecond stamps, so allow sub-us rounding.
+const TS_SLACK_US: f64 = 0.002;
+
+impl MsgEdges {
+    /// Cross-checks delivers against sends and the modeled wire delay;
+    /// `lossy` relaxes orphan delivers (their sends wrapped out of the
+    /// ring) but never the delay or link invariants.
+    fn validate(&mut self, lossy: bool, errors: &mut Vec<String>) {
+        for &(id, ts, src, dst) in &self.delivers {
+            let send = match self.sends.get(&id) {
+                Some(s) => s,
+                None => {
+                    self.orphan_delivers += 1;
+                    if !lossy {
+                        fail(
+                            errors,
+                            format!(
+                                "msg_deliver {} ({}->{}) has no matching msg_send \
+                                 on a lossless trace",
+                                id, src, dst
+                            ),
+                        );
+                    }
+                    continue;
+                }
+            };
+            if (send.src, send.dst) != (src, dst) {
+                fail(
+                    errors,
+                    format!(
+                        "msg {} delivered on link {}->{} but sent on {}->{}",
+                        id, src, dst, send.src, send.dst
+                    ),
+                );
+            }
+            if ts + TS_SLACK_US < send.ts {
+                fail(
+                    errors,
+                    format!(
+                        "msg {} delivered at {} us before its send at {} us",
+                        id, ts, send.ts
+                    ),
+                );
+            }
+            // The paired NetSend (same link, same stamp) advertises the
+            // modeled delay; jitter and FIFO ordering only postpone
+            // delivery beyond it, never hasten it.
+            if let Some(delay) = self
+                .net_delays
+                .get(&(send.src, send.dst, send.ts.to_bits()))
+            {
+                if ts + TS_SLACK_US < send.ts + delay {
+                    fail(
+                        errors,
+                        format!(
+                            "msg {} delivered at {} us, earlier than send {} us + \
+                             modeled delay {} us",
+                            id, ts, send.ts, delay
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
 struct Track {
     last_ts: f64,
     /// Open B spans (names), in nesting order.
@@ -75,17 +169,22 @@ fn fail(errors: &mut Vec<String>, msg: String) {
     }
 }
 
+/// Everything `check` learns: per-track summary, task-DAG correlation,
+/// message-edge correlation, and accumulated errors.
+type CheckReport = (BTreeMap<(u64, u64), Track>, TaskDag, MsgEdges, Vec<String>);
+
 /// Validates the parsed document; returns (per-track summary, task-DAG
-/// correlation, errors).
-fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, TaskDag, Vec<String>) {
+/// correlation, message-edge correlation, errors).
+fn check(doc: &Json) -> CheckReport {
     let mut errors = Vec::new();
     let mut tracks: BTreeMap<(u64, u64), Track> = BTreeMap::new();
     let mut dag = TaskDag::default();
+    let mut edges = MsgEdges::default();
     let events = match doc.get("traceEvents").and_then(Json::as_array) {
         Some(a) => a,
         None => {
             fail(&mut errors, "no traceEvents array".into());
-            return (tracks, dag, errors);
+            return (tracks, dag, edges, errors);
         }
     };
     for (i, ev) in events.iter().enumerate() {
@@ -146,6 +245,39 @@ fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, TaskDag, Vec<String>) {
                 dag.begun.insert(task);
             }
         }
+        let num_arg = |key: &str| {
+            ev.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(Json::as_f64)
+        };
+        if name == "msg_send" || name == "msg_deliver" {
+            match (num_arg("msg"), num_arg("src"), num_arg("dst")) {
+                (Some(id), Some(src), Some(dst)) => {
+                    let (id, src, dst) = (id as u64, src as u64, dst as u64);
+                    if name == "msg_send" {
+                        if edges.sends.insert(id, MsgSendEv { ts, src, dst }).is_some() {
+                            fail(&mut errors, format!("msg id {} sent twice", id));
+                        }
+                    } else {
+                        edges.delivers.push((id, ts, src, dst));
+                    }
+                }
+                _ => fail(
+                    &mut errors,
+                    format!("event {} ({}) lacks msg/src/dst args", i, name),
+                ),
+            }
+        } else if ph == 'X' {
+            // NetSend wire span: remember its modeled delay so delivers
+            // can be checked against send + delay.
+            if let (Some(src), Some(dst), Some(delay)) =
+                (num_arg("src"), num_arg("dst"), num_arg("delay_ns"))
+            {
+                edges
+                    .net_delays
+                    .insert((src as u64, dst as u64, ts.to_bits()), delay / 1000.0);
+            }
+        }
         match ph {
             'B' => track.stack.push(name),
             'E' => match track.stack.pop() {
@@ -188,6 +320,7 @@ fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, TaskDag, Vec<String>) {
             );
         }
     }
+    edges.validate(tracks.values().any(|t| t.lossy), &mut errors);
     let orphans = dag.orphan_begins();
     if !orphans.is_empty() && !tracks.values().any(|t| t.lossy) {
         let sample: Vec<String> = orphans.iter().take(5).map(|t| t.to_string()).collect();
@@ -201,7 +334,7 @@ fn check(doc: &Json) -> (BTreeMap<(u64, u64), Track>, TaskDag, Vec<String>) {
             ),
         );
     }
-    (tracks, dag, errors)
+    (tracks, dag, edges, errors)
 }
 
 fn main() {
@@ -226,7 +359,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (tracks, dag, errors) = check(&doc);
+    let (tracks, dag, edges, errors) = check(&doc);
     let events: u64 = tracks.values().map(|t| t.events).sum();
     let spans: u64 = tracks.values().map(|t| t.spans).sum();
     println!(
@@ -242,6 +375,12 @@ fn main() {
         dag.begun.len(),
         dag.orphan_begins().len(),
         dag.unbegun_spawns()
+    );
+    println!(
+        "  msg edges: {} sent, {} delivered, {} orphan deliver(s)",
+        edges.sends.len(),
+        edges.delivers.len(),
+        edges.orphan_delivers
     );
     for ((pid, tid), t) in &tracks {
         println!(

@@ -13,10 +13,8 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use hiper_platform::json::Json;
+use hiper_trace::chrome::{NETSIM_PID, RANK_PID_BASE};
 use hiper_trace::{EventKind, TraceData, TraceEvent};
-
-const RUNTIME_PID: u64 = 1;
-const NETSIM_PID: u64 = 2;
 
 struct TrackBuilder {
     label: String,
@@ -92,7 +90,7 @@ pub fn parse_chrome_trace(text: &str) -> Result<TraceData, String> {
         let arg = |k: &str| num(args.and_then(|a| a.get(k)));
 
         if ph == "M" {
-            if name == "thread_name" && pid == RUNTIME_PID {
+            if name == "thread_name" && pid != NETSIM_PID {
                 if let Some(label) = args.and_then(|a| a.get("name")).and_then(Json::as_str) {
                     track(&mut tracks, pid, tid).label = label.to_string();
                 }
@@ -162,6 +160,26 @@ pub fn parse_chrome_trace(text: &str) -> Result<TraceData, String> {
                         arg("attempt"),
                     );
                 }
+                ("msg_send", _) => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(
+                        t,
+                        EventKind::MsgSend,
+                        arg("span"),
+                        link_word(arg("src"), arg("dst")),
+                        arg("msg"),
+                    );
+                }
+                ("msg_deliver", _) => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(
+                        t,
+                        EventKind::MsgDeliver,
+                        arg("span"),
+                        link_word(arg("src"), arg("dst")),
+                        arg("msg"),
+                    );
+                }
                 _ => {}
             }
             continue;
@@ -206,11 +224,19 @@ pub fn parse_chrome_trace(text: &str) -> Result<TraceData, String> {
 
     Ok(TraceData {
         tracks: tracks
-            .into_values()
-            .map(|t| hiper_trace::TrackData {
+            .into_iter()
+            .map(|((pid, _tid), t)| hiper_trace::TrackData {
                 label: t.label,
                 events: t.events,
                 dropped: t.dropped,
+                // Ranked runtime tracks were exported at pid 10+rank;
+                // recover the tag so the distributed critical-path walk
+                // works on re-loaded traces too.
+                rank: if pid >= RANK_PID_BASE {
+                    Some((pid - RANK_PID_BASE) as usize)
+                } else {
+                    None
+                },
             })
             .collect(),
     })
@@ -244,6 +270,7 @@ mod tests {
                     e(9_000, EventKind::TaskEnd, 7, 0, 0),
                 ],
                 dropped: 4,
+                rank: None,
             }],
         };
         let json = chrome_trace_json(&original);
@@ -281,6 +308,7 @@ mod tests {
                     e(1_000, EventKind::NetSend, (2 << 32) | 5, 128, 40_000),
                 ],
                 dropped: 0,
+                rank: None,
             }],
         };
         let json = chrome_trace_json(&original);
@@ -303,6 +331,56 @@ mod tests {
         assert_eq!(send.kind, EventKind::NetSend);
         assert_eq!((send.a >> 32, send.a & 0xffff_ffff), (2, 5));
         assert_eq!((send.b, send.c), (128, 40_000));
+    }
+
+    #[test]
+    fn roundtrips_ranked_tracks_and_msg_edges() {
+        let original = TraceData {
+            tracks: vec![
+                TrackData {
+                    label: "hiper-worker-0".into(),
+                    events: vec![
+                        e(1_000, EventKind::TaskBegin, 7, 0, 0),
+                        e(2_000, EventKind::TaskEnd, 7, 0, 0),
+                    ],
+                    dropped: 0,
+                    rank: Some(1),
+                },
+                TrackData {
+                    label: "netsim-engine".into(),
+                    events: vec![
+                        e(1_200, EventKind::MsgSend, 7, 1 << 32, 99),
+                        e(1_700, EventKind::MsgDeliver, 7, 1 << 32, 99),
+                    ],
+                    dropped: 0,
+                    rank: None,
+                },
+            ],
+        };
+        let json = chrome_trace_json(&original);
+        assert!(json.contains("rank 1 runtime"), "ranked process meta");
+        let loaded = parse_chrome_trace(&json).unwrap();
+        let ranked = loaded
+            .tracks
+            .iter()
+            .find(|t| t.label == "hiper-worker-0")
+            .expect("ranked worker track survives");
+        assert_eq!(ranked.rank, Some(1), "rank recovered from pid");
+        let send = loaded
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .find(|ev| ev.kind == EventKind::MsgSend)
+            .expect("msg_send survives");
+        assert_eq!((send.a, send.b, send.c), (7, 1 << 32, 99));
+        let deliver = loaded
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .find(|ev| ev.kind == EventKind::MsgDeliver)
+            .expect("msg_deliver survives");
+        assert_eq!((deliver.a, deliver.b, deliver.c), (7, 1 << 32, 99));
+        assert_eq!(deliver.ts_ns, 1_700);
     }
 
     #[test]

@@ -471,9 +471,9 @@ pub fn module_op(module: &'static str, op: &'static str) -> &'static OpMetrics {
         return m;
     }
     let labels = if op.is_empty() {
-        format!("module=\"{}\"", module)
+        label_pair("module", module)
     } else {
-        format!("module=\"{}\",op=\"{}\"", module, op)
+        format!("{},{}", label_pair("module", module), label_pair("op", op))
     };
     let m: &'static OpMetrics = Box::leak(Box::new(OpMetrics {
         latency_ns: histogram_labeled("hiper_module_op_latency_ns", labels.clone()),
@@ -487,6 +487,59 @@ pub fn module_op(module: &'static str, op: &'static str) -> &'static OpMetrics {
 // OpenMetrics exposition
 // ---------------------------------------------------------------------
 
+/// Escapes a label value per the Prometheus/OpenMetrics text format:
+/// backslash, double quote, and newline must be backslash-escaped.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Renders one `key="value"` label pair with the value escaped. Callers
+/// building pre-rendered label strings for [`counter_labeled`] /
+/// [`histogram_labeled`] should compose them from this (joined with `,`)
+/// so the exposition stays parseable whatever the values contain.
+pub fn label_pair(key: &str, value: &str) -> String {
+    format!("{}=\"{}\"", key, escape_label_value(value))
+}
+
+/// Escapes `# HELP` text: only backslash and newline are special there.
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Help text for the metrics hiper itself registers. Names outside the
+/// table get a generic line so every family still carries `# HELP`.
+fn help_for(name: &str) -> &'static str {
+    match name {
+        "hiper_module_op_latency_ns" => "Latency of pluggable-module operations, in nanoseconds.",
+        "hiper_module_op_bytes_total" => "Payload bytes moved by pluggable-module operations.",
+        "hiper_reliable_retransmits_total" => {
+            "Frames retransmitted by the reliable transport after ack timeout."
+        }
+        "hiper_netsim_in_flight" => "Messages currently in flight on the simulated interconnect.",
+        "hiper_spans_active" => "Traced task spans currently executing across all runtimes.",
+        "hiper_watchdog_stalls_detected" => "No-global-progress stalls the watchdog has detected.",
+        "hiper_bench_record_cost_ns" => "Cost of one histogram record call, in nanoseconds.",
+        _ => "No description registered.",
+    }
+}
+
 fn labelled(name: &str, labels: &str, extra: &str) -> String {
     match (labels.is_empty(), extra.is_empty()) {
         (true, true) => name.to_string(),
@@ -497,9 +550,10 @@ fn labelled(name: &str, labels: &str, extra: &str) -> String {
 }
 
 /// Renders every registered metric in the Prometheus/OpenMetrics text
-/// format: counters and gauges as single samples, histograms as cumulative
-/// `_bucket{le=...}` series (powers of two, up to the highest non-empty
-/// bucket) plus `_sum` and `_count`.
+/// format: a `# HELP`/`# TYPE` header per family, counters and gauges as
+/// single samples, histograms as cumulative `_bucket{le=...}` series
+/// (powers of two, up to the highest non-empty bucket) plus `_sum` and
+/// `_count`.
 pub fn dump_openmetrics() -> String {
     let entries = registry().entries.read();
     // Stable output: sort by (name, labels) without disturbing the registry.
@@ -517,6 +571,11 @@ pub fn dump_openmetrics() -> String {
                 MetricKind::Gauge(_) => "gauge",
                 MetricKind::Histogram(_) => "histogram",
             };
+            out.push_str(&format!(
+                "# HELP {} {}\n",
+                e.name,
+                escape_help(help_for(e.name))
+            ));
             out.push_str(&format!("# TYPE {} {}\n", e.name, kind));
             last_name = e.name;
         }
@@ -763,6 +822,7 @@ mod tests {
         gauge("test_dump_depth").set(7);
         histogram("test_dump_ns").record(100);
         let dump = dump_openmetrics();
+        assert!(dump.contains("# HELP test_dump_total "));
         assert!(dump.contains("# TYPE test_dump_total counter"));
         assert!(dump.contains("test_dump_total "));
         assert!(dump.contains("# TYPE test_dump_depth gauge"));
@@ -772,6 +832,30 @@ mod tests {
         assert!(dump.contains("test_dump_ns_bucket{le=\"+Inf\"} 1"));
         assert!(dump.contains("test_dump_ns_sum 100"));
         assert!(dump.contains("test_dump_ns_count 1"));
+        // Every # TYPE line is preceded by a # HELP line for its family.
+        let lines: Vec<&str> = dump.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split(' ').next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {} ", family)),
+                    "no HELP before {:?}",
+                    line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let c = counter_labeled("test_escape_total", label_pair("path", "a\\b\"c\nd"));
+        c.add(1);
+        let dump = dump_openmetrics();
+        assert!(
+            dump.contains("test_escape_total{path=\"a\\\\b\\\"c\\nd\"} "),
+            "escaped label missing in: {}",
+            dump
+        );
     }
 
     #[test]

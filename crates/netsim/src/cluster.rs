@@ -29,14 +29,23 @@ impl Transport {
         self.engine.ranks()
     }
 
-    /// Sends an active message to `dst`.
+    /// Sends an active message to `dst`. The causal parent span is taken
+    /// from the calling thread's current traced task (0 when untraced).
     pub fn send(&self, dst: Rank, channel: Channel, tag: u64, payload: Bytes) {
+        self.send_span(dst, channel, tag, payload, hiper_trace::current_task());
+    }
+
+    /// Sends an active message with an explicit causal parent span —
+    /// reliable transports use this so retransmits carry the span captured
+    /// at the *logical* send.
+    pub fn send_span(&self, dst: Rank, channel: Channel, tag: u64, payload: Bytes, span: u64) {
         self.engine.send(Message {
             src: self.rank,
             dst,
             channel,
             tag,
             payload,
+            span,
         });
     }
 
@@ -215,6 +224,10 @@ impl SpmdBuilder {
                 std::thread::Builder::new()
                     .name(format!("hiper-rank-{}", rank))
                     .spawn(move || {
+                        // Tag the rank-main thread (and, transitively, the
+                        // workers its runtime spawns) with the simulated
+                        // rank so trace tracks can be attributed per rank.
+                        hiper_trace::set_ambient_rank(rank);
                         let (modules, state) = setup(rank, transport.clone());
                         let mut builder = RuntimeBuilder::new(platform(rank));
                         for m in modules {

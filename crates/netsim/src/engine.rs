@@ -26,6 +26,10 @@ fn link_word(src: Rank, dst: Rank) -> u64 {
     ((src as u64) << 32) | dst as u64
 }
 
+/// Globally unique message-id allocator for `MsgSend`/`MsgDeliver` causal
+/// edges (shared across engines so ids never collide within one trace).
+static NEXT_MSG_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Cached handle to the in-flight-messages gauge (queue depth of the timed
 /// delivery heap; the peak value is the high-water mark of the run).
 fn in_flight_gauge() -> &'static hiper_metrics::Gauge {
@@ -150,6 +154,9 @@ struct InFlight {
     /// Delivery deadline, ns on the shared trace clock.
     due: u64,
     seq: u64,
+    /// Causal-edge message id (shared by fault-injected duplicate copies:
+    /// both delivers refer to the same logical `MsgSend`). 0 = untraced.
+    msg_id: u64,
     msg: Message,
 }
 
@@ -273,16 +280,35 @@ impl DeliveryEngine {
             .bytes
             .fetch_add(msg.wire_bytes() as u64, Ordering::Relaxed);
         let delay_ns = delay.as_nanos() as u64;
-        if hiper_trace::enabled() {
-            hiper_trace::emit(
+        // One clock read serves the trace emissions and the due-time
+        // computation, so the exported timeline satisfies
+        // `deliver ts = send ts + modeled delay (+ jitter/FIFO clamp)`
+        // exactly, and the `MsgSend` causal edge shares the `NetSend`
+        // timestamp (trace_check pairs them on it).
+        let now = clock::now_ns();
+        let traced = hiper_trace::enabled();
+        let msg_id = if traced {
+            NEXT_MSG_ID.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        if traced {
+            hiper_trace::emit_at(
+                now,
                 EventKind::NetSend,
                 link_word(msg.src, msg.dst),
                 msg.wire_bytes() as u64,
                 delay_ns,
             );
+            hiper_trace::emit_at(
+                now,
+                EventKind::MsgSend,
+                msg.span,
+                link_word(msg.src, msg.dst),
+                msg_id,
+            );
         }
         let mut st = self.state.lock();
-        let now = clock::now_ns();
         let pair = (msg.src, msg.dst);
 
         // Fault injection: the fate of the link_seq-th message on this link
@@ -329,6 +355,7 @@ impl DeliveryEngine {
             let entry = InFlight {
                 due: now + delay_ns + decision.dup_jitter_ns,
                 seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                msg_id,
                 msg: msg.clone(),
             };
             st.queue.push(Reverse(entry));
@@ -336,6 +363,7 @@ impl DeliveryEngine {
         let entry = InFlight {
             due,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            msg_id,
             msg,
         };
         st.queue.push(Reverse(entry));
@@ -391,7 +419,7 @@ impl DeliveryEngine {
                             }
                             let idx = entry.msg.dst * 256 + entry.msg.channel.0 as usize;
                             let handler = st.handlers[idx].clone();
-                            break Some((entry.msg, handler));
+                            break Some((entry.msg, handler, entry.due, entry.msg_id));
                         }
                         Some(Reverse(head)) => {
                             let wait = Duration::from_nanos(head.due - now);
@@ -405,22 +433,42 @@ impl DeliveryEngine {
             };
             // Phase 2: run the handler outside the lock so handlers may
             // re-enter send().
-            if let Some((msg, handler)) = delivery {
+            if let Some((msg, handler, due, msg_id)) = delivery {
                 match handler {
                     Some(h) => {
                         if hiper_trace::enabled() {
-                            hiper_trace::emit(
+                            // Stamped at the modeled due time (the engine
+                            // drains at due + scheduling lateness; the
+                            // *timeline* delivery is `due`). The exporter
+                            // re-sorts globally, so the out-of-emit-order
+                            // timestamp is harmless.
+                            hiper_trace::emit_at(
+                                due,
                                 EventKind::NetDeliver,
                                 link_word(msg.src, msg.dst),
                                 msg.wire_bytes() as u64,
                                 0,
                             );
+                            hiper_trace::emit_at(
+                                due,
+                                EventKind::MsgDeliver,
+                                msg.span,
+                                link_word(msg.src, msg.dst),
+                                msg_id,
+                            );
                         }
                         // A panicking handler must not kill the delivery
                         // engine: the whole cluster would silently hang.
                         let info = (msg.src, msg.dst, msg.channel, msg.tag, msg.wire_bytes());
+                        // Run the handler under the sender's span so any
+                        // send or task spawn it performs (echo replies,
+                        // SHMEM get/amo replies, acks) inherits the remote
+                        // causal parent.
+                        let span = msg.span;
+                        let prev_span = hiper_trace::set_current_task(span);
                         let result =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h(msg)));
+                        hiper_trace::set_current_task(prev_span);
                         if result.is_err() {
                             let (src, dst, channel, tag, wire) = info;
                             self.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
@@ -447,6 +495,7 @@ impl DeliveryEngine {
                         let entry = InFlight {
                             due: clock::now_ns() + 200_000,
                             seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                            msg_id,
                             msg,
                         };
                         let mut st = self.state.lock();
@@ -481,6 +530,7 @@ mod tests {
             channel: Channel::APP,
             tag,
             payload: Bytes::from(vec![0u8; len]),
+            span: 0,
         }
     }
 
@@ -637,6 +687,7 @@ mod tests {
                         channel: Channel::APP,
                         tag: m.tag + 1,
                         payload: m.payload,
+                        span: m.span,
                     });
                 }),
             );

@@ -35,6 +35,12 @@ pub struct Message {
     pub tag: u64,
     /// Payload bytes. `Bytes` keeps clones cheap on the delivery path.
     pub payload: Bytes,
+    /// Causal parent span: trace id of the task that (logically) sent this
+    /// message, 0 when untraced. Rides the simulated header — it does NOT
+    /// count toward [`wire_bytes`](Message::wire_bytes), keeping the modeled
+    /// delays (and hence the chaos-grid digests) identical whether or not
+    /// tracing is on.
+    pub span: u64,
 }
 
 impl Message {
@@ -57,6 +63,7 @@ mod tests {
             channel: Channel::APP,
             tag: 7,
             payload: Bytes::from_static(b"hello"),
+            span: 0,
         };
         assert_eq!(m.wire_bytes(), 64 + 5);
     }

@@ -67,9 +67,11 @@ impl Default for RetryConfig {
 struct Peer {
     /// Next sequence number to assign (send side).
     next_seq: u64,
-    /// Sent but unacked frames, keyed by sequence number. Values are the
-    /// exact wire frames, so retransmissions are byte-identical.
-    unacked: BTreeMap<u64, (Channel, u64, Bytes)>,
+    /// Sent but unacked frames, keyed by sequence number. Values are
+    /// (channel, tag, frame, span): the exact wire frames, so
+    /// retransmissions are byte-identical, plus the causal span captured at
+    /// the *logical* send so retransmits keep the original parent.
+    unacked: BTreeMap<u64, (Channel, u64, Bytes, u64)>,
     /// Retransmit deadline for the head-of-line frame.
     head_deadline: Option<Instant>,
     /// Current (backed-off) timeout for the head frame.
@@ -103,6 +105,9 @@ pub struct ReliableTransport {
     cond: Condvar,
     /// Retransmitted frames (chaos-run diagnostics).
     pub retries: AtomicU64,
+    /// Keeps the head-of-line stall probe registered with the runtime
+    /// watchdog for this endpoint's lifetime (deregisters on drop).
+    _watchdog_probe: Mutex<Option<hiper_runtime::watchdog::ProbeHandle>>,
 }
 
 impl ReliableTransport {
@@ -112,7 +117,7 @@ impl ReliableTransport {
     pub fn new(transport: Transport, module: &'static str, cfg: RetryConfig) -> Arc<Self> {
         let enabled = transport.faults_active();
         let nranks = transport.nranks();
-        Arc::new(ReliableTransport {
+        let me = Arc::new(ReliableTransport {
             transport,
             module,
             cfg,
@@ -124,7 +129,60 @@ impl ReliableTransport {
             }),
             cond: Condvar::new(),
             retries: AtomicU64::new(0),
-        })
+            _watchdog_probe: Mutex::new(None),
+        });
+        // Under the watchdog, a head-of-line frame burning through its
+        // retry budget (or a peer already declared dead) is evidence that
+        // "no progress" is a wedged wire, not an idle app. The probe holds
+        // a weak ref so it never outlives the endpoint.
+        if enabled && hiper_runtime::watchdog::armed() {
+            let weak = Arc::downgrade(&me);
+            let name = format!("reliable[{} rank {}]", module, me.transport.rank());
+            let probe = hiper_runtime::watchdog::register_probe(name, move || {
+                let me = weak.upgrade()?;
+                me.head_of_line_report()
+            });
+            *me._watchdog_probe.lock() = Some(probe);
+        }
+        me
+    }
+
+    /// `Some(report)` when any peer looks wedged: declared dead, or a
+    /// head-of-line frame that has consumed at least half its retry budget.
+    fn head_of_line_report(&self) -> Option<String> {
+        let st = self.state.lock();
+        let suspect_after = (self.cfg.max_attempts / 2).max(2);
+        let mut lines = Vec::new();
+        for (dst, peer) in st.peers.iter().enumerate() {
+            if peer.dead {
+                lines.push(format!(
+                    "rank {}->{}: peer dead after {} attempts",
+                    self.transport.rank(),
+                    dst,
+                    self.cfg.max_attempts
+                ));
+            } else if peer.head_attempts >= suspect_after {
+                if let Some((&seq, (_, tag, _, span))) = peer.unacked.iter().next() {
+                    lines.push(format!(
+                        "rank {}->{}: head seq {} (tag {}, span {}) stuck at \
+                         attempt {}/{}, {} frame(s) queued",
+                        self.transport.rank(),
+                        dst,
+                        seq,
+                        tag,
+                        span,
+                        peer.head_attempts,
+                        self.cfg.max_attempts,
+                        peer.unacked.len()
+                    ));
+                }
+            }
+        }
+        if lines.is_empty() {
+            None
+        } else {
+            Some(lines.join("; "))
+        }
     }
 
     /// This endpoint's rank.
@@ -168,6 +226,10 @@ impl ReliableTransport {
         if !self.enabled {
             return self.transport.send(dst, channel, tag, payload);
         }
+        // Capture the causal span here, at the logical send: retransmits
+        // (which run on the retry thread, with no task context) reuse it so
+        // the eventual delivery still credits the originating task.
+        let span = hiper_trace::current_task();
         let frame = {
             let mut st = self.state.lock();
             let peer = &mut st.peers[dst];
@@ -181,7 +243,8 @@ impl ReliableTransport {
             buf.extend_from_slice(&seq.to_le_bytes());
             buf.extend_from_slice(&payload);
             let frame = Bytes::from(buf);
-            peer.unacked.insert(seq, (channel, tag, frame.clone()));
+            peer.unacked
+                .insert(seq, (channel, tag, frame.clone(), span));
             if peer.unacked.len() == 1 {
                 peer.head_timeout = self.cfg.timeout;
                 peer.head_attempts = 1;
@@ -189,7 +252,7 @@ impl ReliableTransport {
             }
             frame
         };
-        self.transport.send(dst, channel, tag, frame);
+        self.transport.send_span(dst, channel, tag, frame, span);
         self.ensure_retry_thread();
         self.cond.notify_all();
     }
@@ -307,7 +370,8 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
             None => return,
         };
         let now = Instant::now();
-        let mut resend: Vec<(Rank, Channel, u64, Bytes, u64, u32)> = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut resend: Vec<(Rank, Channel, u64, Bytes, u64, u32, u64)> = Vec::new();
         let mut wait = Duration::from_millis(20);
         {
             let mut st = me.state.lock();
@@ -328,7 +392,7 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                     newly_dead = Some((dst, peer.head_attempts));
                     continue;
                 }
-                let (&seq, (channel, tag, frame)) =
+                let (&seq, (channel, tag, frame, span)) =
                     peer.unacked.iter().next().expect("deadline without frame");
                 peer.head_attempts += 1;
                 peer.head_timeout = Duration::from_secs_f64(
@@ -337,7 +401,15 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                 );
                 peer.head_deadline = Some(now + peer.head_timeout);
                 wait = wait.min(peer.head_timeout);
-                resend.push((dst, *channel, *tag, frame.clone(), seq, peer.head_attempts));
+                resend.push((
+                    dst,
+                    *channel,
+                    *tag,
+                    frame.clone(),
+                    seq,
+                    peer.head_attempts,
+                    *span,
+                ));
             }
             if let Some((dst, attempts)) = newly_dead {
                 let err = ModuleError::unreachable(me.module, dst, attempts);
@@ -347,7 +419,7 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                 }
             }
         }
-        for (dst, channel, tag, frame, seq, attempt) in resend {
+        for (dst, channel, tag, frame, seq, attempt, span) in resend {
             me.retries.fetch_add(1, Ordering::Relaxed);
             if hiper_metrics::enabled() {
                 hiper_metrics::counter("hiper_reliable_retransmits_total").inc();
@@ -360,7 +432,7 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                     attempt as u64,
                 );
             }
-            me.transport.send(dst, channel, tag, frame);
+            me.transport.send_span(dst, channel, tag, frame, span);
         }
         let mut st = me.state.lock();
         me.cond.wait_for(&mut st, wait);

@@ -19,6 +19,7 @@ fn msg(src: usize, dst: usize, tag: u64, payload: &[u8]) -> Message {
         channel: Channel::APP,
         tag,
         payload: Bytes::copy_from_slice(payload),
+        span: 0,
     }
 }
 

@@ -37,6 +37,7 @@ mod scheduler;
 mod smallfn;
 pub mod stats;
 mod task;
+pub mod watchdog;
 
 mod forasync;
 

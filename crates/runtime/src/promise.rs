@@ -120,6 +120,10 @@ struct Shared<T> {
     parked: AtomicUsize,
     park_lock: Mutex<()>,
     park_cond: Condvar,
+    /// Watchdog registry id (0 = unregistered, i.e. the watchdog was
+    /// disarmed at creation). Set once at construction, resolved on the
+    /// terminal transition in [`complete`](Shared::complete).
+    wd_id: u64,
 }
 
 // Same bounds the old `Mutex<State<T>>` representation had: the cells are
@@ -137,6 +141,14 @@ impl<T> Shared<T> {
             parked: AtomicUsize::new(0),
             park_lock: Mutex::new(()),
             park_cond: Condvar::new(),
+            // Registered with the owning span so a stall's flight record
+            // can name which task's promise never resolved. The armed check
+            // here keeps the disarmed path free of the TLS read.
+            wd_id: if crate::watchdog::armed() {
+                crate::watchdog::register_promise(hiper_trace::current_task())
+            } else {
+                0
+            },
         }
     }
 
@@ -205,6 +217,9 @@ impl<T> Shared<T> {
                     let _guard = self.park_lock.lock();
                     self.park_cond.notify_all();
                 }
+                // The single terminal-transition point: every resolution
+                // (put, poison, drop-poison) lands here exactly once.
+                crate::watchdog::resolve_promise(self.wd_id);
                 Some((inline, overflow))
             }
             _ => None,

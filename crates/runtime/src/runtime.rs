@@ -47,6 +47,9 @@ pub(crate) struct RuntimeInner {
     pub module_stats: ModuleStats,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stopped: AtomicBool,
+    /// Keeps this runtime's scheduler-state section in watchdog flight
+    /// records for the runtime's lifetime (deregisters on drop).
+    _watchdog_info: Mutex<Option<crate::watchdog::InfoHandle>>,
 }
 
 /// A cheaply-cloneable handle to a HiPER runtime instance.
@@ -79,8 +82,16 @@ thread_local! {
 /// Cached `'static` handles for the runtime's metric instruments; resolved
 /// from the registry once and then read lock-free.
 pub(crate) mod met {
-    use hiper_metrics::Histogram;
+    use hiper_metrics::{Gauge, Histogram};
     use std::sync::OnceLock;
+
+    /// Traced task spans currently executing across every runtime in the
+    /// process (gauge, with peak tracking). Only touched for tasks that
+    /// carry a nonzero trace id, so the untraced path pays nothing.
+    pub(crate) fn spans_active() -> &'static Gauge {
+        static G: OnceLock<&'static Gauge> = OnceLock::new();
+        G.get_or_init(|| hiper_metrics::gauge("hiper_spans_active"))
+    }
 
     macro_rules! cached_histogram {
         ($fn_name:ident, $metric:literal) => {
@@ -150,6 +161,7 @@ impl RuntimeBuilder {
 
     /// Starts the persistent worker pool and initializes modules.
     pub fn build(self) -> Result<Runtime, ModuleError> {
+        crate::watchdog::init_from_env();
         let (sched, owned_sets) = Scheduler::new(&self.config);
         let inner = Arc::new(RuntimeInner {
             sched,
@@ -159,20 +171,49 @@ impl RuntimeBuilder {
             module_stats: ModuleStats::default(),
             handles: Mutex::new(Vec::new()),
             stopped: AtomicBool::new(false),
+            _watchdog_info: Mutex::new(None),
         });
         let rt = Runtime { inner };
 
+        // Workers belong to the same simulated rank as the thread building
+        // the runtime (thread-locals do not cross `spawn`, so the tag must
+        // be re-applied inside each worker before its first trace emit).
+        let rank = hiper_trace::ambient_rank();
         let mut handles = Vec::new();
         for (id, owned) in owned_sets.into_iter().enumerate() {
             let rt = rt.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("hiper-worker-{}", id))
-                    .spawn(move || worker_main(rt, id, owned))
+                    .spawn(move || {
+                        if let Some(r) = rank {
+                            hiper_trace::set_ambient_rank(r);
+                        }
+                        worker_main(rt, id, owned)
+                    })
                     .expect("failed to spawn worker thread"),
             );
         }
         *rt.inner.handles.lock() = handles;
+
+        if crate::watchdog::armed() {
+            let weak = Arc::downgrade(&rt.inner);
+            let name = match rank {
+                Some(r) => format!("runtime[rank {}] {}", r, rt.inner.config.name),
+                None => format!("runtime {}", rt.inner.config.name),
+            };
+            let handle = crate::watchdog::register_info(name, move || match weak.upgrade() {
+                Some(inner) => format!(
+                    "workers={} idle={} stopped={} stats={:?}",
+                    inner.sched.workers,
+                    inner.sched.hub.idle_count(),
+                    inner.stopped.load(Ordering::Relaxed),
+                    inner.sched.stats.snapshot()
+                ),
+                None => "dropped".to_string(),
+            });
+            *rt.inner._watchdog_info.lock() = Some(handle);
+        }
 
         // Default host<->host copy handler; modules may override kinds.
         crate::copy::register_default_handlers(&rt);
@@ -804,6 +845,7 @@ impl Runtime {
         // tasks pay nothing here (no TLS writes, no clock reads).
         let prev_trace = if trace_id != 0 {
             hiper_trace::emit(EventKind::TaskBegin, trace_id, 0, place.index() as u64);
+            met::spans_active().add(1);
             Some(hiper_trace::set_current_task(trace_id))
         } else {
             None
@@ -824,6 +866,7 @@ impl Runtime {
         if let Some(prev_task) = prev_trace {
             hiper_trace::set_current_task(prev_task);
             hiper_trace::emit(EventKind::TaskEnd, trace_id, 0, 0);
+            met::spans_active().add(-1);
         }
         TLS.with(|tls| {
             if let Some(t) = tls.borrow_mut().as_mut() {
@@ -856,6 +899,7 @@ impl Runtime {
             scope.check_out();
         }
         self.inner.sched.stats.task_executed(shard);
+        crate::watchdog::note_progress();
     }
 
     // ------------------------------------------------------------------

@@ -62,6 +62,13 @@ pub enum SegmentKind {
     /// The next chain task sat queued until a thief stole it (or drained it
     /// from an injector) — scheduling latency, the work-stealing tax.
     StealWait,
+    /// A message the chain depends on was in flight on the simulated
+    /// interconnect (send → modeled delivery).
+    Wire,
+    /// The chain task resumed on a remote message whose send the trace
+    /// does not hold (ring wraparound / untraced sender): the time is
+    /// known to be remote-bound but cannot be attributed further.
+    BlockedOnRemote,
 }
 
 impl SegmentKind {
@@ -72,6 +79,8 @@ impl SegmentKind {
             SegmentKind::Module => "module",
             SegmentKind::PopWait => "pop-wait",
             SegmentKind::StealWait => "steal-wait",
+            SegmentKind::Wire => "wire",
+            SegmentKind::BlockedOnRemote => "blocked-on-remote",
         }
     }
 }
@@ -87,6 +96,9 @@ pub struct Segment {
     pub start_ns: u64,
     /// Slice length (ns).
     pub dur_ns: u64,
+    /// Simulated rank the slice ran on (`None` for rankless tracks and
+    /// wire time, which belongs to no rank).
+    pub rank: Option<usize>,
 }
 
 /// The longest spawn chain and its exact time decomposition.
@@ -106,6 +118,17 @@ pub struct CriticalPath {
     pub pop_wait_ns: u64,
     /// Queue waits resolved by a steal or injector drain.
     pub steal_wait_ns: u64,
+    /// Time messages the chain depends on spent on the simulated wire.
+    pub wire_ns: u64,
+    /// Time the chain was provably waiting on a remote rank whose send
+    /// the trace does not hold (lossy / truncated traces).
+    pub blocked_remote_ns: u64,
+    /// Path time (compute + module) attributed to each simulated rank,
+    /// sorted by rank. Empty for rankless (single-process) traces.
+    pub per_rank_ns: Vec<(usize, u64)>,
+    /// Rank holding the most path time — the straggler the distributed
+    /// critical path runs through. `None` for rankless traces.
+    pub straggler_rank: Option<usize>,
 }
 
 /// One worker's (track's) activity summary plus a coarse utilization
@@ -159,12 +182,38 @@ pub struct ProfileAnalysis {
     pub events: u64,
     /// Events lost to ring wraparound (analysis may be partial).
     pub dropped: u64,
+    /// `MsgDeliver` events with no matching `MsgSend` in the trace —
+    /// nonzero means the causal DAG is partial (wraparound ate the sends).
+    pub orphan_delivers: u64,
     /// The longest spawn chain, when the trace holds any complete task.
     pub critical_path: Option<CriticalPath>,
     /// Per-track activity (tracks with at least one event).
     pub workers: Vec<WorkerTimeline>,
     /// Imbalance and locality aggregates.
     pub load: LoadSummary,
+}
+
+/// One endpoint of a causal message edge (`MsgSend` / `MsgDeliver`
+/// payload: `a` = sending span, `b` = src<<32|dst, `c` = message id).
+#[derive(Debug, Clone, Copy)]
+struct MsgEv {
+    ts: u64,
+    span: u64,
+    src: usize,
+    dst: usize,
+    id: u64,
+}
+
+impl MsgEv {
+    fn from_event(e: &crate::ring::TraceEvent) -> MsgEv {
+        MsgEv {
+            ts: e.ts_ns,
+            span: e.a,
+            src: (e.b >> 32) as usize,
+            dst: (e.b & 0xffff_ffff) as usize,
+            id: e.c,
+        }
+    }
 }
 
 /// Utilization timeline resolution.
@@ -201,8 +250,11 @@ impl ProfileAnalysis {
         let mut max_ts = 0u64;
 
         // Pass 1: join task lifecycles across tracks and collect acquisition
-        // + steal-locality counters.
+        // + steal-locality counters, plus causal message edges for the
+        // distributed critical path.
         let mut probe_depths: Vec<u64> = Vec::new();
+        let mut sends: BTreeMap<u64, MsgEv> = BTreeMap::new();
+        let mut delivers: Vec<MsgEv> = Vec::new();
         for (ti, track) in data.tracks.iter().enumerate() {
             out.dropped += track.dropped;
             let thief = worker_index(&track.label);
@@ -254,6 +306,12 @@ impl ProfileAnalysis {
                         if e.a != 0 {
                             tasks.entry(e.a).or_default().acquired = Acquisition::Injector;
                         }
+                    }
+                    EventKind::MsgSend => {
+                        sends.entry(e.c).or_insert_with(|| MsgEv::from_event(e));
+                    }
+                    EventKind::MsgDeliver => {
+                        delivers.push(MsgEv::from_event(e));
                     }
                     _ => {}
                 }
@@ -340,7 +398,29 @@ impl ProfileAnalysis {
             }
         }
 
-        out.critical_path = critical_path(&tasks, &module_intervals);
+        // Distributed critical path: when the trace carries ranked tracks
+        // and causal message edges, stitch the per-rank DAGs through the
+        // send→deliver edges. Falls back to the local spawn-chain walk for
+        // rankless traces (and when the stitch finds no complete task).
+        out.orphan_delivers = delivers
+            .iter()
+            .filter(|d| !sends.contains_key(&d.id))
+            .count() as u64;
+        let track_ranks: Vec<Option<usize>> = data.tracks.iter().map(|t| t.rank).collect();
+        let ranked = track_ranks.iter().any(|r| r.is_some());
+        out.critical_path = if ranked && !delivers.is_empty() {
+            let mut by_rank: BTreeMap<usize, Vec<MsgEv>> = BTreeMap::new();
+            for d in &delivers {
+                by_rank.entry(d.dst).or_default().push(*d);
+            }
+            for list in by_rank.values_mut() {
+                list.sort_by_key(|d| d.ts);
+            }
+            distributed_critical_path(&tasks, &module_intervals, &track_ranks, &sends, &by_rank)
+                .or_else(|| critical_path(&tasks, &module_intervals))
+        } else {
+            critical_path(&tasks, &module_intervals)
+        };
         out
     }
 }
@@ -420,12 +500,15 @@ fn critical_path(
             SegmentKind::Module => cp.module_ns += dur,
             SegmentKind::PopWait => cp.pop_wait_ns += dur,
             SegmentKind::StealWait => cp.steal_wait_ns += dur,
+            SegmentKind::Wire => cp.wire_ns += dur,
+            SegmentKind::BlockedOnRemote => cp.blocked_remote_ns += dur,
         }
         cp.segments.push(Segment {
             task,
             kind,
             start_ns: s,
             dur_ns: dur,
+            rank: None,
         });
     };
     // Splits one execution slice of `owner` into compute + module time
@@ -462,6 +545,232 @@ fn critical_path(
     }
     let end = leaf.end_ts.clamp(mark, u64::MAX);
     compute_slice(&mut cp, &mut push, chain[chain.len() - 1], leaf, mark, end);
+    Some(cp)
+}
+
+/// Stitches per-rank task DAGs into one distributed critical path by
+/// walking causal edges *backward* from the globally last-finishing
+/// complete task. At each step the walk sits on a rank at a cut time and
+/// asks what the chain was last waiting on before the cut:
+///
+/// 1. **A delivered message.** The latest `MsgDeliver` into the rank
+///    within the current task's lifetime yields a compute slice
+///    `[deliver, cut]` (module-split), a [`SegmentKind::Wire`] slice
+///    `[send, deliver]`, and a hop to the *sending* rank at the send
+///    timestamp — continuing on the sending span's task when that task
+///    lives on the sending rank (handler-side sends carry the inherited
+///    remote span, so the span's task may live elsewhere).
+/// 2. **An orphan delivery** (send lost to ring wraparound): the slice
+///    back to the task's begin is [`SegmentKind::BlockedOnRemote`] —
+///    provably remote-bound, not attributable further.
+/// 3. **No delivery:** the task computed from its begin; the walk crosses
+///    its spawn edge exactly like the local algorithm.
+///
+/// Segments are emitted back-to-back, so they tile the path interval
+/// exactly. Per-rank deliver cursors only move backward, so every message
+/// hop consumes an event and the walk terminates even on zero-delay
+/// (instant) networks where send and deliver share one timestamp.
+fn distributed_critical_path(
+    tasks: &BTreeMap<u64, TaskRecord>,
+    module_intervals: &[Vec<(u64, u64)>],
+    track_ranks: &[Option<usize>],
+    sends: &BTreeMap<u64, MsgEv>,
+    delivers_by_rank: &BTreeMap<usize, Vec<MsgEv>>,
+) -> Option<CriticalPath> {
+    let complete = |r: &TaskRecord| r.begin_ts != 0 && r.end_ts != 0;
+    // Leaf: the globally last-finishing complete task. Unlike the local
+    // walk this is usually a rank body (the straggler's): message hops
+    // let the walk cover the whole run interval from there.
+    let (&leaf_id, leaf) = tasks
+        .iter()
+        .filter(|(_, r)| complete(r))
+        .max_by_key(|(_, r)| r.end_ts)?;
+    let rank_of = |rec: &TaskRecord| track_ranks.get(rec.track).copied().flatten();
+
+    // Built newest-first, reversed at the end.
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut chain_rev: Vec<u64> = vec![leaf_id];
+    let push = |segs: &mut Vec<Segment>,
+                task: u64,
+                kind: SegmentKind,
+                rank: Option<usize>,
+                s: u64,
+                e: u64| {
+        if e > s {
+            segs.push(Segment {
+                task,
+                kind,
+                start_ns: s,
+                dur_ns: e - s,
+                rank,
+            });
+        }
+    };
+    // Module-split slice, emitted newest-first (module tail, then compute).
+    let compute_slice = |segs: &mut Vec<Segment>,
+                         owner: u64,
+                         rec: Option<&TaskRecord>,
+                         rank: Option<usize>,
+                         s: u64,
+                         e: u64| {
+        let m = rec
+            .and_then(|r| module_intervals.get(r.track))
+            .map_or(0, |iv| overlap_ns(iv, s, e))
+            .min(e.saturating_sub(s));
+        push(
+            segs,
+            owner,
+            SegmentKind::Module,
+            rank,
+            e.saturating_sub(m),
+            e,
+        );
+        push(
+            segs,
+            owner,
+            SegmentKind::Compute,
+            rank,
+            s,
+            e.saturating_sub(m),
+        );
+    };
+
+    let mut cursors: BTreeMap<usize, usize> = delivers_by_rank
+        .iter()
+        .map(|(r, v)| (*r, v.len()))
+        .collect();
+    let total_delivers: usize = delivers_by_rank.values().map(|v| v.len()).sum();
+
+    // Walk state: the task the chain is inside (when attributable), the
+    // rank it sits on, and the cut time after which everything is already
+    // explained. `cut` is non-increasing; each iteration either consumes
+    // a deliver event or crosses a spawn edge, so the loop bound is slack.
+    let mut cur_task: Option<u64> = Some(leaf_id);
+    let mut cur_rank = rank_of(leaf);
+    let mut cut = leaf.end_ts;
+
+    // Bound: each iteration consumes a deliver event or crosses spawn
+    // edges toward a root; a deliver hop can re-enter an already-walked
+    // task (blocking bodies resume once per message), so spawn crossings
+    // are bounded per deliver, not globally. The cap is termination
+    // insurance against garbled parent cycles, sized not to truncate
+    // legitimate walks.
+    for _ in 0..(tasks.len() + 4 * total_delivers + 64) {
+        let rec = cur_task.and_then(|id| tasks.get(&id));
+        let owner = cur_task.unwrap_or(0);
+        let lo = rec.map_or(0, |r| r.begin_ts).min(cut);
+
+        // 1. Latest unconsumed delivery into this rank within (lo, cut].
+        let mut resumed: Option<MsgEv> = None;
+        if let Some(r) = cur_rank {
+            if let (Some(list), Some(cur)) = (delivers_by_rank.get(&r), cursors.get_mut(&r)) {
+                while *cur > 0 && list[*cur - 1].ts > cut {
+                    *cur -= 1;
+                }
+                if *cur > 0 && list[*cur - 1].ts > lo {
+                    *cur -= 1;
+                    resumed = Some(list[*cur]);
+                }
+            }
+        }
+
+        if let Some(d) = resumed {
+            if let Some(s) = sends.get(&d.id) {
+                let d_ts = d.ts.min(cut).max(s.ts.min(cut));
+                compute_slice(&mut segs, owner, rec, cur_rank, d_ts, cut);
+                push(
+                    &mut segs,
+                    s.span,
+                    SegmentKind::Wire,
+                    None,
+                    s.ts.min(cut),
+                    d_ts,
+                );
+                cut = s.ts.min(cut);
+                cur_rank = Some(s.src);
+                cur_task = match tasks.get(&s.span) {
+                    Some(sr) if sr.begin_ts != 0 && rank_of(sr) == Some(s.src) => {
+                        chain_rev.push(s.span);
+                        Some(s.span)
+                    }
+                    _ => None,
+                };
+                continue;
+            }
+            // Orphan delivery: remote-bound back to the task's begin.
+            let d_ts = d.ts.min(cut);
+            compute_slice(&mut segs, owner, rec, cur_rank, d_ts, cut);
+            push(
+                &mut segs,
+                owner,
+                SegmentKind::BlockedOnRemote,
+                cur_rank,
+                lo,
+                d_ts,
+            );
+            cut = lo;
+        } else {
+            compute_slice(&mut segs, owner, rec, cur_rank, lo, cut);
+            cut = lo;
+        }
+
+        // 2. Spawn edge: cross to the parent task like the local walk.
+        let Some(r) = rec else { break };
+        let parent = r.parent;
+        let wait_kind = match r.acquired {
+            Acquisition::Pop | Acquisition::Unknown => SegmentKind::PopWait,
+            Acquisition::Steal(_) | Acquisition::Injector => SegmentKind::StealWait,
+        };
+        match tasks.get(&parent) {
+            Some(p) if parent != 0 && p.begin_ts != 0 => {
+                let spawn = r.spawn_ts.min(cut);
+                push(&mut segs, owner, wait_kind, cur_rank, spawn, cut);
+                cut = spawn;
+                cur_rank = rank_of(p);
+                cur_task = Some(parent);
+                chain_rev.push(parent);
+            }
+            _ => {
+                // Root of the walk (parent untraced): still charge its
+                // queue wait so the path reaches back to the spawn that
+                // created the chain's origin — for rank bodies that is
+                // the injector wait between cluster submit and pickup.
+                if r.spawn_ts != 0 {
+                    let spawn = r.spawn_ts.min(cut);
+                    push(&mut segs, owner, wait_kind, cur_rank, spawn, cut);
+                    cut = spawn;
+                }
+                break;
+            }
+        }
+    }
+
+    segs.reverse();
+    chain_rev.reverse();
+    let mut cp = CriticalPath {
+        chain: chain_rev,
+        total_ns: leaf.end_ts.saturating_sub(cut),
+        ..CriticalPath::default()
+    };
+    let mut per_rank: BTreeMap<usize, u64> = BTreeMap::new();
+    for s in &segs {
+        match s.kind {
+            SegmentKind::Compute => cp.compute_ns += s.dur_ns,
+            SegmentKind::Module => cp.module_ns += s.dur_ns,
+            SegmentKind::PopWait => cp.pop_wait_ns += s.dur_ns,
+            SegmentKind::StealWait => cp.steal_wait_ns += s.dur_ns,
+            SegmentKind::Wire => cp.wire_ns += s.dur_ns,
+            SegmentKind::BlockedOnRemote => cp.blocked_remote_ns += s.dur_ns,
+        }
+        if matches!(s.kind, SegmentKind::Compute | SegmentKind::Module) {
+            if let Some(rk) = s.rank {
+                *per_rank.entry(rk).or_default() += s.dur_ns;
+            }
+        }
+    }
+    cp.straggler_rank = per_rank.iter().max_by_key(|&(_, ns)| *ns).map(|(&r, _)| r);
+    cp.per_rank_ns = per_rank.into_iter().collect();
+    cp.segments = segs;
     Some(cp)
 }
 
@@ -522,16 +831,50 @@ impl fmt::Display for CriticalPath {
             fmt_ns(self.steal_wait_ns),
             pct(self.steal_wait_ns)
         )?;
+        if self.wire_ns > 0 || self.blocked_remote_ns > 0 || !self.per_rank_ns.is_empty() {
+            writeln!(
+                f,
+                "  wire       {:>12} ({:5.1}%)",
+                fmt_ns(self.wire_ns),
+                pct(self.wire_ns)
+            )?;
+            writeln!(
+                f,
+                "  blocked-on-remote {:>5} ({:5.1}%)",
+                fmt_ns(self.blocked_remote_ns),
+                pct(self.blocked_remote_ns)
+            )?;
+        }
+        if !self.per_rank_ns.is_empty() {
+            writeln!(f, "  per-rank path time:")?;
+            for (r, ns) in &self.per_rank_ns {
+                let tag = if Some(*r) == self.straggler_rank {
+                    "  <- straggler"
+                } else {
+                    ""
+                };
+                writeln!(
+                    f,
+                    "    rank {:<4} {:>12} ({:5.1}%){}",
+                    r,
+                    fmt_ns(*ns),
+                    pct(*ns),
+                    tag
+                )?;
+            }
+        }
         let mut worst: Vec<&Segment> = self.segments.iter().collect();
         worst.sort_by_key(|s| std::cmp::Reverse(s.dur_ns));
         writeln!(f, "  longest segments:")?;
         for s in worst.iter().take(8) {
+            let rank = s.rank.map(|r| format!("  rank {}", r)).unwrap_or_default();
             writeln!(
                 f,
-                "    task {:>6}  {:<10} {:>12}",
+                "    task {:>6}  {:<17} {:>12}{}",
                 s.task,
                 s.kind.name(),
-                fmt_ns(s.dur_ns)
+                fmt_ns(s.dur_ns),
+                rank
             )?;
         }
         Ok(())
@@ -547,6 +890,15 @@ impl fmt::Display for ProfileAnalysis {
             self.dropped,
             fmt_ns(self.wall_ns)
         )?;
+        if self.dropped > 0 || self.orphan_delivers > 0 {
+            writeln!(
+                f,
+                "  WARNING: trace is incomplete ({} events lost to ring wraparound, {} message \
+                 delivers without a matching send) — the task DAG and critical path below are \
+                 PARTIAL; raise HIPER_TRACE_BUF to capture the full run",
+                self.dropped, self.orphan_delivers
+            )?;
+        }
         if let Some(cp) = &self.critical_path {
             write!(f, "{}", cp)?;
         }
@@ -629,6 +981,7 @@ mod tests {
                         e(400, EventKind::TaskEnd, 1, 0, 0),
                     ],
                     dropped: 0,
+                    rank: None,
                 },
                 TrackData {
                     label: "hiper-worker-1".into(),
@@ -638,6 +991,7 @@ mod tests {
                         e(900, EventKind::TaskEnd, 2, 0, 0),
                     ],
                     dropped: 0,
+                    rank: None,
                 },
             ],
         }
@@ -646,7 +1000,7 @@ mod tests {
     #[test]
     fn critical_path_segments_tile_the_interval() {
         let analysis = ProfileAnalysis::build(&two_task_chain());
-        let cp = analysis.critical_path.expect("chain present");
+        let cp = analysis.critical_path.as_ref().expect("chain present");
         assert_eq!(cp.chain, vec![1, 2]);
         assert_eq!(cp.total_ns, 800, "root begin 100 -> leaf end 900");
         let sum: u64 = cp.segments.iter().map(|s| s.dur_ns).sum();
@@ -701,5 +1055,112 @@ mod tests {
         assert!(shown.contains("critical path"));
         assert!(shown.contains("per-worker utilization"));
         assert!(shown.contains("steal locality"));
+    }
+
+    /// Two ranks ping-ponging: rank 0's body task 1 sends msg 10 at 300
+    /// (delivered 400), rank 1's body task 2 replies with msg 11 at 600
+    /// (delivered 700), rank 0 finishes at 1000.
+    fn two_rank_pingpong() -> TraceData {
+        TraceData {
+            tracks: vec![
+                TrackData {
+                    label: "hiper-worker-0".into(),
+                    events: vec![
+                        e(100, EventKind::TaskBegin, 1, 0, 0),
+                        e(1000, EventKind::TaskEnd, 1, 0, 0),
+                    ],
+                    dropped: 0,
+                    rank: Some(0),
+                },
+                TrackData {
+                    label: "hiper-worker-0".into(),
+                    events: vec![
+                        e(150, EventKind::TaskBegin, 2, 0, 0),
+                        e(820, EventKind::TaskEnd, 2, 0, 0),
+                    ],
+                    dropped: 0,
+                    rank: Some(1),
+                },
+                TrackData {
+                    label: "netsim-engine".into(),
+                    events: vec![
+                        e(300, EventKind::MsgSend, 1, 1, 10),
+                        e(400, EventKind::MsgDeliver, 1, 1, 10),
+                        e(600, EventKind::MsgSend, 2, 1 << 32, 11),
+                        e(700, EventKind::MsgDeliver, 2, 1 << 32, 11),
+                    ],
+                    dropped: 0,
+                    rank: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn distributed_path_crosses_ranks_and_tiles_exactly() {
+        let analysis = ProfileAnalysis::build(&two_rank_pingpong());
+        let cp = analysis.critical_path.as_ref().expect("path present");
+        // Walk: rank 0 compute [700,1000] <- wire [600,700] <- rank 1
+        // compute [400,600] <- wire [300,400] <- rank 0 compute [100,300].
+        assert_eq!(cp.chain, vec![1, 2, 1], "hops rank0 -> rank1 -> rank0");
+        assert_eq!(cp.total_ns, 900, "leaf end 1000 - path start 100");
+        let sum: u64 = cp.segments.iter().map(|s| s.dur_ns).sum();
+        assert_eq!(sum, cp.total_ns, "segments tile the interval exactly");
+        assert_eq!(cp.wire_ns, 200, "two 100ns flights");
+        assert_eq!(cp.compute_ns, 700);
+        assert_eq!(cp.blocked_remote_ns, 0);
+        assert_eq!(cp.per_rank_ns, vec![(0, 500), (1, 200)]);
+        assert_eq!(cp.straggler_rank, Some(0));
+        assert_eq!(analysis.orphan_delivers, 0);
+        let shown = analysis.to_string();
+        assert!(shown.contains("wire"));
+        assert!(shown.contains("straggler"));
+    }
+
+    #[test]
+    fn orphan_deliver_degrades_to_blocked_on_remote() {
+        let mut data = two_rank_pingpong();
+        // Drop the send of msg 11: rank 0's resume is now an orphan edge.
+        data.tracks[2].events.remove(2);
+        data.tracks[2].dropped = 1;
+        let analysis = ProfileAnalysis::build(&data);
+        assert_eq!(analysis.orphan_delivers, 1);
+        let cp = analysis
+            .critical_path
+            .as_ref()
+            .expect("partial path still built");
+        let sum: u64 = cp.segments.iter().map(|s| s.dur_ns).sum();
+        assert_eq!(sum, cp.total_ns);
+        assert_eq!(cp.blocked_remote_ns, 600, "task begin 100 -> deliver 700");
+        assert!(analysis.to_string().contains("WARNING"));
+    }
+
+    #[test]
+    fn lossy_wrapped_trace_degrades_gracefully() {
+        // Ring wraparound ate the run prefix: an orphan begin with no end,
+        // plus a complete task whose spawn/parent events are gone. The
+        // profiler must still build a partial DAG and warn loudly.
+        let data = TraceData {
+            tracks: vec![TrackData {
+                label: "hiper-worker-0".into(),
+                events: vec![
+                    e(100, EventKind::TaskBegin, 3, 0, 0),
+                    e(200, EventKind::TaskBegin, 4, 0, 0),
+                    e(300, EventKind::TaskEnd, 4, 0, 0),
+                ],
+                dropped: 57,
+                rank: None,
+            }],
+        };
+        let analysis = ProfileAnalysis::build(&data);
+        assert_eq!(analysis.dropped, 57);
+        let cp = analysis
+            .critical_path
+            .as_ref()
+            .expect("partial path from task 4");
+        assert_eq!(cp.chain, vec![4]);
+        let shown = analysis.to_string();
+        assert!(shown.contains("WARNING"), "lossy trace must warn: {shown}");
+        assert!(shown.contains("PARTIAL"));
     }
 }

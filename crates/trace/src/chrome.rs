@@ -11,9 +11,16 @@
 //! * **pid 2 — "netsim"**: one track per simulated rank. A message send is
 //!   a complete (`X`) event on the *source* rank's track whose duration is
 //!   the modeled in-flight delay; delivery is an instant on the
-//!   *destination* rank's track. Because the delivery engine shares the
-//!   tracer's clock ([`crate::clock`]), these interleave exactly with the
-//!   worker tracks.
+//!   *destination* rank's track. Causal `MsgSend`/`MsgDeliver` edges ride
+//!   the same tracks as instants carrying the parent span and message id.
+//!   Because the delivery engine shares the tracer's clock
+//!   ([`crate::clock`]), these interleave exactly with the worker tracks.
+//! * **pid 10+N — "rank N runtime"**: in SPMD (cluster-simulator) runs,
+//!   rings whose owning thread was tagged with a simulated rank move to a
+//!   per-rank process so each rank's workers group together; rankless
+//!   rings stay under pid 1. Importers ([`crate::TrackData::rank`] round-
+//!   trips through `hiper-bench`'s traceload) recover the rank as
+//!   `pid - 10`.
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //!
@@ -26,8 +33,12 @@ use std::fmt::Write as _;
 use crate::ring::{EventKind, TraceEvent};
 use crate::{resolve, TraceData};
 
-const RUNTIME_PID: u64 = 1;
-const NETSIM_PID: u64 = 2;
+/// Process id for rankless runtime tracks.
+pub const RUNTIME_PID: u64 = 1;
+/// Process id for the simulated-network tracks.
+pub const NETSIM_PID: u64 = 2;
+/// Ranked runtime tracks live at `RANK_PID_BASE + rank` ("rank N runtime").
+pub const RANK_PID_BASE: u64 = 10;
 
 fn esc(s: &str, out: &mut String) {
     for ch in s.chars() {
@@ -128,22 +139,53 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     meta(&mut out, "process_name", RUNTIME_PID, None, "hiper runtime");
     meta(&mut out, "process_name", NETSIM_PID, None, "netsim");
+    // Runtime tracks tagged with a simulated rank group under a per-rank
+    // process; everything else stays under pid 1.
+    let track_pid: Vec<u64> = data
+        .tracks
+        .iter()
+        .map(|t| match t.rank {
+            Some(r) => RANK_PID_BASE + r as u64,
+            None => RUNTIME_PID,
+        })
+        .collect();
+    for rank in data
+        .tracks
+        .iter()
+        .filter_map(|t| t.rank)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        meta(
+            &mut out,
+            "process_name",
+            RANK_PID_BASE + rank as u64,
+            None,
+            &format!("rank {} runtime", rank),
+        );
+    }
     let mut ranks_seen = std::collections::BTreeSet::new();
     for (ti, track) in data.tracks.iter().enumerate() {
         meta(
             &mut out,
             "thread_name",
-            RUNTIME_PID,
+            track_pid[ti],
             Some(ti as u64),
             &track.label,
         );
         for e in &track.events {
-            if matches!(
-                e.kind,
-                EventKind::NetSend | EventKind::NetDeliver | EventKind::NetDrop | EventKind::NetDup
-            ) {
-                ranks_seen.insert(e.a >> 32);
-                ranks_seen.insert(e.a & 0xffff_ffff);
+            match e.kind {
+                EventKind::NetSend
+                | EventKind::NetDeliver
+                | EventKind::NetDrop
+                | EventKind::NetDup => {
+                    ranks_seen.insert(e.a >> 32);
+                    ranks_seen.insert(e.a & 0xffff_ffff);
+                }
+                EventKind::MsgSend | EventKind::MsgDeliver => {
+                    ranks_seen.insert(e.b >> 32);
+                    ranks_seen.insert(e.b & 0xffff_ffff);
+                }
+                _ => {}
             }
         }
     }
@@ -166,7 +208,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                     name: "dropped events",
                     ph: 'i',
                     ts_ns: track.events.first().map_or(0, |e| e.ts_ns),
-                    pid: RUNTIME_PID,
+                    pid: track_pid[ti],
                     tid: ti as u64,
                     dur_ns: None,
                     args: vec![("count", track.dropped.to_string())],
@@ -178,12 +220,13 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
 
     for (ti, e) in all {
         let tid = ti as u64;
+        let rpid = track_pid[ti];
         let json = match e.kind {
             EventKind::TaskSpawn => EventJson {
                 name: "spawn",
                 ph: 'i',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![
@@ -197,7 +240,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 name: "task",
                 ph: 'B',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![("task", e.a.to_string()), ("place", e.c.to_string())],
@@ -207,7 +250,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 name: "task",
                 ph: 'E',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![("task", e.a.to_string())],
@@ -217,7 +260,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 name: "pop",
                 ph: 'i',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![("task", e.a.to_string()), ("place", e.b.to_string())],
@@ -227,7 +270,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 name: "steal",
                 ph: 'i',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![
@@ -241,7 +284,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 name: "steal.batch",
                 ph: 'i',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![("banked", e.a.to_string())],
@@ -251,7 +294,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 name: "injector",
                 ph: 'i',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![("task", e.a.to_string()), ("place", e.b.to_string())],
@@ -261,7 +304,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 name: "park",
                 ph: 'B',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: Vec::new(),
@@ -271,7 +314,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 name: "park",
                 ph: 'E',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![("woken", e.a.to_string())],
@@ -293,7 +336,7 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                             'E'
                         },
                         ts_ns: e.ts_ns,
-                        pid: RUNTIME_PID,
+                        pid: rpid,
                         tid,
                         dur_ns: None,
                         args,
@@ -392,11 +435,39 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 );
                 continue;
             }
+            EventKind::MsgSend | EventKind::MsgDeliver => {
+                // Causal edge endpoints: a = parent span, b = src<<32|dst,
+                // c = message id. Sends sit on the source rank's netsim
+                // track, delivers (stamped at the modeled due time) on the
+                // destination's, so the edge is visible as a pair of
+                // instants bracketing the modeled wire time.
+                let (src, dst) = (e.b >> 32, e.b & 0xffff_ffff);
+                let send = e.kind == EventKind::MsgSend;
+                push_event(
+                    &mut out,
+                    &EventJson {
+                        name: if send { "msg_send" } else { "msg_deliver" },
+                        ph: 'i',
+                        ts_ns: e.ts_ns,
+                        pid: NETSIM_PID,
+                        tid: if send { src } else { dst },
+                        dur_ns: None,
+                        args: vec![
+                            ("span", e.a.to_string()),
+                            ("src", src.to_string()),
+                            ("dst", dst.to_string()),
+                            ("msg", e.c.to_string()),
+                        ],
+                        thread_scoped_instant: true,
+                    },
+                );
+                continue;
+            }
             EventKind::TaskPanic => EventJson {
                 name: "task panic",
                 ph: 'i',
                 ts_ns: e.ts_ns,
-                pid: RUNTIME_PID,
+                pid: rpid,
                 tid,
                 dur_ns: None,
                 args: vec![("task", e.a.to_string()), ("place", e.b.to_string())],
@@ -425,6 +496,7 @@ mod tests {
                 label: "worker-0".into(),
                 events,
                 dropped: 0,
+                rank: None,
             }],
         }
     }
@@ -481,6 +553,7 @@ mod tests {
                 label: "we\"ird\\name".into(),
                 events: vec![],
                 dropped: 0,
+                rank: None,
             }],
         };
         let json = chrome_trace_json(&d);

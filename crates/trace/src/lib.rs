@@ -62,12 +62,18 @@ thread_local! {
     static THREAD_RING: RefCell<Option<Arc<EventRing>>> = const { RefCell::new(None) };
     /// Trace id of the task currently executing on this thread (0 = none).
     static CURRENT_TASK: Cell<u64> = const { Cell::new(0) };
+    /// Simulated rank this thread belongs to (`None` outside SPMD runs).
+    /// Captured into the ring's registration so per-rank tracks can be
+    /// separated in the exported trace.
+    static AMBIENT_RANK: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 struct Registered {
     ring: Arc<EventRing>,
     /// Collector cursor into `ring`; guarded by the registry lock.
     read_pos: u64,
+    /// Ambient rank of the owning thread at registration time.
+    rank: Option<usize>,
 }
 
 struct Registry {
@@ -133,6 +139,20 @@ pub fn set_current_task(id: u64) -> u64 {
     CURRENT_TASK.with(|c| c.replace(id))
 }
 
+/// Tags the calling thread as belonging to simulated rank `rank`. Set on
+/// SPMD rank-main threads before the per-rank runtime spawns its workers;
+/// workers inherit it at spawn so every ring registered afterwards carries
+/// the rank. Must be called before this thread's first emit to take effect
+/// for the ring label.
+pub fn set_ambient_rank(rank: usize) {
+    AMBIENT_RANK.with(|c| c.set(Some(rank)));
+}
+
+/// The simulated rank the calling thread was tagged with, if any.
+pub fn ambient_rank() -> Option<usize> {
+    AMBIENT_RANK.with(|c| c.get())
+}
+
 /// Interns a static string (module or op name), returning a stable nonzero
 /// id events can carry. Idempotent; cheap read-mostly lookup.
 pub fn intern(s: &'static str) -> u64 {
@@ -177,13 +197,35 @@ pub fn emit(kind: EventKind, a: u64, b: u64, c: u64) {
 /// Records one event regardless of the enable flag (callers that already
 /// checked [`enabled`] and must keep begin/end spans balanced).
 pub fn emit_always(kind: EventKind, a: u64, b: u64, c: u64) {
-    let e = TraceEvent {
+    emit_event(TraceEvent {
         ts_ns: clock::now_ns(),
         kind,
         a,
         b,
         c,
-    };
+    });
+}
+
+/// Records one event with an explicit timestamp instead of the current
+/// clock. No-op when tracing is disabled. Used by netsim to stamp
+/// `MsgDeliver` at the modeled due time (so the exported timeline satisfies
+/// deliver = send + modeled delay exactly) and to give `MsgSend`/`NetSend`
+/// pairs one shared timestamp.
+#[inline]
+pub fn emit_at(ts_ns: u64, kind: EventKind, a: u64, b: u64, c: u64) {
+    if !enabled() {
+        return;
+    }
+    emit_event(TraceEvent {
+        ts_ns,
+        kind,
+        a,
+        b,
+        c,
+    });
+}
+
+fn emit_event(e: TraceEvent) {
     THREAD_RING.with(|slot| {
         let mut slot = slot.borrow_mut();
         let ring = slot.get_or_insert_with(register_thread_ring);
@@ -202,6 +244,7 @@ fn register_thread_ring() -> Arc<EventRing> {
     reg.rings.lock().push(Registered {
         ring: Arc::clone(&ring),
         read_pos: 0,
+        rank: ambient_rank(),
     });
     ring
 }
@@ -215,6 +258,9 @@ pub struct TrackData {
     pub events: Vec<TraceEvent>,
     /// Events lost to ring wraparound since the previous drain.
     pub dropped: u64,
+    /// Simulated rank the owning thread belonged to (`None` for
+    /// single-runtime / non-SPMD threads).
+    pub rank: Option<usize>,
 }
 
 /// Everything drained from every ring.
@@ -275,6 +321,29 @@ pub fn drain() -> TraceData {
             label: entry.ring.label().to_string(),
             events,
             dropped,
+            rank: entry.rank,
+        });
+    }
+    TraceData { tracks }
+}
+
+/// Copies every registered ring's reachable events *without* advancing the
+/// collector cursors: a later [`drain`] still returns everything. Used by
+/// the stall watchdog to embed the trace tail in a flight record without
+/// stealing events from the eventual end-of-run export. Writers may still
+/// be appending concurrently; the snapshot is a best-effort view, exactly
+/// like any drain taken before quiescence.
+pub fn snapshot() -> TraceData {
+    let reg = registry();
+    let rings = reg.rings.lock();
+    let mut tracks = Vec::with_capacity(rings.len());
+    for entry in rings.iter() {
+        let (events, _pos, dropped) = entry.ring.drain_from(entry.read_pos);
+        tracks.push(TrackData {
+            label: entry.ring.label().to_string(),
+            events,
+            dropped,
+            rank: entry.rank,
         });
     }
     TraceData { tracks }

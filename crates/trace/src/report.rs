@@ -311,11 +311,13 @@ mod tests {
                         e(1_500, EventKind::Unpark, 1, 0, 0),
                     ],
                     dropped: 2,
+                    rank: None,
                 },
                 TrackData {
                     label: "empty".into(),
                     events: vec![],
                     dropped: 0,
+                    rank: None,
                 },
             ],
         };
@@ -347,6 +349,7 @@ mod tests {
                     e(1_000, EventKind::TaskEnd, 1, 0, 0),
                 ],
                 dropped: 0,
+                rank: None,
             }],
         };
         let rpt = TraceReport::build(&data);

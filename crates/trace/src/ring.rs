@@ -68,6 +68,15 @@ pub enum EventKind {
     /// A task panicked and poisoned its finish scope. `a` = task id
     /// (0 when spawned untraced), `b` = place index.
     TaskPanic = 17,
+    /// Causal edge: a message left a rank carrying a span. `a` = parent
+    /// span id (trace id of the sending task, 0 = untraced), `b` =
+    /// src<<32|dst, `c` = globally unique message id. Emitted with the
+    /// same timestamp as the adjacent `NetSend`.
+    MsgSend = 18,
+    /// Causal edge: the message arrived. `a` = parent span id, `b` =
+    /// src<<32|dst, `c` = the matching `MsgSend` message id. Timestamped
+    /// at the modeled due time, so deliver ts = send ts + modeled delay.
+    MsgDeliver = 19,
 }
 
 impl EventKind {
@@ -92,6 +101,8 @@ impl EventKind {
             15 => NetDup,
             16 => RelRetry,
             17 => TaskPanic,
+            18 => MsgSend,
+            19 => MsgDeliver,
             _ => return None,
         })
     }
@@ -117,6 +128,8 @@ impl EventKind {
             NetDup => "net_dup",
             RelRetry => "rel_retry",
             TaskPanic => "task_panic",
+            MsgSend => "msg_send",
+            MsgDeliver => "msg_deliver",
         }
     }
 }

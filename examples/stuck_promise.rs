@@ -1,0 +1,85 @@
+//! Deliberately deadlocked run: the stall-watchdog demo.
+//!
+//! Rank 0 blocks on a [`Promise`] that only a network message can fulfill,
+//! and the cluster runs under a 100%-drop [`FaultPlan`], so that message
+//! never arrives. Rank 1 sends it through a [`ReliableTransport`] with a
+//! tight retransmit cap — every attempt is dropped, the peer is declared
+//! dead, and rank 0 hangs forever in `Future::get`.
+//!
+//! This example exists to exercise the watchdog end to end. Run it with the
+//! watchdog armed and it terminates itself with a flight record naming the
+//! stuck span instead of hanging:
+//!
+//! ```sh
+//! HIPER_WATCHDOG=abort:2s \
+//! HIPER_WATCHDOG_FILE=flightrec.json \
+//! cargo run --release --example stuck_promise -- --trace stuck.json
+//! # exits 86; flightrec.json has "stuck_span" / "stuck_rank"
+//! ```
+//!
+//! Without `HIPER_WATCHDOG` set this process hangs by design — use a
+//! `timeout(1)` wrapper if you run it bare.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hiper::netsim::pod::to_bytes;
+use hiper::netsim::{Channel, FaultPlan, NetConfig, ReliableTransport, RetryConfig, SpmdBuilder};
+use hiper::prelude::*;
+
+/// Spare channel, away from the module channels (APP/MPI/SHMEM/UPCXX).
+const DEMO: Channel = Channel(42);
+const TAG: u64 = 7;
+
+fn main() {
+    let _trace = hiper::trace::session_from_env_args();
+
+    SpmdBuilder::new(2)
+        .net(NetConfig::default())
+        .workers_per_rank(2)
+        // Every frame — data and retransmissions alike — is dropped.
+        .faults(FaultPlan::seeded(7).drop_p(1.0))
+        .run(
+            |_rank, transport| {
+                // Tight retry budget so rank 1 gives up quickly instead of
+                // retransmitting into the void for the whole run.
+                let rel = ReliableTransport::new(
+                    transport,
+                    "stuck-demo",
+                    RetryConfig {
+                        timeout: Duration::from_millis(1),
+                        backoff: 2.0,
+                        max_timeout: Duration::from_millis(4),
+                        max_attempts: 4,
+                    },
+                );
+                (Vec::new(), rel)
+            },
+            |env, rel| {
+                if env.rank == 0 {
+                    let p = Promise::new();
+                    let f = p.future();
+                    let slot = Arc::new(Mutex::new(Some(p)));
+                    let fulfiller = Arc::clone(&slot);
+                    rel.register_handler(
+                        DEMO,
+                        Box::new(move |msg| {
+                            if let Some(p) = fulfiller.lock().unwrap().take() {
+                                p.put(msg.payload.len() as u64);
+                            }
+                        }),
+                    );
+                    eprintln!(
+                        "[rank 0] blocking on a promise only a (100%-dropped) message fulfills"
+                    );
+                    let n = f.get();
+                    // Unreachable: the watchdog aborts (or the user kills us)
+                    // long before any payload lands.
+                    eprintln!("[rank 0] impossibly received {} bytes", n);
+                } else {
+                    rel.send(0, DEMO, TAG, to_bytes(&[1u64, 2, 3]));
+                    eprintln!("[rank 1] sent the wake-up message into the void");
+                }
+            },
+        );
+}

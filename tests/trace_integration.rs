@@ -2,7 +2,8 @@
 //! an enabled trace session, write the Chrome trace-event JSON, parse it
 //! back, and verify the invariants a timeline viewer needs — B/E pairing
 //! and monotone timestamps per (pid, tid) track, worker tracks under the
-//! runtime process, and per-rank network tracks under the netsim process.
+//! runtime process (rankless runtimes under pid 1, per-rank runtimes under
+//! pid 10 + rank), and per-rank network tracks under the netsim process.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -130,7 +131,9 @@ fn traced_run_produces_valid_chrome_json() {
                         if pid == 1 && name == "task" {
                             runtime_task_spans += 1;
                         }
-                        if pid == 1 && name.contains("mpi") {
+                        // Module spans run on rank worker threads, which
+                        // now export under per-rank pids (10 + rank).
+                        if pid >= 10 && name.contains("mpi") {
                             module_spans += 1;
                         }
                     }
@@ -179,7 +182,18 @@ fn traced_run_produces_valid_chrome_json() {
     assert!(net_sends >= 20, "net sends: {}", net_sends);
     assert!(net_delivers >= 20, "net delivers: {}", net_delivers);
     let runtime_tracks = tracks.keys().filter(|(pid, _)| *pid == 1).count();
-    let rank_tracks = tracks.keys().filter(|(pid, _)| *pid == 2).count();
+    let net_tracks = tracks.keys().filter(|(pid, _)| *pid == 2).count();
+    let ranked_pids: std::collections::BTreeSet<u64> = tracks
+        .keys()
+        .filter(|(pid, _)| *pid >= 10)
+        .map(|(pid, _)| *pid)
+        .collect();
     assert!(runtime_tracks >= 2, "worker tracks: {}", runtime_tracks);
-    assert_eq!(rank_tracks, 2, "one netsim track per rank");
+    assert_eq!(net_tracks, 2, "one netsim track per rank");
+    assert_eq!(
+        ranked_pids.len(),
+        2,
+        "one runtime process per rank: {:?}",
+        ranked_pids
+    );
 }
