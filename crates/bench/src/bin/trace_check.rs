@@ -19,7 +19,16 @@
 //!   error on a lossless trace), no message id is sent twice, and each
 //!   delivery lands no earlier than its send plus the modeled delay the
 //!   paired `NetSend` span advertised (`delay_ns` arg, matched by link and
-//!   shared timestamp) — jitter and FIFO clamping may only postpone it.
+//!   shared timestamp) — jitter and FIFO clamping may only postpone it;
+//! * supervised recovery: per rank, `rank_down` / `rank_restored` instants
+//!   must alternate starting with a down (a trailing unmatched down is
+//!   tolerated — the trace may end mid-outage), restored transport epochs
+//!   must be nonzero and never go backward (equal epochs are allowed: one
+//!   traced process may run several independent clusters, each restarting
+//!   its own epoch sequence), and no `msg_deliver` may land on a rank
+//!   strictly inside one of its (down, restored) blackout intervals — the
+//!   delivery engine severs traffic to a down rank, so a delivery there
+//!   means the severing (or the event order) is broken.
 //!
 //! ```text
 //! cargo run --release -p hiper-bench --bin trace_check -- out.json
@@ -141,6 +150,120 @@ impl MsgEdges {
     }
 }
 
+/// Supervised-recovery correlation: `rank_down`/`rank_restored` pairing,
+/// epoch monotonicity, and delivery blackout during outages.
+#[derive(Default)]
+struct Recovery {
+    /// Per rank, lifecycle instants in file (= time) order:
+    /// (ts, true = restored, epoch).
+    lifecycle: BTreeMap<u64, Vec<(f64, bool, u64)>>,
+    /// `task_retry` instants seen.
+    retries: u64,
+    /// Completed (down, restored) blackout intervals per rank.
+    intervals: BTreeMap<u64, Vec<(f64, f64)>>,
+}
+
+impl Recovery {
+    fn downs(&self) -> usize {
+        self.lifecycle
+            .values()
+            .map(|v| v.iter().filter(|(_, up, _)| !up).count())
+            .sum()
+    }
+
+    fn restores(&self) -> usize {
+        self.lifecycle
+            .values()
+            .map(|v| v.iter().filter(|(_, up, _)| *up).count())
+            .sum()
+    }
+
+    /// Checks alternation and epoch order, then cross-checks delivers
+    /// against the blackout intervals. Pairing holes are tolerated on a
+    /// lossy trace (the instants may have wrapped out of the ring), but a
+    /// delivery inside a *witnessed* interval is always an error.
+    fn validate(&mut self, edges: &MsgEdges, lossy: bool, errors: &mut Vec<String>) {
+        for (&rank, events) in &self.lifecycle {
+            let mut open: Option<f64> = None;
+            let mut last_epoch: Option<u64> = None;
+            for &(ts, restored, epoch) in events {
+                match (restored, open) {
+                    (false, None) => open = Some(ts),
+                    (false, Some(_)) => {
+                        if !lossy {
+                            fail(
+                                errors,
+                                format!("rank {}: rank_down at {} us while already down", rank, ts),
+                            );
+                        }
+                        open = Some(ts);
+                    }
+                    (true, Some(down_ts)) => {
+                        self.intervals.entry(rank).or_default().push((down_ts, ts));
+                        open = None;
+                    }
+                    (true, None) => {
+                        if !lossy {
+                            fail(
+                                errors,
+                                format!(
+                                    "rank {}: rank_restored at {} us with no prior rank_down",
+                                    rank, ts
+                                ),
+                            );
+                        }
+                    }
+                }
+                if restored {
+                    if epoch == 0 {
+                        fail(
+                            errors,
+                            format!(
+                                "rank {}: restored at {} us with epoch 0 (no renegotiation)",
+                                rank, ts
+                            ),
+                        );
+                    }
+                    // Equal epochs are fine — a traced process may run
+                    // several independent clusters, each restarting its
+                    // own epoch sequence — but going backward is not.
+                    if let Some(prev) = last_epoch {
+                        if epoch < prev {
+                            fail(
+                                errors,
+                                format!(
+                                    "rank {}: restored epoch {} below previous epoch {}",
+                                    rank, epoch, prev
+                                ),
+                            );
+                        }
+                    }
+                    last_epoch = Some(epoch);
+                }
+            }
+            // A trailing unmatched down is fine: the trace may simply end
+            // while the rank is still being recovered.
+        }
+        for &(id, ts, _, dst) in &edges.delivers {
+            let Some(ivals) = self.intervals.get(&dst) else {
+                continue;
+            };
+            for &(down, up) in ivals {
+                if ts > down + TS_SLACK_US && ts < up - TS_SLACK_US {
+                    fail(
+                        errors,
+                        format!(
+                            "msg {} delivered to rank {} at {} us inside its \
+                             blackout [{} us, {} us]",
+                            id, dst, ts, down, up
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
 struct Track {
     last_ts: f64,
     /// Open B spans (names), in nesting order.
@@ -170,21 +293,28 @@ fn fail(errors: &mut Vec<String>, msg: String) {
 }
 
 /// Everything `check` learns: per-track summary, task-DAG correlation,
-/// message-edge correlation, and accumulated errors.
-type CheckReport = (BTreeMap<(u64, u64), Track>, TaskDag, MsgEdges, Vec<String>);
+/// message-edge correlation, recovery correlation, and accumulated errors.
+type CheckReport = (
+    BTreeMap<(u64, u64), Track>,
+    TaskDag,
+    MsgEdges,
+    Recovery,
+    Vec<String>,
+);
 
 /// Validates the parsed document; returns (per-track summary, task-DAG
-/// correlation, message-edge correlation, errors).
+/// correlation, message-edge correlation, recovery correlation, errors).
 fn check(doc: &Json) -> CheckReport {
     let mut errors = Vec::new();
     let mut tracks: BTreeMap<(u64, u64), Track> = BTreeMap::new();
     let mut dag = TaskDag::default();
     let mut edges = MsgEdges::default();
+    let mut recovery = Recovery::default();
     let events = match doc.get("traceEvents").and_then(Json::as_array) {
         Some(a) => a,
         None => {
             fail(&mut errors, "no traceEvents array".into());
-            return (tracks, dag, edges, errors);
+            return (tracks, dag, edges, recovery, errors);
         }
     };
     for (i, ev) in events.iter().enumerate() {
@@ -267,6 +397,30 @@ fn check(doc: &Json) -> CheckReport {
                     format!("event {} ({}) lacks msg/src/dst args", i, name),
                 ),
             }
+        } else if name == "rank_down" || name == "rank_restored" {
+            match num_arg("rank") {
+                Some(rank) => {
+                    let restored = name == "rank_restored";
+                    let epoch = num_arg("epoch").map(|e| e as u64).unwrap_or(0);
+                    if restored && num_arg("epoch").is_none() {
+                        fail(
+                            &mut errors,
+                            format!("event {} (rank_restored) lacks epoch arg", i),
+                        );
+                    }
+                    recovery
+                        .lifecycle
+                        .entry(rank as u64)
+                        .or_default()
+                        .push((ts, restored, epoch));
+                }
+                None => fail(
+                    &mut errors,
+                    format!("event {} ({}) lacks rank arg", i, name),
+                ),
+            }
+        } else if name == "task_retry" {
+            recovery.retries += 1;
         } else if ph == 'X' {
             // NetSend wire span: remember its modeled delay so delivers
             // can be checked against send + delay.
@@ -320,7 +474,9 @@ fn check(doc: &Json) -> CheckReport {
             );
         }
     }
-    edges.validate(tracks.values().any(|t| t.lossy), &mut errors);
+    let lossy = tracks.values().any(|t| t.lossy);
+    edges.validate(lossy, &mut errors);
+    recovery.validate(&edges, lossy, &mut errors);
     let orphans = dag.orphan_begins();
     if !orphans.is_empty() && !tracks.values().any(|t| t.lossy) {
         let sample: Vec<String> = orphans.iter().take(5).map(|t| t.to_string()).collect();
@@ -334,7 +490,7 @@ fn check(doc: &Json) -> CheckReport {
             ),
         );
     }
-    (tracks, dag, edges, errors)
+    (tracks, dag, edges, recovery, errors)
 }
 
 fn main() {
@@ -359,7 +515,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (tracks, dag, edges, errors) = check(&doc);
+    let (tracks, dag, edges, recovery, errors) = check(&doc);
     let events: u64 = tracks.values().map(|t| t.events).sum();
     let spans: u64 = tracks.values().map(|t| t.spans).sum();
     println!(
@@ -382,6 +538,16 @@ fn main() {
         edges.delivers.len(),
         edges.orphan_delivers
     );
+    if recovery.downs() + recovery.restores() + recovery.retries as usize > 0 {
+        println!(
+            "  recovery: {} rank_down, {} rank_restored, {} blackout interval(s), \
+             {} task retry(s)",
+            recovery.downs(),
+            recovery.restores(),
+            recovery.intervals.values().map(Vec::len).sum::<usize>(),
+            recovery.retries
+        );
+    }
     for ((pid, tid), t) in &tracks {
         println!(
             "  pid {} tid {}: {} events, {} spans{}",

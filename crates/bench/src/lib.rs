@@ -23,6 +23,7 @@ pub mod hpgmg;
 pub mod isx;
 pub mod perfgate;
 pub mod sha1;
+pub mod supervised;
 pub mod traceload;
 pub mod util;
 pub mod uts;

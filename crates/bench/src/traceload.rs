@@ -180,6 +180,14 @@ pub fn parse_chrome_trace(text: &str) -> Result<TraceData, String> {
                         arg("msg"),
                     );
                 }
+                ("rank_down", _) => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(t, EventKind::RankDown, arg("rank"), 0, 0);
+                }
+                ("rank_restored", _) => {
+                    let t = track(&mut tracks, pid, tid);
+                    push(t, EventKind::RankRestored, arg("rank"), arg("epoch"), 0);
+                }
                 _ => {}
             }
             continue;
@@ -210,6 +218,13 @@ pub fn parse_chrome_trace(text: &str) -> Result<TraceData, String> {
             ("park", "B") => push(t, EventKind::Park, 0, 0, 0),
             ("park", "E") => push(t, EventKind::Unpark, arg("woken"), 0, 0),
             ("task panic", _) => push(t, EventKind::TaskPanic, arg("task"), arg("place"), 0),
+            ("task_retry", _) => push(
+                t,
+                EventKind::TaskRetry,
+                arg("attempt"),
+                arg("max_attempts"),
+                0,
+            ),
             (other, "B") => {
                 let (m, o) = intern_span_name(other);
                 push(t, EventKind::ModuleEnter, m, o, arg("bytes"));

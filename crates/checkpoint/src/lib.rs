@@ -56,11 +56,16 @@ struct ModuleState {
 pub enum RestoreError {
     /// No snapshot exists under that name/version.
     NotFound,
-    /// The snapshot file exists but fails checksum validation.
+    /// The snapshot file exists but fails checksum validation (truncated,
+    /// bit-flipped, or mis-framed).
     Corrupt,
     /// Underlying I/O failure.
     Io(String),
 }
+
+/// The typed checkpoint error: alias for [`RestoreError`] under the name
+/// the recovery path uses (`CheckpointError::Corrupt` etc).
+pub type CheckpointError = RestoreError;
 
 impl std::fmt::Display for RestoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -78,6 +83,10 @@ impl std::error::Error for RestoreError {}
 /// [`CheckpointModule::restore`] and [`CheckpointModule::restore_latest`].
 pub type RestoreFuture = Future<Result<Vec<u8>, RestoreError>>;
 
+/// Future on the newest intact snapshot — `(version, bytes)` — as returned
+/// by [`CheckpointModule::restore_latest`].
+pub type RestoreLatestFuture = Future<Result<(u64, Vec<u8>), RestoreError>>;
+
 fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
@@ -85,6 +94,23 @@ fn fnv1a(data: &[u8]) -> u64 {
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     h
+}
+
+/// Validates one on-disk snapshot image (`[len u64][fnv1a u64][payload]`)
+/// and returns the payload. Every way a file can be damaged — truncation
+/// below the header, truncated or padded payload, flipped payload or
+/// header bytes — lands in `Corrupt`, never a panic.
+fn validate_file(file: &[u8]) -> Result<Vec<u8>, RestoreError> {
+    if file.len() < 16 {
+        return Err(RestoreError::Corrupt);
+    }
+    let len = u64::from_le_bytes(file[..8].try_into().unwrap()) as usize;
+    let sum = u64::from_le_bytes(file[8..16].try_into().unwrap());
+    let data = &file[16..];
+    if data.len() != len || fnv1a(data) != sum {
+        return Err(RestoreError::Corrupt);
+    }
+    Ok(data.to_vec())
 }
 
 impl CheckpointModule {
@@ -154,48 +180,88 @@ impl CheckpointModule {
                     }
                     Err(e) => return Err(RestoreError::Io(e.to_string())),
                 };
-                if file.len() < 16 {
-                    return Err(RestoreError::Corrupt);
-                }
-                let len = u64::from_le_bytes(file[..8].try_into().unwrap()) as usize;
-                let sum = u64::from_le_bytes(file[8..16].try_into().unwrap());
-                let data = &file[16..];
-                if data.len() != len || fnv1a(data) != sum {
-                    return Err(RestoreError::Corrupt);
-                }
-                Ok(data.to_vec())
+                validate_file(&file)
             })
         })
     }
 
-    /// Restart support: restores the most recent snapshot of `name`.
-    /// Returns `None` when no snapshot exists (cold start); otherwise the
-    /// version found and a future on its contents. A corrupt latest
-    /// snapshot surfaces as the future's `Err` — callers that keep several
-    /// versions can then retry an explicit older [`restore`](Self::restore).
-    pub fn restore_latest(&self, name: &str) -> Option<(u64, RestoreFuture)> {
-        let version = self.latest_version(name)?;
-        Some((version, self.restore(name, version)))
+    /// Restart support: restores the most recent *valid* snapshot of
+    /// `name`. Returns `None` when no snapshot file exists at all (cold
+    /// start). Otherwise the future resolves to the newest version that
+    /// passes checksum validation together with its payload — a damaged
+    /// (truncated, bit-flipped) newest snapshot is skipped with a warning
+    /// and the scan falls back to the next-older version. Only when every
+    /// stored version is damaged does the future resolve to
+    /// `Err(CheckpointError::Corrupt)`.
+    pub fn restore_latest(&self, name: &str) -> Option<RestoreLatestFuture> {
+        let mut versions = self.versions(name);
+        if versions.is_empty() {
+            return None;
+        }
+        versions.reverse(); // newest first
+        let paths: Vec<(u64, PathBuf)> =
+            versions.iter().map(|&v| (v, self.path(name, v))).collect();
+        Some(self.with_state(|st| {
+            st.rt.spawn_future_at(st.place, move || {
+                let mut last_err = RestoreError::NotFound;
+                for (version, path) in paths {
+                    let file = match std::fs::read(&path) {
+                        Ok(f) => f,
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                        Err(e) => {
+                            last_err = RestoreError::Io(e.to_string());
+                            continue;
+                        }
+                    };
+                    match validate_file(&file) {
+                        Ok(data) => return Ok((version, data)),
+                        Err(e) => {
+                            eprintln!(
+                                "[hiper-checkpoint] snapshot {} failed validation ({}); \
+                                 falling back to an older version",
+                                path.display(),
+                                e
+                            );
+                            last_err = e;
+                        }
+                    }
+                }
+                Err(last_err)
+            })
+        }))
     }
 
     /// Latest available version of `name`, if any (synchronous directory
-    /// scan).
+    /// scan; existence only — the file may still fail validation).
     pub fn latest_version(&self, name: &str) -> Option<u64> {
+        self.versions(name).last().copied()
+    }
+
+    /// Every stored version of `name`, ascending (synchronous directory
+    /// scan). Unparseable or foreign filenames are ignored.
+    pub fn versions(&self, name: &str) -> Vec<u64> {
         let prefix = format!("{}.v", name);
-        let mut best = None;
-        for entry in std::fs::read_dir(&self.dir).ok()? {
-            let entry = entry.ok()?;
-            let fname = entry.file_name().into_string().ok()?;
+        let mut versions = Vec::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return versions,
+        };
+        for entry in entries.flatten() {
+            let fname = match entry.file_name().into_string() {
+                Ok(f) => f,
+                Err(_) => continue,
+            };
             if let Some(rest) = fname.strip_prefix(&prefix) {
                 if let Some(v) = rest
                     .strip_suffix(".ckpt")
                     .and_then(|s| s.parse::<u64>().ok())
                 {
-                    best = Some(best.map_or(v, |b: u64| b.max(v)));
+                    versions.push(v);
                 }
             }
         }
-        best
+        versions.sort_unstable();
+        versions
     }
 }
 
@@ -352,12 +418,50 @@ mod tests {
             let c = Arc::clone(&ckpt);
             rt.block_on(move || {
                 assert!(c.restore_latest("nothing").is_none(), "cold start");
-                let (version, fut) = c.restore_latest("iter").expect("snapshot exists");
+                let fut = c.restore_latest("iter").expect("snapshot exists");
+                let (version, data) = fut.get().unwrap();
                 assert_eq!(version, 7);
-                assert_eq!(fut.get().unwrap(), vec![7, 0]);
+                assert_eq!(data, vec![7, 0]);
             });
             rt.shutdown();
         }
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous_version() {
+        let dir = tmpdir("fallback");
+        let ckpt = CheckpointModule::with_model(dir.clone(), fast_model());
+        let rt = RuntimeBuilder::new(disk_platform(1))
+            .module(Arc::clone(&ckpt) as Arc<dyn SchedulerModule>)
+            .build()
+            .unwrap();
+        let c = Arc::clone(&ckpt);
+        rt.block_on(move || {
+            c.checkpoint("s", 1, vec![10, 11]).wait();
+            c.checkpoint("s", 2, vec![20, 21]).wait();
+            c.checkpoint("s", 3, vec![30, 31]).wait();
+            // Truncate the newest snapshot mid-payload.
+            let p3 = dir.join("s.v3.ckpt");
+            let bytes = std::fs::read(&p3).unwrap();
+            std::fs::write(&p3, &bytes[..bytes.len() - 1]).unwrap();
+            let (version, data) = c.restore_latest("s").unwrap().get().unwrap();
+            assert_eq!((version, data), (2, vec![20, 21]));
+            // Damage v2 as well (bit-flip): falls all the way back to v1.
+            let p2 = dir.join("s.v2.ckpt");
+            let mut bytes = std::fs::read(&p2).unwrap();
+            bytes[16] ^= 0x01;
+            std::fs::write(&p2, &bytes).unwrap();
+            let (version, data) = c.restore_latest("s").unwrap().get().unwrap();
+            assert_eq!((version, data), (1, vec![10, 11]));
+            // Every version damaged: typed Corrupt, not a panic.
+            let p1 = dir.join("s.v1.ckpt");
+            std::fs::write(&p1, b"short").unwrap();
+            assert_eq!(
+                c.restore_latest("s").unwrap().get(),
+                Err(CheckpointError::Corrupt)
+            );
+        });
+        rt.shutdown();
     }
 
     #[test]

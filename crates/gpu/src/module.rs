@@ -12,7 +12,7 @@ use std::sync::Arc;
 use hiper_platform::{PlaceId, PlaceKind};
 use hiper_runtime::{
     CopyHandler, CopyRequest, Future, MemLoc, ModuleError, Poller, Promise, Runtime,
-    SchedulerModule,
+    SchedulerModule, TaskError,
 };
 use parking_lot::RwLock;
 
@@ -231,31 +231,70 @@ impl GpuModule {
 }
 
 fn handle_copy(state_arc: &State, rt: &Runtime, req: CopyRequest, done: Promise<()>) {
+    // A misrouted or malformed copy request fails the copy's promise with a
+    // typed error (poison propagates through the owning finish scope)
+    // instead of panicking the worker thread.
+    if let Err((done, err)) = try_handle_copy(state_arc, rt, &req, done) {
+        done.poison(TaskError::new(err.to_string()));
+    }
+}
+
+/// Plumbing for [`handle_copy`]: `done` is consumed by the completion
+/// poller on success and handed back alongside the error otherwise.
+fn try_handle_copy(
+    state_arc: &State,
+    rt: &Runtime,
+    req: &CopyRequest,
+    done: Promise<()>,
+) -> Result<(), (Promise<()>, ModuleError)> {
+    macro_rules! bail {
+        ($e:expr) => {
+            return Err((done, $e))
+        };
+    }
+    macro_rules! try_or_bail {
+        ($r:expr) => {
+            match $r {
+                Ok(v) => v,
+                Err(e) => bail!(e),
+            }
+        };
+    }
     let guard = state_arc.read();
-    let state = guard
-        .as_ref()
-        .expect("async_copy after module finalization");
+    let state = match guard.as_ref() {
+        Some(s) => s,
+        None => bail!(ModuleError::protocol(
+            "cuda",
+            "async_copy after module finalization"
+        )),
+    };
     let src_kind = rt.config().graph.place(req.src_place).kind.clone();
     let dst_kind = rt.config().graph.place(req.dst_place).kind.clone();
     match (src_kind, dst_kind) {
         (PlaceKind::SystemMemory, PlaceKind::GpuMemory) => {
-            let dev = device_of_place(state, req.dst_place);
-            let (dst, dst_off) = downcast_buffer(&req.dst);
+            let dev = try_or_bail!(device_of_place(state, req.dst_place));
+            let (dst, dst_off) = try_or_bail!(downcast_buffer(&req.dst));
             let mut src = vec![0u8; req.nbytes];
             match &req.src {
                 MemLoc::Host { buf, offset } => buf.read_bytes(*offset, &mut src),
-                _ => panic!("H2D copy source must be a host buffer"),
+                _ => bail!(ModuleError::protocol(
+                    "cuda",
+                    "H2D copy source must be a host buffer"
+                )),
             }
             let op =
                 state.devices[dev].memcpy_h2d_async(&state.copy_streams[dev], &dst, dst_off, src);
             poll_completion(state, rt, op, done);
         }
         (PlaceKind::GpuMemory, PlaceKind::SystemMemory) => {
-            let dev = device_of_place(state, req.src_place);
-            let (src, src_off) = downcast_buffer(&req.src);
+            let dev = try_or_bail!(device_of_place(state, req.src_place));
+            let (src, src_off) = try_or_bail!(downcast_buffer(&req.src));
             let (host, host_off) = match &req.dst {
                 MemLoc::Host { buf, offset } => (Arc::clone(buf), *offset),
-                _ => panic!("D2H copy destination must be a host buffer"),
+                _ => bail!(ModuleError::protocol(
+                    "cuda",
+                    "D2H copy destination must be a host buffer"
+                )),
             };
             let op = state.devices[dev].memcpy_d2h_async(
                 &state.copy_streams[dev],
@@ -267,9 +306,9 @@ fn handle_copy(state_arc: &State, rt: &Runtime, req: CopyRequest, done: Promise<
             poll_completion(state, rt, op, done);
         }
         (PlaceKind::GpuMemory, PlaceKind::GpuMemory) => {
-            let sdev = device_of_place(state, req.src_place);
-            let (src, src_off) = downcast_buffer(&req.src);
-            let (dst, dst_off) = downcast_buffer(&req.dst);
+            let sdev = try_or_bail!(device_of_place(state, req.src_place));
+            let (src, src_off) = try_or_bail!(downcast_buffer(&req.src));
+            let (dst, dst_off) = try_or_bail!(downcast_buffer(&req.dst));
             let op = state.devices[sdev].memcpy_d2d_async(
                 &state.copy_streams[sdev],
                 &dst,
@@ -280,27 +319,32 @@ fn handle_copy(state_arc: &State, rt: &Runtime, req: CopyRequest, done: Promise<
             );
             poll_completion(state, rt, op, done);
         }
-        (s, d) => panic!("CUDA module cannot handle {} -> {} copies", s, d),
+        (s, d) => bail!(ModuleError::protocol(
+            "cuda",
+            format!("cannot handle {} -> {} copies", s, d)
+        )),
     }
+    Ok(())
 }
 
-fn device_of_place(state: &ModuleState, place: PlaceId) -> usize {
+fn device_of_place(state: &ModuleState, place: PlaceId) -> Result<usize, ModuleError> {
     state
         .places
         .iter()
         .position(|&p| p == place)
-        .expect("place is not a registered GPU device")
+        .ok_or_else(|| ModuleError::protocol("cuda", "place is not a registered GPU device"))
 }
 
-fn downcast_buffer(loc: &MemLoc) -> (Arc<DeviceBuffer>, usize) {
+fn downcast_buffer(loc: &MemLoc) -> Result<(Arc<DeviceBuffer>, usize), ModuleError> {
     match loc {
-        MemLoc::Opaque { token, offset } => {
-            let buf = Arc::clone(token)
-                .downcast::<DeviceBuffer>()
-                .expect("opaque token is not a DeviceBuffer");
-            (buf, *offset)
-        }
-        _ => panic!("GPU-side location must be an opaque DeviceBuffer token"),
+        MemLoc::Opaque { token, offset } => Arc::clone(token)
+            .downcast::<DeviceBuffer>()
+            .map(|buf| (buf, *offset))
+            .map_err(|_| ModuleError::protocol("cuda", "opaque token is not a DeviceBuffer")),
+        _ => Err(ModuleError::protocol(
+            "cuda",
+            "GPU-side location must be an opaque DeviceBuffer token",
+        )),
     }
 }
 

@@ -76,6 +76,12 @@ impl Transport {
     pub fn faults_active(&self) -> bool {
         self.engine.fault_plan().is_some()
     }
+
+    /// The shared delivery engine. Recovery drivers use this to sever and
+    /// restore a rank (`set_rank_down`) and to subscribe to rank events.
+    pub fn engine(&self) -> &Arc<DeliveryEngine> {
+        &self.engine
+    }
 }
 
 impl std::fmt::Debug for Transport {
@@ -130,9 +136,13 @@ impl Cluster {
         }
     }
 
-    /// Stops the delivery engine.
+    /// Stops the delivery engine and drops its handler table. Handler
+    /// closures commonly capture the endpoint that registered them, which
+    /// itself references the engine — clearing the table here breaks that
+    /// cycle so a finished run's endpoints can actually drop.
     pub fn stop(&self) {
         self.engine.stop();
+        self.engine.clear_handlers();
     }
 }
 

@@ -150,6 +150,26 @@ impl std::fmt::Display for NetStatsSnapshot {
 /// Handler invoked (on the engine thread) when a message arrives at a rank.
 pub type Handler = Box<dyn Fn(Message) + Send + Sync>;
 
+/// A rank lifecycle transition driven through [`DeliveryEngine::set_rank_down`]
+/// (supervised kills and recoveries). Listeners registered with
+/// [`DeliveryEngine::on_rank_event`] — e.g. a runtime `Supervisor` — see
+/// every transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankEvent {
+    /// The rank went down at `at_ns` (trace-clock): all its traffic is
+    /// dropped until it is restored.
+    Down { rank: Rank, at_ns: u64 },
+    /// The rank came back at `at_ns`.
+    Restored { rank: Rank, at_ns: u64 },
+}
+
+/// Rank-event listener callback.
+pub type RankListener = Box<dyn Fn(RankEvent) + Send + Sync>;
+
+/// Debug marker for the delivery currently running: `(src, dst, channel,
+/// seq-ish tag, started)`. Populated only under `HIPER_SUPERVISE_DEBUG`.
+type DeliveryMark = (Rank, Rank, u8, u64, std::time::Instant);
+
 struct InFlight {
     /// Delivery deadline, ns on the shared trace clock.
     due: u64,
@@ -204,6 +224,26 @@ pub struct DeliveryEngine {
     cond: Condvar,
     seq: AtomicU64,
     shutdown: AtomicBool,
+    /// Per-rank supervised-down flags ([`set_rank_down`]); traffic to or
+    /// from a down rank is dropped (cause 2), independent of any
+    /// time-windowed [`FaultPlan`] kill.
+    ///
+    /// [`set_rank_down`]: DeliveryEngine::set_rank_down
+    down: Vec<AtomicBool>,
+    /// Like `down`, but *silent*: no trace events, no listener
+    /// notifications, and messages dropped in the window are expected to
+    /// be retransmitted by a reliable layer. [`pause_rank`] uses this to
+    /// carve an atomic cut for checkpoint snapshots (no handler can mutate
+    /// the rank's state while paused).
+    ///
+    /// [`pause_rank`]: DeliveryEngine::pause_rank
+    paused: Vec<AtomicBool>,
+    /// `dst + 1` while a delivery handler is running (0 = idle):
+    /// `set_rank_down` waits on it so that once the call returns, no
+    /// handler for the dead rank is still mid-delivery.
+    delivering: AtomicU64,
+    dbg_delivery: Mutex<Option<DeliveryMark>>,
+    rank_listeners: Mutex<Vec<RankListener>>,
     pub stats: NetStats,
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -236,6 +276,11 @@ impl DeliveryEngine {
             cond: Condvar::new(),
             seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            down: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            paused: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            delivering: AtomicU64::new(0),
+            dbg_delivery: Mutex::new(None),
+            rank_listeners: Mutex::new(Vec::new()),
             stats: NetStats::default(),
             thread: Mutex::new(None),
         });
@@ -245,6 +290,26 @@ impl DeliveryEngine {
             .spawn(move || engine2.run())
             .expect("failed to spawn delivery engine");
         *engine.thread.lock() = Some(handle);
+        if crate::supervise::debug_enabled() {
+            let weak = Arc::downgrade(&engine);
+            std::thread::spawn(move || loop {
+                std::thread::sleep(std::time::Duration::from_millis(500));
+                let Some(e) = weak.upgrade() else { return };
+                let snap = *e.dbg_delivery.lock();
+                if let Some((src, dst, chan, tag, t0)) = snap {
+                    if t0.elapsed() > std::time::Duration::from_secs(1) {
+                        eprintln!(
+                            "[engine] STUCK delivery src={} dst={} chan={} tag={:#x} for {:?}",
+                            src,
+                            dst,
+                            chan,
+                            tag,
+                            t0.elapsed()
+                        );
+                    }
+                }
+            });
+        }
         engine
     }
 
@@ -269,6 +334,136 @@ impl DeliveryEngine {
     pub fn register_handler(&self, rank: Rank, channel: crate::Channel, handler: Handler) {
         let mut st = self.state.lock();
         st.handlers[rank * 256 + channel.0 as usize] = Some(Arc::new(handler));
+    }
+
+    /// Registers a listener for supervised rank lifecycle transitions.
+    pub fn on_rank_event(&self, f: impl Fn(RankEvent) + Send + Sync + 'static) {
+        self.rank_listeners.lock().push(Box::new(f));
+    }
+
+    /// Drops every rank-event listener. Supervised-run teardown: a
+    /// listener closure typically holds the supervisor harness, which
+    /// holds this engine — clearing the vector breaks the reference cycle
+    /// so both (and the reliable endpoints the harness stores, along with
+    /// their retry threads) can actually drop when the run ends.
+    pub fn clear_rank_listeners(&self) {
+        self.rank_listeners.lock().clear();
+    }
+
+    /// Drops every registered delivery handler. Only valid once the engine
+    /// is stopped: handler closures commonly capture the endpoint that
+    /// registered them (endpoint → transport → engine → handler → endpoint
+    /// is a reference cycle), so teardown must break the table or every
+    /// endpoint of the run leaks for the life of the process.
+    pub fn clear_handlers(&self) {
+        debug_assert!(self.is_stopped(), "clear_handlers on a live engine");
+        let mut st = self.state.lock();
+        for slot in st.handlers.iter_mut() {
+            *slot = None;
+        }
+    }
+
+    /// True while `rank` is marked down by [`set_rank_down`].
+    ///
+    /// [`set_rank_down`]: DeliveryEngine::set_rank_down
+    pub fn rank_down(&self, rank: Rank) -> bool {
+        self.down[rank].load(Ordering::Acquire)
+    }
+
+    /// True when traffic touching `rank` must be dropped (down or paused).
+    #[inline]
+    fn severed(&self, rank: Rank) -> bool {
+        self.down[rank].load(Ordering::SeqCst) || self.paused[rank].load(Ordering::SeqCst)
+    }
+
+    /// Silently fences `rank` off the network: returns only when no
+    /// delivery handler for the rank is mid-flight, and until
+    /// [`unpause_rank`] every message to or from it is dropped. Unlike
+    /// [`set_rank_down`] this emits no trace events — it exists so a
+    /// checkpoint can capture transport watermarks and application state
+    /// as one consistent cut; dropped frames are retransmitted by the
+    /// reliable layer afterwards. Keep the window short.
+    ///
+    /// [`unpause_rank`]: DeliveryEngine::unpause_rank
+    /// [`set_rank_down`]: DeliveryEngine::set_rank_down
+    pub fn pause_rank(&self, rank: Rank) {
+        if !self.paused[rank].swap(true, Ordering::SeqCst) {
+            let mut spins = 0u64;
+            while self.delivering.load(Ordering::SeqCst) == rank as u64 + 1 {
+                std::hint::spin_loop();
+                spins += 1;
+                if spins == 100_000_000 && crate::supervise::debug_enabled() {
+                    eprintln!("[engine] pause_rank({rank}) stuck: delivery marker never clears");
+                }
+            }
+        }
+    }
+
+    /// Lifts a [`pause_rank`](DeliveryEngine::pause_rank) fence.
+    pub fn unpause_rank(&self, rank: Rank) {
+        self.paused[rank].store(false, Ordering::SeqCst);
+    }
+
+    /// Marks `rank` as down (supervised kill) or back up (recovery).
+    /// While down, every message to or from the rank is dropped (cause 2),
+    /// exactly like a [`FaultPlan`] kill window — but driven by the
+    /// supervisor at a deterministic point in the run rather than a
+    /// wall-clock offset. On `down = true` the call does not return until
+    /// any in-flight delivery to the rank has finished, so the caller can
+    /// immediately snapshot or roll back the rank's state without racing a
+    /// handler. Transitions emit `RankDown`/`RankRestored` trace events and
+    /// notify [`on_rank_event`] listeners.
+    ///
+    /// [`FaultPlan`]: crate::FaultPlan
+    /// [`on_rank_event`]: DeliveryEngine::on_rank_event
+    pub fn set_rank_down(&self, rank: Rank, down: bool) {
+        self.set_rank_state(rank, down, 0);
+    }
+
+    /// [`set_rank_down`]`(rank, false)`, but the `RankRestored` trace event
+    /// carries the rank's renegotiated transport epoch so a trace viewer
+    /// (and `trace_check`) can follow incarnations.
+    ///
+    /// [`set_rank_down`]: DeliveryEngine::set_rank_down
+    pub fn set_rank_restored(&self, rank: Rank, epoch: u32) {
+        self.set_rank_state(rank, false, epoch);
+    }
+
+    fn set_rank_state(&self, rank: Rank, down: bool, epoch: u32) {
+        let was = self.down[rank].swap(down, Ordering::SeqCst);
+        if was == down {
+            return;
+        }
+        if down {
+            // Wait out a handler currently delivering to this rank: after
+            // this spin, no pre-kill message can mutate its state. SeqCst
+            // pairs with the delivery-side marker store + down re-check.
+            while self.delivering.load(Ordering::SeqCst) == rank as u64 + 1 {
+                std::hint::spin_loop();
+            }
+        }
+        let at_ns = clock::now_ns();
+        if hiper_trace::enabled() {
+            hiper_trace::emit_at(
+                at_ns,
+                if down {
+                    EventKind::RankDown
+                } else {
+                    EventKind::RankRestored
+                },
+                rank as u64,
+                epoch as u64,
+                0,
+            );
+        }
+        let event = if down {
+            RankEvent::Down { rank, at_ns }
+        } else {
+            RankEvent::Restored { rank, at_ns }
+        };
+        for listener in self.rank_listeners.lock().iter() {
+            listener(event);
+        }
     }
 
     /// Injects a message; it will be delivered after the modeled delay.
@@ -307,6 +502,13 @@ impl DeliveryEngine {
                 link_word(msg.src, msg.dst),
                 msg_id,
             );
+        }
+        // Supervised rank-down severing: independent of (and checked before)
+        // the wall-clock fault plan, and deliberately not consuming a link
+        // sequence number so the pure fault schedule stays aligned.
+        if self.severed(msg.src) || self.severed(msg.dst) {
+            self.drop_msg(&msg, 2);
+            return;
         }
         let mut st = self.state.lock();
         let pair = (msg.src, msg.dst);
@@ -376,6 +578,24 @@ impl DeliveryEngine {
     /// Counts and traces a fault-injected loss (`cause`: 1 = random drop,
     /// 2 = partition/kill window, 3 = handler panic).
     fn drop_msg(&self, msg: &Message, cause: u64) {
+        if crate::supervise::debug_enabled() {
+            eprintln!(
+                "[engine] drop src={} dst={} chan={} tag={:#x} cause={} down=[{}] paused=[{}]",
+                msg.src,
+                msg.dst,
+                msg.channel.0,
+                msg.tag,
+                cause,
+                self.down
+                    .iter()
+                    .map(|d| if d.load(Ordering::Relaxed) { '1' } else { '0' })
+                    .collect::<String>(),
+                self.paused
+                    .iter()
+                    .map(|d| if d.load(Ordering::Relaxed) { '1' } else { '0' })
+                    .collect::<String>(),
+            );
+        }
         self.stats.dropped.fetch_add(1, Ordering::Relaxed);
         if hiper_trace::enabled() {
             hiper_trace::emit(
@@ -394,6 +614,14 @@ impl DeliveryEngine {
         if let Some(handle) = self.thread.lock().take() {
             let _ = handle.join();
         }
+    }
+
+    /// True once [`stop`](DeliveryEngine::stop) ran: nothing will ever be
+    /// delivered again. Reliable-transport retry threads poll this to die
+    /// with the cluster instead of burning their full retry budgets
+    /// against a wire that no longer exists.
+    pub fn is_stopped(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 
     /// Messages still in flight (diagnostics).
@@ -436,6 +664,18 @@ impl DeliveryEngine {
             if let Some((msg, handler, due, msg_id)) = delivery {
                 match handler {
                     Some(h) => {
+                        // Publish "delivering to dst" before re-checking the
+                        // down flags: paired SeqCst accesses in
+                        // `set_rank_down` guarantee that either this thread
+                        // sees the kill, or the killer waits for the
+                        // handler — a queued message can never mutate a
+                        // rank's state after `set_rank_down` returned.
+                        self.delivering.store(msg.dst as u64 + 1, Ordering::SeqCst);
+                        if self.severed(msg.src) || self.severed(msg.dst) {
+                            self.delivering.store(0, Ordering::SeqCst);
+                            self.drop_msg(&msg, 2);
+                            continue;
+                        }
                         if hiper_trace::enabled() {
                             // Stamped at the modeled due time (the engine
                             // drains at due + scheduling lateness; the
@@ -466,8 +706,26 @@ impl DeliveryEngine {
                         // causal parent.
                         let span = msg.span;
                         let prev_span = hiper_trace::set_current_task(span);
+                        let dbg = crate::supervise::debug_enabled();
+                        if dbg {
+                            *self.dbg_delivery.lock() = Some((
+                                info.0,
+                                info.1,
+                                info.2 .0,
+                                info.3,
+                                std::time::Instant::now(),
+                            ));
+                        }
                         let result =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h(msg)));
+                        // Clear the marker as soon as the handler is out of
+                        // flight: pause_rank/set_rank_down spin on it, and a
+                        // stale `dst + 1` from the *last* delivery would spin
+                        // them forever once the queue drains idle.
+                        self.delivering.store(0, Ordering::SeqCst);
+                        if dbg {
+                            *self.dbg_delivery.lock() = None;
+                        }
                         hiper_trace::set_current_task(prev_span);
                         if result.is_err() {
                             let (src, dst, channel, tag, wire) = info;

@@ -21,12 +21,14 @@ mod fault;
 mod message;
 pub mod pod;
 mod reliable;
+pub mod supervise;
 
 pub use cluster::{Cluster, RankEnv, SpmdBuilder};
-pub use engine::{NetConfig, NetStats, NetStatsSnapshot};
+pub use engine::{NetConfig, NetStats, NetStatsSnapshot, RankEvent};
 pub use fault::{FaultDecision, FaultPlan, Partition, RankKill};
 pub use message::{Channel, Message, Rank};
 pub use reliable::{ReliableTransport, RetryConfig};
+pub use supervise::{CrashToken, KillSpec, SupervisedCtx, SupervisorHarness};
 
 pub use cluster::Transport;
 pub use engine::DeliveryEngine;

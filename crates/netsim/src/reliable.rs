@@ -1,4 +1,5 @@
-//! Ack-based reliable delivery over a lossy [`Transport`].
+//! Ack-based reliable delivery over a lossy [`Transport`], with
+//! epoch-numbered incarnations for rank restart.
 //!
 //! When a [`crate::FaultPlan`] is armed, the wire may drop, duplicate,
 //! reorder and delay messages. `ReliableTransport` restores exactly-once,
@@ -14,12 +15,35 @@
 //!   [`RetryConfig::max_attempts`] — after which the peer is declared dead
 //!   and a typed [`ModuleError::Unreachable`] is recorded.
 //!
+//! # Epochs and rank restart (DESIGN.md §2.13)
+//!
+//! Every frame carries the sender's **epoch** — its incarnation number.
+//! When a supervised rank is restored from a checkpoint it calls
+//! [`ReliableTransport::restart`] with the per-peer receive watermarks
+//! captured in the snapshot: the endpoint bumps its epoch, resets its send
+//! sequence space to zero, rolls its receive cursors back to the
+//! watermarks, and broadcasts a `RESTART(epoch, cum)` frame to every peer.
+//! A peer seeing the higher epoch discards in-flight frames and acks from
+//! the old incarnation, clears its hold-back queue, treats `cum` as an
+//! implicit cumulative-ack reset (frames below it were durably
+//! checkpointed; frames at or above it are retransmitted), and confirms
+//! with `RESTART_ACK`. Peers keep their own sequence numbering toward the
+//! restarted rank, so the restored receive watermark lines up exactly with
+//! the retransmitted stream — exactly-once delivery across the crash.
+//!
+//! Frames a receiver already acked may still be *rolled back* by its
+//! restore; senders therefore retain acked frames in a replay log (when
+//! [`ReliableTransport::enable_retention`] is armed) until the receiver's
+//! periodic `CKPT(watermark)` frame confirms they are covered by a durable
+//! snapshot. The `RESTART` resync replays the log, reconstructing every
+//! delivered-then-rolled-back message.
+//!
 //! On a fault-free engine (no plan armed) every call passes straight
 //! through to the raw transport: no framing, no acks, no retry thread —
 //! zero overhead for normal runs.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -34,6 +58,13 @@ use crate::message::{Channel, Message, Rank};
 
 const FRAME_DATA: u8 = 1;
 const FRAME_ACK: u8 = 2;
+/// Restarted incarnation announcing its new epoch and receive watermark.
+const FRAME_RESTART: u8 = 3;
+/// Peer's confirmation that it resynchronized to the announced epoch.
+const FRAME_RESTART_ACK: u8 = 4;
+/// Receiver's durable-checkpoint watermark: retained frames below it may
+/// be garbage-collected from the sender's replay log.
+const FRAME_CKPT: u8 = 5;
 
 /// Retry policy for unacked frames.
 #[derive(Debug, Clone, Copy)]
@@ -62,16 +93,25 @@ impl Default for RetryConfig {
     }
 }
 
+/// A stored wire frame: (channel, tag, bytes, causal span).
+type StoredFrame = (Channel, u64, Bytes, u64);
+
 /// Per-peer sender + receiver state.
 #[derive(Default)]
 struct Peer {
+    /// Last known epoch (incarnation number) of this peer.
+    epoch: u32,
     /// Next sequence number to assign (send side).
     next_seq: u64,
     /// Sent but unacked frames, keyed by sequence number. Values are
     /// (channel, tag, frame, span): the exact wire frames, so
     /// retransmissions are byte-identical, plus the causal span captured at
     /// the *logical* send so retransmits keep the original parent.
-    unacked: BTreeMap<u64, (Channel, u64, Bytes, u64)>,
+    unacked: BTreeMap<u64, StoredFrame>,
+    /// Acked frames retained for restart replay (retention mode only):
+    /// delivered at the peer but not yet covered by one of its durable
+    /// checkpoints. GC'd by `FRAME_CKPT` watermarks.
+    log: BTreeMap<u64, StoredFrame>,
     /// Retransmit deadline for the head-of-line frame.
     head_deadline: Option<Instant>,
     /// Current (backed-off) timeout for the head frame.
@@ -84,14 +124,34 @@ struct Peer {
     held: BTreeMap<u64, Message>,
     /// Peer exhausted its retry budget; sends to it are discarded.
     dead: bool,
+    /// Supervisor hold: the peer is known-down and being recovered, so the
+    /// retry thread neither retransmits nor burns budget toward it.
+    quiesced: bool,
+    /// Our own `RESTART` toward this peer is not yet `RESTART_ACK`ed.
+    restart_pending: bool,
+    /// The receive watermark announced in our pending `RESTART`.
+    restart_cum: u64,
+    /// Resend deadline for the pending `RESTART`.
+    restart_deadline: Option<Instant>,
+    /// Resend attempts of the pending `RESTART`.
+    restart_attempts: u32,
+    /// When the most recent ack from this peer was applied.
+    last_ack_at: Option<Instant>,
 }
 
 struct State {
+    /// This endpoint's incarnation number (bumped by [`restart`]).
+    ///
+    /// [`restart`]: ReliableTransport::restart
+    my_epoch: u32,
     peers: Vec<Peer>,
     /// First unreachability error, if any ([`ReliableTransport::health`]).
     error: Option<ModuleError>,
     /// Retry thread handle bookkeeping: true once spawned.
     retry_running: bool,
+    /// Channels with registered handlers; control frames (`RESTART`,
+    /// `CKPT`) travel on the first one.
+    channels: Vec<Channel>,
 }
 
 /// Exactly-once, in-order delivery on top of a faulty [`Transport`];
@@ -101,6 +161,8 @@ pub struct ReliableTransport {
     module: &'static str,
     cfg: RetryConfig,
     enabled: bool,
+    /// Retain acked frames for restart replay (supervised runs).
+    retention: AtomicBool,
     state: Mutex<State>,
     cond: Condvar,
     /// Retransmitted frames (chaos-run diagnostics).
@@ -108,6 +170,9 @@ pub struct ReliableTransport {
     /// Keeps the head-of-line stall probe registered with the runtime
     /// watchdog for this endpoint's lifetime (deregisters on drop).
     _watchdog_probe: Mutex<Option<hiper_runtime::watchdog::ProbeHandle>>,
+    /// Keeps the per-peer state info (epoch, queue depths, last-ack age)
+    /// in the watchdog flight record for this endpoint's lifetime.
+    _watchdog_info: Mutex<Option<hiper_runtime::watchdog::InfoHandle>>,
 }
 
 impl ReliableTransport {
@@ -122,20 +187,24 @@ impl ReliableTransport {
             module,
             cfg,
             enabled,
+            retention: AtomicBool::new(false),
             state: Mutex::new(State {
+                my_epoch: 0,
                 peers: (0..nranks).map(|_| Peer::default()).collect(),
                 error: None,
                 retry_running: false,
+                channels: Vec::new(),
             }),
             cond: Condvar::new(),
             retries: AtomicU64::new(0),
             _watchdog_probe: Mutex::new(None),
+            _watchdog_info: Mutex::new(None),
         });
         // Under the watchdog, a head-of-line frame burning through its
         // retry budget (or a peer already declared dead) is evidence that
         // "no progress" is a wedged wire, not an idle app. The probe holds
         // a weak ref so it never outlives the endpoint.
-        if enabled && hiper_runtime::watchdog::armed() {
+        if enabled && hiper_runtime::watchdog::recording() {
             let weak = Arc::downgrade(&me);
             let name = format!("reliable[{} rank {}]", module, me.transport.rank());
             let probe = hiper_runtime::watchdog::register_probe(name, move || {
@@ -143,6 +212,13 @@ impl ReliableTransport {
                 me.head_of_line_report()
             });
             *me._watchdog_probe.lock() = Some(probe);
+            let weak = Arc::downgrade(&me);
+            let name = format!("reliable-state[{} rank {}]", module, me.transport.rank());
+            let info = hiper_runtime::watchdog::register_info(name, move || {
+                weak.upgrade()
+                    .map_or_else(|| "<endpoint dropped>".into(), |me| me.peer_state_report())
+            });
+            *me._watchdog_info.lock() = Some(info);
         }
         me
     }
@@ -185,6 +261,45 @@ impl ReliableTransport {
         }
     }
 
+    /// One line per peer with everything a stuck recovery needs: epoch,
+    /// retransmit queue depth, replay-log depth, receive cursor, and the
+    /// age of the last ack. Rendered into the watchdog flight record.
+    pub fn peer_state_report(&self) -> String {
+        let st = self.state.lock();
+        let me = self.transport.rank();
+        let mut lines = vec![format!("epoch={} rank={}", st.my_epoch, me)];
+        for (dst, peer) in st.peers.iter().enumerate() {
+            if dst == me {
+                continue;
+            }
+            let last_ack = peer.last_ack_at.map_or_else(
+                || "never".into(),
+                |t| format!("{}ms", t.elapsed().as_millis()),
+            );
+            lines.push(format!(
+                "->{}: epoch={} unacked={} log={} next_seq={} next_deliver={} held={} \
+                 attempts={} last_ack_age={}{}{}{}",
+                dst,
+                peer.epoch,
+                peer.unacked.len(),
+                peer.log.len(),
+                peer.next_seq,
+                peer.next_deliver,
+                peer.held.len(),
+                peer.head_attempts,
+                last_ack,
+                if peer.dead { " DEAD" } else { "" },
+                if peer.quiesced { " QUIESCED" } else { "" },
+                if peer.restart_pending {
+                    " RESTART-PENDING"
+                } else {
+                    ""
+                },
+            ));
+        }
+        lines.join("; ")
+    }
+
     /// This endpoint's rank.
     pub fn rank(&self) -> Rank {
         self.transport.rank()
@@ -210,12 +325,222 @@ impl ReliableTransport {
         self.retries.load(Ordering::Relaxed)
     }
 
+    /// This endpoint's current epoch (incarnation number).
+    pub fn epoch(&self) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        self.state.lock().my_epoch
+    }
+
     /// `Err` once any peer exhausted its retry budget.
     pub fn health(&self) -> Result<(), ModuleError> {
         match &self.state.lock().error {
             Some(e) => Err(e.clone()),
             None => Ok(()),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Supervision hooks (DESIGN.md §2.13)
+    // ------------------------------------------------------------------
+
+    /// Arms acked-frame retention: frames stay in a per-peer replay log
+    /// after the ack until a `CKPT` watermark from the receiver confirms a
+    /// durable snapshot covers them. Required for restart replay; bounded
+    /// by the receiver's checkpoint cadence.
+    pub fn enable_retention(&self) {
+        self.retention.store(true, Ordering::Release);
+    }
+
+    /// Per-peer receive cursors, for inclusion in a durable checkpoint.
+    /// [`restart`] rolls the receive side back to exactly these values.
+    ///
+    /// [`restart`]: ReliableTransport::restart
+    pub fn recv_watermarks(&self) -> Vec<u64> {
+        if !self.enabled {
+            return vec![0; self.transport.nranks()];
+        }
+        self.state
+            .lock()
+            .peers
+            .iter()
+            .map(|p| p.next_deliver)
+            .collect()
+    }
+
+    /// Announces a durable checkpoint to every peer: frames below
+    /// `watermarks[peer]` are covered by the snapshot and may leave the
+    /// peers' replay logs. Call with the watermarks stored in the snapshot.
+    pub fn checkpoint_mark(&self, watermarks: &[u64]) {
+        if !self.enabled {
+            return;
+        }
+        let me = self.transport.rank();
+        let (epoch, channel) = {
+            let st = self.state.lock();
+            match st.channels.first() {
+                Some(&c) => (st.my_epoch, c),
+                None => return,
+            }
+        };
+        for (dst, &w) in watermarks.iter().enumerate() {
+            if dst == me {
+                continue;
+            }
+            let mut buf = Vec::with_capacity(13);
+            buf.push(FRAME_CKPT);
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&w.to_le_bytes());
+            self.transport.send(dst, channel, 0, Bytes::from(buf));
+        }
+    }
+
+    /// Blocks until every DATA frame sent before this call has been
+    /// cumulatively acked by its receiver (retransmits keep running
+    /// underneath), or `timeout` expires; returns whether the drain
+    /// completed. Quiesced and dead peers are skipped — frames toward a
+    /// crashed peer are replayed by the epoch resync when it recovers.
+    ///
+    /// This is the send-side half of the supervised crash discipline: a
+    /// victim's [`restart`] voids the dead incarnation's sequence space,
+    /// so any frame still unacked when the rank dies would be lost forever
+    /// — replay only regenerates sends *after* the checkpoint cut. The
+    /// harness therefore drains the victim's unacked queues right before
+    /// unwinding ([`SupervisorHarness::crash_point`]), making "everything
+    /// the victim sent before dying was delivered" an invariant rather
+    /// than a race.
+    ///
+    /// [`restart`]: ReliableTransport::restart
+    /// [`SupervisorHarness::crash_point`]: crate::SupervisorHarness::crash_point
+    pub fn flush(&self, timeout: Duration) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            let pending = st
+                .peers
+                .iter()
+                .any(|p| !p.quiesced && !p.dead && !p.unacked.is_empty());
+            if !pending {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            // Re-check on a short tick: acks arrive on the delivery
+            // thread, which doesn't signal this condvar.
+            self.cond.wait_for(&mut st, Duration::from_micros(200));
+        }
+    }
+
+    /// Supervisor hold on one peer: while quiesced, the retry thread
+    /// neither retransmits toward it nor burns its retry budget, and new
+    /// sends are queued without touching the wire. Releasing the hold
+    /// grants the head-of-line frame a fresh budget and retransmits
+    /// immediately.
+    pub fn quiesce_peer(&self, peer: Rank, on: bool) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut st = self.state.lock();
+            let p = &mut st.peers[peer];
+            p.quiesced = on;
+            if !on {
+                p.head_attempts = 0;
+                p.head_timeout = self.cfg.timeout;
+                p.head_deadline = if p.unacked.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+                if p.restart_pending {
+                    p.restart_deadline = Some(Instant::now());
+                }
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Restarts this endpoint as a new incarnation restored from a
+    /// checkpoint: bumps the epoch, resets the send sequence space, rolls
+    /// receive cursors back to `recv_watermarks` (the values captured by
+    /// [`recv_watermarks`] in the snapshot), clears any terminal error, and
+    /// broadcasts `RESTART` to every peer (retransmitted until
+    /// acknowledged). Returns the new epoch.
+    ///
+    /// [`recv_watermarks`]: ReliableTransport::recv_watermarks
+    pub fn restart(self: &Arc<Self>, recv_watermarks: &[u64]) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        let me = self.transport.rank();
+        let now = Instant::now();
+        let (epoch, channel, restarts) = {
+            let mut st = self.state.lock();
+            st.my_epoch += 1;
+            st.error = None;
+            let epoch = st.my_epoch;
+            let channel = st.channels.first().copied();
+            let mut restarts = Vec::new();
+            for (dst, peer) in st.peers.iter_mut().enumerate() {
+                if dst == me {
+                    // The self-link dies with the rank: both endpoints are
+                    // part of the crashed state, so it restarts from scratch
+                    // — fresh sequence space in both directions, and the
+                    // observed self-epoch pre-advanced so stale pre-crash
+                    // self-frames still in flight are discarded on arrival
+                    // (rather than tripping the new-epoch cursor reset in
+                    // `observe_epoch` after replay self-sends resume).
+                    peer.next_seq = 0;
+                    peer.unacked.clear();
+                    peer.log.clear();
+                    peer.head_deadline = None;
+                    peer.head_timeout = self.cfg.timeout;
+                    peer.head_attempts = 0;
+                    peer.dead = false;
+                    peer.quiesced = false;
+                    peer.next_deliver = 0;
+                    peer.held.clear();
+                    peer.epoch = epoch;
+                    peer.restart_pending = false;
+                    peer.restart_deadline = None;
+                    continue;
+                }
+                let cum = recv_watermarks.get(dst).copied().unwrap_or(0);
+                // Send side: brand-new sequence space under the new epoch.
+                peer.next_seq = 0;
+                peer.unacked.clear();
+                peer.log.clear();
+                peer.head_deadline = None;
+                peer.head_timeout = self.cfg.timeout;
+                peer.head_attempts = 0;
+                peer.dead = false;
+                peer.quiesced = false;
+                // Receive side: exactly the snapshot's cursor; everything
+                // at or above it is retransmitted/replayed by the peer.
+                peer.next_deliver = cum;
+                peer.held.clear();
+                peer.restart_pending = true;
+                peer.restart_cum = cum;
+                peer.restart_deadline = Some(now);
+                peer.restart_attempts = 0;
+                restarts.push((dst, cum));
+            }
+            (epoch, channel, restarts)
+        };
+        if let Some(channel) = channel {
+            for (dst, cum) in restarts {
+                self.transport
+                    .send(dst, channel, 0, restart_frame(epoch, cum));
+            }
+        }
+        self.ensure_retry_thread();
+        self.cond.notify_all();
+        epoch
     }
 
     /// Sends `payload` to `dst`, reliably when faults are armed. Sends to a
@@ -232,14 +557,16 @@ impl ReliableTransport {
         let span = hiper_trace::current_task();
         let frame = {
             let mut st = self.state.lock();
+            let epoch = st.my_epoch;
             let peer = &mut st.peers[dst];
             if peer.dead {
                 return;
             }
             let seq = peer.next_seq;
             peer.next_seq += 1;
-            let mut buf = Vec::with_capacity(9 + payload.len());
+            let mut buf = Vec::with_capacity(13 + payload.len());
             buf.push(FRAME_DATA);
+            buf.extend_from_slice(&epoch.to_le_bytes());
             buf.extend_from_slice(&seq.to_le_bytes());
             buf.extend_from_slice(&payload);
             let frame = Bytes::from(buf);
@@ -250,9 +577,16 @@ impl ReliableTransport {
                 peer.head_attempts = 1;
                 peer.head_deadline = Some(Instant::now() + self.cfg.timeout);
             }
-            frame
+            if peer.quiesced {
+                // Queue silently; the release retransmits from the head.
+                None
+            } else {
+                Some(frame)
+            }
         };
-        self.transport.send_span(dst, channel, tag, frame, span);
+        if let Some(frame) = frame {
+            self.transport.send_span(dst, channel, tag, frame, span);
+        }
         self.ensure_retry_thread();
         self.cond.notify_all();
     }
@@ -269,6 +603,7 @@ impl ReliableTransport {
         if !self.enabled {
             return self.transport.register_handler(channel, inner);
         }
+        self.state.lock().channels.push(channel);
         let me = Arc::clone(self);
         self.transport.register_handler(
             channel,
@@ -276,24 +611,87 @@ impl ReliableTransport {
         );
     }
 
+    /// Observes `src` at incarnation `claimed` (must hold the state lock
+    /// via `st`). On an epoch advance: forgets the dead incarnation's
+    /// receive state, revives the peer, and clears a stale terminal error.
+    /// Returns false when the frame is from a *stale* incarnation and must
+    /// be discarded.
+    fn observe_epoch(st: &mut State, src: Rank, claimed: u32, module: &'static str) -> bool {
+        let peer = &mut st.peers[src];
+        if claimed < peer.epoch {
+            return false;
+        }
+        if claimed > peer.epoch {
+            peer.epoch = claimed;
+            // The old incarnation's in-flight frames are void: reset the
+            // receive cursor for the restarted sender's fresh sequence
+            // space and drop held frames from before the crash.
+            peer.next_deliver = 0;
+            peer.held.clear();
+            // A restarted peer is reachable again by definition.
+            peer.dead = false;
+            peer.quiesced = false;
+            peer.head_attempts = 0;
+            if let Some(ModuleError::Unreachable { peer: p, .. }) = &st.error {
+                if *p == src && st.error.as_ref().map(|e| e.module()) == Some(module) {
+                    st.error = None;
+                }
+            }
+        }
+        true
+    }
+
+    /// Resynchronizes the send side toward a restarted `src` around the
+    /// announced cumulative watermark: frames below `cum` are durably
+    /// checkpointed at the peer and dropped; retained/unacked frames at or
+    /// above it are queued for retransmission. Returns the frames to burst
+    /// onto the wire, in sequence order.
+    fn resync_send_side(peer: &mut Peer, cum: u64, cfg: &RetryConfig) -> Vec<StoredFrame> {
+        // Replay log first: its sequence numbers precede every unacked one.
+        let keep_log = peer.log.split_off(&cum);
+        peer.log.clear();
+        for (seq, frame) in keep_log {
+            peer.unacked.insert(seq, frame);
+        }
+        peer.unacked = peer.unacked.split_off(&cum);
+        peer.head_timeout = cfg.timeout;
+        peer.head_attempts = 1;
+        peer.head_deadline = if peer.unacked.is_empty() {
+            None
+        } else {
+            Some(Instant::now() + cfg.timeout)
+        };
+        peer.unacked.values().cloned().collect()
+    }
+
     /// Decodes one wire frame (runs on the delivery-engine thread).
     fn on_wire(self: &Arc<Self>, channel: Channel, inner: &Handler, msg: Message) {
         let raw = &msg.payload;
-        if raw.is_empty() {
+        if raw.len() < 5 {
             return;
         }
         let kind = raw[0];
-        if raw.len() < 9 {
-            return;
-        }
-        let word = u64::from_le_bytes(raw[1..9].try_into().unwrap());
+        let epoch_field = u32::from_le_bytes(raw[1..5].try_into().unwrap());
+        let src = msg.src;
         match kind {
-            FRAME_DATA => {
-                let seq = word;
-                let src = msg.src;
-                let body = raw.slice(9..raw.len());
+            FRAME_DATA if raw.len() >= 13 => {
+                let seq = u64::from_le_bytes(raw[5..13].try_into().unwrap());
+                let body = raw.slice(13..raw.len());
                 let (deliverable, ack) = {
                     let mut st = self.state.lock();
+                    if !Self::observe_epoch(&mut st, src, epoch_field, self.module) {
+                        if crate::supervise::debug_enabled() {
+                            eprintln!(
+                                "[rel r{}] drop stale DATA src={} epoch={} seq={}",
+                                self.transport.rank(),
+                                src,
+                                epoch_field,
+                                seq
+                            );
+                        }
+                        return;
+                    }
+                    let my_epoch = st.my_epoch;
                     let peer = &mut st.peers[src];
                     let mut deliverable = Vec::new();
                     if seq >= peer.next_deliver {
@@ -312,37 +710,142 @@ impl ReliableTransport {
                             peer.held.insert(seq, stripped);
                         }
                     }
-                    (deliverable, peer.next_deliver)
+                    (
+                        deliverable,
+                        ack_frame(epoch_field, my_epoch, peer.next_deliver),
+                    )
                 };
                 // Deliver outside the lock: handlers may re-enter send().
                 for m in deliverable {
                     inner(m);
                 }
-                let mut buf = Vec::with_capacity(9);
-                buf.push(FRAME_ACK);
-                buf.extend_from_slice(&ack.to_le_bytes());
-                self.transport.send(src, channel, 0, Bytes::from(buf));
+                self.transport.send(src, channel, 0, ack);
             }
-            FRAME_ACK => {
-                let cum = word;
-                let mut st = self.state.lock();
-                let peer = &mut st.peers[msg.src];
-                let had = peer.unacked.len();
-                peer.unacked = peer.unacked.split_off(&cum);
-                if peer.unacked.len() < had {
-                    // Head of line advanced: fresh retry budget for the new
-                    // head (per-frame bounded attempts).
-                    peer.head_timeout = self.cfg.timeout;
-                    peer.head_attempts = 1;
-                    peer.head_deadline = if peer.unacked.is_empty() {
-                        None
+            FRAME_ACK if raw.len() >= 17 => {
+                // data_epoch: whose send space the cum refers to (ours, if
+                // current); acker_epoch: the acker's incarnation.
+                let data_epoch = epoch_field;
+                let acker_epoch = u32::from_le_bytes(raw[5..9].try_into().unwrap());
+                let cum = u64::from_le_bytes(raw[9..17].try_into().unwrap());
+                let burst = {
+                    let mut st = self.state.lock();
+                    let known = st.peers[src].epoch;
+                    if acker_epoch < known {
+                        // Ack from a dead incarnation: its cum refers to
+                        // receive state that was rolled back. Applying it
+                        // would falsely retire frames the restored peer
+                        // still needs.
+                        if crate::supervise::debug_enabled() {
+                            eprintln!(
+                                "[rel r{}] drop stale ACK src={} acker_epoch={} known={} cum={}",
+                                self.transport.rank(),
+                                src,
+                                acker_epoch,
+                                known,
+                                cum
+                            );
+                        }
+                        return;
+                    }
+                    if data_epoch != st.my_epoch {
+                        // Acks our own previous incarnation's space.
+                        if crate::supervise::debug_enabled() {
+                            eprintln!(
+                                "[rel r{}] drop old-space ACK src={} data_epoch={} my_epoch={} cum={}",
+                                self.transport.rank(),
+                                src,
+                                data_epoch,
+                                st.my_epoch,
+                                cum,
+                            );
+                        }
+                        return;
+                    }
+                    let epoch_advance = acker_epoch > known;
+                    if !Self::observe_epoch(&mut st, src, acker_epoch, self.module) {
+                        return;
+                    }
+                    let retention = self.retention.load(Ordering::Acquire);
+                    let cfg = self.cfg;
+                    let peer = &mut st.peers[src];
+                    peer.last_ack_at = Some(Instant::now());
+                    if epoch_advance {
+                        // The ack overtook the peer's RESTART frame: its
+                        // cum is the restored receive watermark, so run the
+                        // full resync now rather than waiting.
+                        Self::resync_send_side(peer, cum, &cfg)
                     } else {
-                        Some(Instant::now() + self.cfg.timeout)
-                    };
+                        let mut acked = peer.unacked.split_off(&cum);
+                        std::mem::swap(&mut acked, &mut peer.unacked);
+                        if !acked.is_empty() {
+                            if retention {
+                                peer.log.extend(acked);
+                            }
+                            // Head of line advanced: fresh retry budget for
+                            // the new head (per-frame bounded attempts).
+                            peer.head_timeout = cfg.timeout;
+                            peer.head_attempts = 1;
+                            peer.head_deadline = if peer.unacked.is_empty() {
+                                None
+                            } else {
+                                Some(Instant::now() + cfg.timeout)
+                            };
+                        }
+                        Vec::new()
+                    }
+                };
+                self.burst(src, burst);
+            }
+            FRAME_RESTART if raw.len() >= 13 => {
+                let cum = u64::from_le_bytes(raw[5..13].try_into().unwrap());
+                let (burst, ack) = {
+                    let mut st = self.state.lock();
+                    if !Self::observe_epoch(&mut st, src, epoch_field, self.module) {
+                        return;
+                    }
+                    let cfg = self.cfg;
+                    let peer = &mut st.peers[src];
+                    // Idempotent on duplicates: re-pruning below cum and
+                    // re-sending the burst/ack is harmless.
+                    let burst = Self::resync_send_side(peer, cum, &cfg);
+                    (burst, restart_ack_frame(epoch_field))
+                };
+                self.transport.send(src, channel, 0, ack);
+                self.burst(src, burst);
+            }
+            FRAME_RESTART_ACK => {
+                let mut st = self.state.lock();
+                if epoch_field == st.my_epoch {
+                    let peer = &mut st.peers[src];
+                    peer.restart_pending = false;
+                    peer.restart_deadline = None;
                 }
+            }
+            FRAME_CKPT if raw.len() >= 13 => {
+                let watermark = u64::from_le_bytes(raw[5..13].try_into().unwrap());
+                let mut st = self.state.lock();
+                if !Self::observe_epoch(&mut st, src, epoch_field, self.module) {
+                    return;
+                }
+                // Frames below the watermark are inside the peer's durable
+                // snapshot: a restart can never need them again.
+                let peer = &mut st.peers[src];
+                peer.log = peer.log.split_off(&watermark);
             }
             _ => {}
         }
+    }
+
+    /// Retransmits a resync burst in sequence order (outside the lock).
+    fn burst(self: &Arc<Self>, dst: Rank, frames: Vec<StoredFrame>) {
+        if frames.is_empty() {
+            return;
+        }
+        for (channel, tag, frame, span) in frames {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.transport.send_span(dst, channel, tag, frame, span);
+        }
+        self.cond.notify_all();
     }
 
     fn ensure_retry_thread(self: &Arc<Self>) {
@@ -360,23 +863,84 @@ impl ReliableTransport {
     }
 }
 
+fn ack_frame(data_epoch: u32, acker_epoch: u32, cum: u64) -> Bytes {
+    let mut buf = Vec::with_capacity(17);
+    buf.push(FRAME_ACK);
+    buf.extend_from_slice(&data_epoch.to_le_bytes());
+    buf.extend_from_slice(&acker_epoch.to_le_bytes());
+    buf.extend_from_slice(&cum.to_le_bytes());
+    Bytes::from(buf)
+}
+
+fn restart_frame(epoch: u32, cum: u64) -> Bytes {
+    let mut buf = Vec::with_capacity(13);
+    buf.push(FRAME_RESTART);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&cum.to_le_bytes());
+    Bytes::from(buf)
+}
+
+fn restart_ack_frame(epoch: u32) -> Bytes {
+    let mut buf = Vec::with_capacity(5);
+    buf.push(FRAME_RESTART_ACK);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    Bytes::from(buf)
+}
+
 /// The per-endpoint retry thread: retransmits head-of-line frames whose
-/// deadline passed, declares peers unreachable when the budget is gone, and
-/// exits when the owning [`ReliableTransport`] is dropped.
+/// deadline passed, re-sends unacknowledged `RESTART` announcements,
+/// declares peers unreachable when the budget is gone, and exits when the
+/// owning [`ReliableTransport`] is dropped or the cluster's delivery
+/// engine stops (a stopped wire can never ack, so retrying against it
+/// only burns CPU and spams `Unreachable` errors long after the run).
 fn retry_loop(weak: Weak<ReliableTransport>) {
     loop {
         let me = match weak.upgrade() {
             Some(me) => me,
             None => return,
         };
+        if me.transport.engine().is_stopped() {
+            return;
+        }
         let now = Instant::now();
         #[allow(clippy::type_complexity)]
         let mut resend: Vec<(Rank, Channel, u64, Bytes, u64, u32, u64)> = Vec::new();
+        let mut control: Vec<(Rank, Channel, Bytes)> = Vec::new();
         let mut wait = Duration::from_millis(20);
         {
             let mut st = me.state.lock();
+            let my_epoch = st.my_epoch;
+            let control_channel = st.channels.first().copied();
             let mut newly_dead: Option<(Rank, u32)> = None;
             for (dst, peer) in st.peers.iter_mut().enumerate() {
+                if peer.quiesced {
+                    continue;
+                }
+                // Unacked RESTART announcements get their own resend loop:
+                // the epoch handshake must survive drop injection.
+                if peer.restart_pending {
+                    if let (Some(deadline), Some(channel)) =
+                        (peer.restart_deadline, control_channel)
+                    {
+                        if deadline <= now {
+                            if peer.restart_attempts >= me.cfg.max_attempts {
+                                peer.restart_pending = false;
+                                peer.restart_deadline = None;
+                            } else {
+                                peer.restart_attempts += 1;
+                                peer.restart_deadline = Some(now + me.cfg.timeout);
+                                wait = wait.min(me.cfg.timeout);
+                                control.push((
+                                    dst,
+                                    channel,
+                                    restart_frame(my_epoch, peer.restart_cum),
+                                ));
+                            }
+                        } else {
+                            wait = wait.min(deadline - now);
+                        }
+                    }
+                }
                 let deadline = match peer.head_deadline {
                     Some(d) if !peer.dead => d,
                     _ => continue,
@@ -388,12 +952,25 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                 if peer.head_attempts >= me.cfg.max_attempts {
                     peer.dead = true;
                     peer.unacked.clear();
+                    peer.log.clear();
                     peer.head_deadline = None;
                     newly_dead = Some((dst, peer.head_attempts));
                     continue;
                 }
                 let (&seq, (channel, tag, frame, span)) =
                     peer.unacked.iter().next().expect("deadline without frame");
+                if peer.head_attempts < 3 && crate::supervise::debug_enabled() {
+                    eprintln!(
+                        "[rel r{}] retransmit dst={} seq={} kind={} attempt={} chan={} tag={:#x}",
+                        me.transport.rank(),
+                        dst,
+                        seq,
+                        frame.first().copied().unwrap_or(255),
+                        peer.head_attempts + 1,
+                        channel.0,
+                        tag,
+                    );
+                }
                 peer.head_attempts += 1;
                 peer.head_timeout = Duration::from_secs_f64(
                     (peer.head_timeout.as_secs_f64() * me.cfg.backoff)
@@ -412,12 +989,29 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                 ));
             }
             if let Some((dst, attempts)) = newly_dead {
+                if crate::supervise::debug_enabled() {
+                    let p = &st.peers[dst];
+                    eprintln!(
+                        "[rel r{}] dst {} dead: head_seq={:?} unacked={} log={} my_epoch={} peer_epoch={} next_deliver={}",
+                        me.transport.rank(),
+                        dst,
+                        p.unacked.keys().next(),
+                        p.unacked.len(),
+                        p.log.len(),
+                        my_epoch,
+                        p.epoch,
+                        p.next_deliver,
+                    );
+                }
                 let err = ModuleError::unreachable(me.module, dst, attempts);
                 eprintln!("[hiper-netsim] {}", err);
                 if st.error.is_none() {
                     st.error = Some(err);
                 }
             }
+        }
+        for (dst, channel, frame) in control {
+            me.transport.send(dst, channel, 0, frame);
         }
         for (dst, channel, tag, frame, seq, attempt, span) in resend {
             me.retries.fetch_add(1, Ordering::Relaxed);
@@ -447,6 +1041,7 @@ impl std::fmt::Debug for ReliableTransport {
             .field("module", &self.module)
             .field("rank", &self.transport.rank())
             .field("enabled", &self.enabled)
+            .field("epoch", &self.epoch())
             .field("retries", &self.retry_count())
             .finish()
     }

@@ -36,6 +36,7 @@ mod runtime;
 mod scheduler;
 mod smallfn;
 pub mod stats;
+pub mod supervisor;
 mod task;
 pub mod watchdog;
 
@@ -46,5 +47,8 @@ pub use event::{Event, WakeHub};
 pub use module::{ModuleError, PollFn, Poller, SchedulerModule};
 pub use promise::{when_all, Future, Promise, TaskError};
 pub use runtime::{Runtime, RuntimeBuilder};
-pub use stats::{ModuleStats, SchedStatsSnapshot};
+pub use stats::{ModuleStats, SchedStats, SchedStatsSnapshot};
+pub use supervisor::{
+    FailureSignal, RecoveryError, RecoveryPhase, RetryOn, RetryPolicy, Supervisor,
+};
 pub use task::FinishScope;

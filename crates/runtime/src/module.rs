@@ -44,6 +44,15 @@ pub enum ModuleError {
         /// Send attempts made before giving up.
         attempts: u32,
     },
+    /// A malformed or unexpected wire frame (truncated header, unknown
+    /// opcode, protocol state desync). The frame is dropped and the error
+    /// recorded; handlers must not panic the delivery-engine thread.
+    Protocol {
+        /// Name of the reporting module.
+        module: &'static str,
+        /// What was wrong with the frame.
+        detail: String,
+    },
 }
 
 impl ModuleError {
@@ -64,10 +73,20 @@ impl ModuleError {
         }
     }
 
+    /// Creates a wire-protocol error for `module`.
+    pub fn protocol(module: &'static str, detail: impl Into<String>) -> ModuleError {
+        ModuleError::Protocol {
+            module,
+            detail: detail.into(),
+        }
+    }
+
     /// Name of the module that raised the error.
     pub fn module(&self) -> &'static str {
         match self {
-            ModuleError::Init { module, .. } | ModuleError::Unreachable { module, .. } => module,
+            ModuleError::Init { module, .. }
+            | ModuleError::Unreachable { module, .. }
+            | ModuleError::Protocol { module, .. } => module,
         }
     }
 }
@@ -87,6 +106,9 @@ impl fmt::Display for ModuleError {
                 "module '{}': rank {} unreachable after {} attempts",
                 module, peer, attempts
             ),
+            ModuleError::Protocol { module, detail } => {
+                write!(f, "module '{}': protocol violation: {}", module, detail)
+            }
         }
     }
 }

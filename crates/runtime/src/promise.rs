@@ -82,6 +82,10 @@ const POISONED: usize = 4;
 pub struct TaskError {
     /// Human-readable failure reason (usually the panic payload).
     pub message: String,
+    /// Explicitly marked transient at construction (see
+    /// [`TaskError::transient`]); `is_transient` also pattern-matches the
+    /// message so propagated wrappers keep the classification.
+    transient: bool,
 }
 
 impl TaskError {
@@ -89,7 +93,39 @@ impl TaskError {
     pub fn new(message: impl Into<String>) -> TaskError {
         TaskError {
             message: message.into(),
+            transient: false,
         }
+    }
+
+    /// Creates an error explicitly classified transient — safe to retry
+    /// under a `RetryOn::Transient` policy regardless of its message.
+    pub fn transient(message: impl Into<String>) -> TaskError {
+        TaskError {
+            message: message.into(),
+            transient: true,
+        }
+    }
+
+    /// Whether a supervised scope should consider retrying after this
+    /// failure: either explicitly flagged, or the message matches a known
+    /// transient cause (unreachable peer, timeout, rank-down window).
+    /// Poison propagation wraps messages ("dependency poisoned: ...") but
+    /// preserves the original text, so the match survives chaining.
+    pub fn is_transient(&self) -> bool {
+        if self.transient {
+            return true;
+        }
+        let m = self.message.to_ascii_lowercase();
+        [
+            "unreachable",
+            "timed out",
+            "timeout",
+            "transient",
+            "rank down",
+            "peer dead",
+        ]
+        .iter()
+        .any(|pat| m.contains(pat))
     }
 }
 

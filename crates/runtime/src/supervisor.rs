@@ -1,0 +1,416 @@
+//! Supervised execution: failure signals, the recovery state machine, and
+//! retry policies for resilient finish scopes.
+//!
+//! The paper's pluggable-module design gives the unified runtime a global
+//! view of communication *and* computation; this module adds the control
+//! plane that exploits it when a rank dies. Failure signals flow in from
+//! three sources — reliable-transport dead-peer reports, watchdog probe
+//! verdicts, and the netsim `RankDown` event — and a [`Supervisor`] drives
+//! each affected rank through a small state machine:
+//!
+//! ```text
+//!            report(Down)        begin_recovery()
+//!  Healthy ───────────────▶ Detected ───────────▶ Quiescing
+//!     ▲                                                │ advance(Restoring)
+//!     │ mark_resumed()                                 ▼
+//!  Resumed ◀── advance(Replaying) ◀──────────── Restoring
+//!                                                      │ no checkpoint /
+//!                                                      │ circuit open
+//!                                                      ▼
+//!                                                   Failed (terminal)
+//! ```
+//!
+//! The transition driver itself (quiesce in-flight sends, restore the
+//! checkpoint image, bump the reliable-transport epoch, replay) lives in
+//! the simulated cluster (`hiper-netsim`), which owns the endpoints; this
+//! module owns the bookkeeping, the circuit breaker, and the
+//! [`RetryPolicy`] used by `Runtime::finish_supervised`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::promise::TaskError;
+
+/// A failure observation delivered to the supervisor. Variants mirror the
+/// three detection paths plus the all-clear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureSignal {
+    /// A reliable transport declared a peer dead after exhausting
+    /// retransmits. `module` is the owning module's name ("shmem", "mpi").
+    PeerDead { module: &'static str, rank: u32 },
+    /// The simulated network severed a rank (supervised kill).
+    RankDown { rank: u32, at_ns: u64 },
+    /// A previously-down rank finished recovery.
+    RankRestored { rank: u32, at_ns: u64 },
+    /// A watchdog probe reported a stall attributable to a rank.
+    ProbeStall { probe: String, rank: u32 },
+}
+
+impl FailureSignal {
+    /// The rank this signal is about.
+    pub fn rank(&self) -> u32 {
+        match self {
+            FailureSignal::PeerDead { rank, .. }
+            | FailureSignal::RankDown { rank, .. }
+            | FailureSignal::RankRestored { rank, .. }
+            | FailureSignal::ProbeStall { rank, .. } => *rank,
+        }
+    }
+
+    /// True for signals that indicate the rank is (still) unhealthy.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, FailureSignal::RankRestored { .. })
+    }
+}
+
+/// Where a rank currently sits in the recovery lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// No failure observed (or fully recovered and reported resumed).
+    Healthy,
+    /// A failure signal arrived; recovery has not started.
+    Detected,
+    /// In-flight sends toward the dead rank are being fenced off.
+    Quiescing,
+    /// The checkpoint image is being restored.
+    Restoring,
+    /// The rank is re-executing work since its last checkpoint.
+    Replaying,
+    /// Recovery completed; the rank is live under a new epoch.
+    Resumed,
+    /// Recovery is permanently abandoned (no checkpoint, or the circuit
+    /// breaker opened). Terminal: further `begin_recovery` calls fail.
+    Failed,
+}
+
+/// Why a recovery attempt could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// No checkpoint snapshot exists for the rank (it died before its
+    /// first checkpoint). The rank degrades to a terminal unreachable.
+    NoCheckpoint,
+    /// Every stored snapshot failed validation.
+    Corrupt(String),
+    /// The per-rank recovery budget is exhausted; the breaker converts
+    /// further failures into the ordinary typed error path.
+    CircuitOpen,
+    /// The checkpoint backend or transport reported an error.
+    Backend(String),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::NoCheckpoint => write!(f, "no checkpoint available for rank"),
+            RecoveryError::Corrupt(s) => write!(f, "all snapshots corrupt: {}", s),
+            RecoveryError::CircuitOpen => write!(f, "recovery circuit breaker open"),
+            RecoveryError::Backend(s) => write!(f, "recovery backend error: {}", s),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+#[derive(Debug, Default)]
+struct RankRecord {
+    phase: Option<RecoveryPhase>,
+    attempts: u32,
+}
+
+/// Per-cluster recovery coordinator. One instance supervises all ranks;
+/// it is cheap (two mutex-guarded maps) and safe to share via `Arc`.
+#[derive(Debug)]
+pub struct Supervisor {
+    /// Recovery attempts allowed per rank before the breaker opens.
+    max_recoveries_per_rank: u32,
+    ranks: Mutex<HashMap<u32, RankRecord>>,
+    /// Every signal ever reported, in arrival order (flight-record fodder
+    /// and test observability).
+    log: Mutex<Vec<FailureSignal>>,
+}
+
+impl Supervisor {
+    /// Creates a supervisor allowing `max_recoveries_per_rank` recovery
+    /// attempts per rank (0 means never recover — every kill degrades).
+    pub fn new(max_recoveries_per_rank: u32) -> Supervisor {
+        Supervisor {
+            max_recoveries_per_rank,
+            ranks: Mutex::new(HashMap::new()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records a failure signal. Failure-indicating signals move a
+    /// `Healthy`/`Resumed` rank to `Detected`; `RankRestored` is logged
+    /// but does not change phase (that is `mark_resumed`'s job, called by
+    /// whoever drove the recovery).
+    pub fn report(&self, sig: FailureSignal) {
+        let rank = sig.rank();
+        if sig.is_failure() {
+            let mut ranks = self.ranks.lock();
+            let rec = ranks.entry(rank).or_default();
+            match rec.phase {
+                None | Some(RecoveryPhase::Healthy) | Some(RecoveryPhase::Resumed) => {
+                    rec.phase = Some(RecoveryPhase::Detected);
+                }
+                // Already mid-recovery or terminally failed: keep phase.
+                Some(_) => {}
+            }
+        }
+        self.log.lock().push(sig);
+    }
+
+    /// Current phase for `rank` (`Healthy` when never reported).
+    pub fn phase(&self, rank: u32) -> RecoveryPhase {
+        self.ranks
+            .lock()
+            .get(&rank)
+            .and_then(|r| r.phase)
+            .unwrap_or(RecoveryPhase::Healthy)
+    }
+
+    /// Recovery attempts started for `rank` so far.
+    pub fn attempts(&self, rank: u32) -> u32 {
+        self.ranks
+            .lock()
+            .get(&rank)
+            .map(|r| r.attempts)
+            .unwrap_or(0)
+    }
+
+    /// Claims the right to recover `rank`: checks the circuit breaker,
+    /// bumps the attempt count, and moves the rank to `Quiescing`.
+    ///
+    /// Errors leave the rank in `Failed` (terminal), which is exactly the
+    /// degradation path: the caller routes the failure into the module's
+    /// existing typed error (`ModuleError::Unreachable`) instead of
+    /// recovering.
+    pub fn begin_recovery(&self, rank: u32) -> Result<(), RecoveryError> {
+        let mut ranks = self.ranks.lock();
+        let rec = ranks.entry(rank).or_default();
+        if rec.phase == Some(RecoveryPhase::Failed) {
+            return Err(RecoveryError::CircuitOpen);
+        }
+        if rec.attempts >= self.max_recoveries_per_rank {
+            rec.phase = Some(RecoveryPhase::Failed);
+            return Err(RecoveryError::CircuitOpen);
+        }
+        rec.attempts += 1;
+        rec.phase = Some(RecoveryPhase::Quiescing);
+        Ok(())
+    }
+
+    /// Advances a mid-recovery rank to `phase` (`Restoring` or
+    /// `Replaying`). Panics in debug builds on nonsensical transitions so
+    /// driver bugs surface in tests; release builds just record the phase.
+    pub fn advance(&self, rank: u32, phase: RecoveryPhase) {
+        debug_assert!(
+            matches!(phase, RecoveryPhase::Restoring | RecoveryPhase::Replaying),
+            "advance() only moves through mid-recovery phases, got {:?}",
+            phase
+        );
+        let mut ranks = self.ranks.lock();
+        let rec = ranks.entry(rank).or_default();
+        debug_assert!(
+            matches!(
+                rec.phase,
+                Some(RecoveryPhase::Quiescing) | Some(RecoveryPhase::Restoring)
+            ),
+            "advance({:?}) from {:?}",
+            phase,
+            rec.phase
+        );
+        rec.phase = Some(phase);
+    }
+
+    /// Marks a recovery complete: the rank is live again.
+    pub fn mark_resumed(&self, rank: u32) {
+        let mut ranks = self.ranks.lock();
+        ranks.entry(rank).or_default().phase = Some(RecoveryPhase::Resumed);
+    }
+
+    /// Marks a recovery permanently failed (terminal).
+    pub fn mark_failed(&self, rank: u32) {
+        let mut ranks = self.ranks.lock();
+        ranks.entry(rank).or_default().phase = Some(RecoveryPhase::Failed);
+    }
+
+    /// All signals reported so far, in order.
+    pub fn signals(&self) -> Vec<FailureSignal> {
+        self.log.lock().clone()
+    }
+}
+
+/// Which task failures a supervised scope re-executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOn {
+    /// Only failures classified transient (see [`TaskError::is_transient`]):
+    /// unreachable peers, timeouts, rank-down windows. Deterministic bugs
+    /// (assertion failures, index panics) surface immediately.
+    Transient,
+    /// Any scope failure. Useful when the body is known idempotent and the
+    /// failure source is external.
+    Any,
+}
+
+/// Retry policy for `Runtime::finish_supervised` /
+/// `api::finish_supervised`: the per-scope retry budget plus backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total executions allowed, including the first (so 1 = no retry).
+    pub max_attempts: u32,
+    /// Base delay before a retry; attempt `n`'s delay is `backoff * n`
+    /// (linear — failures here are rank recoveries measured in modeled
+    /// milliseconds, not remote-service rate limits).
+    pub backoff: Duration,
+    /// Failure classification filter.
+    pub retry_on: RetryOn,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+            retry_on: RetryOn::Transient,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy retrying any failure up to `max_attempts` with no backoff.
+    pub fn any(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            backoff: Duration::ZERO,
+            retry_on: RetryOn::Any,
+        }
+    }
+
+    /// A policy retrying transient failures up to `max_attempts`.
+    pub fn transient(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Builder-style backoff override.
+    pub fn with_backoff(mut self, backoff: Duration) -> RetryPolicy {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Whether a failure on execution `attempt` (1-based) warrants another
+    /// try under this policy.
+    pub fn should_retry(&self, attempt: u32, err: &TaskError) -> bool {
+        if attempt >= self.max_attempts {
+            return false;
+        }
+        match self.retry_on {
+            RetryOn::Any => true,
+            RetryOn::Transient => err.is_transient(),
+        }
+    }
+
+    /// Delay before retrying after a failed execution `attempt` (1-based).
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff.saturating_mul(attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_rank_and_classification() {
+        let down = FailureSignal::RankDown { rank: 3, at_ns: 10 };
+        let up = FailureSignal::RankRestored { rank: 3, at_ns: 20 };
+        assert_eq!(down.rank(), 3);
+        assert!(down.is_failure());
+        assert!(!up.is_failure());
+        assert!(FailureSignal::PeerDead {
+            module: "shmem",
+            rank: 1
+        }
+        .is_failure());
+    }
+
+    #[test]
+    fn state_machine_happy_path() {
+        let sup = Supervisor::new(2);
+        assert_eq!(sup.phase(0), RecoveryPhase::Healthy);
+        sup.report(FailureSignal::RankDown { rank: 0, at_ns: 5 });
+        assert_eq!(sup.phase(0), RecoveryPhase::Detected);
+        sup.begin_recovery(0).unwrap();
+        assert_eq!(sup.phase(0), RecoveryPhase::Quiescing);
+        sup.advance(0, RecoveryPhase::Restoring);
+        sup.advance(0, RecoveryPhase::Replaying);
+        assert_eq!(sup.phase(0), RecoveryPhase::Replaying);
+        sup.mark_resumed(0);
+        assert_eq!(sup.phase(0), RecoveryPhase::Resumed);
+        assert_eq!(sup.attempts(0), 1);
+        assert_eq!(sup.signals().len(), 1);
+    }
+
+    #[test]
+    fn repeated_failure_keeps_phase_until_resume() {
+        let sup = Supervisor::new(5);
+        sup.report(FailureSignal::RankDown { rank: 1, at_ns: 1 });
+        sup.begin_recovery(1).unwrap();
+        // A second signal mid-recovery (e.g. watchdog echo) must not yank
+        // the rank back to Detected.
+        sup.report(FailureSignal::ProbeStall {
+            probe: "netsim.stall".into(),
+            rank: 1,
+        });
+        assert_eq!(sup.phase(1), RecoveryPhase::Quiescing);
+    }
+
+    #[test]
+    fn circuit_breaker_opens_after_budget() {
+        let sup = Supervisor::new(2);
+        sup.report(FailureSignal::RankDown { rank: 4, at_ns: 1 });
+        assert!(sup.begin_recovery(4).is_ok());
+        sup.mark_resumed(4);
+        sup.report(FailureSignal::RankDown { rank: 4, at_ns: 2 });
+        assert!(sup.begin_recovery(4).is_ok());
+        sup.mark_resumed(4);
+        sup.report(FailureSignal::RankDown { rank: 4, at_ns: 3 });
+        assert_eq!(sup.begin_recovery(4), Err(RecoveryError::CircuitOpen));
+        assert_eq!(sup.phase(4), RecoveryPhase::Failed);
+        // Terminal: even with budget nominally available, Failed sticks.
+        assert_eq!(sup.begin_recovery(4), Err(RecoveryError::CircuitOpen));
+        assert_eq!(sup.attempts(4), 2);
+    }
+
+    #[test]
+    fn zero_budget_always_degrades() {
+        let sup = Supervisor::new(0);
+        sup.report(FailureSignal::RankDown { rank: 7, at_ns: 1 });
+        assert_eq!(sup.begin_recovery(7), Err(RecoveryError::CircuitOpen));
+        assert_eq!(sup.phase(7), RecoveryPhase::Failed);
+    }
+
+    #[test]
+    fn retry_policy_classification() {
+        let p = RetryPolicy::transient(3);
+        let transient = TaskError::new("module shmem: peer 1 unreachable");
+        let hard = TaskError::new("index out of bounds");
+        assert!(p.should_retry(1, &transient));
+        assert!(p.should_retry(2, &transient));
+        assert!(!p.should_retry(3, &transient)); // budget spent
+        assert!(!p.should_retry(1, &hard));
+        assert!(RetryPolicy::any(2).should_retry(1, &hard));
+        assert_eq!(
+            RetryPolicy::default()
+                .with_backoff(Duration::from_millis(2))
+                .backoff_for(3),
+            Duration::from_millis(6)
+        );
+    }
+}

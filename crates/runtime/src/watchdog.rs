@@ -122,6 +122,16 @@ pub fn armed() -> bool {
     ARMED.load(Ordering::Relaxed)
 }
 
+/// True when a flight record could be consumed: the watchdog is armed
+/// (stall monitoring) or `HIPER_WATCHDOG_FILE` pins an on-demand sink.
+/// State contributors (probes, info sections) register under this gate so
+/// an on-demand dump — recovery degradation, for example — captures them
+/// even when no stall monitor is running.
+pub fn recording() -> bool {
+    static FILE_SET: OnceLock<bool> = OnceLock::new();
+    armed() || *FILE_SET.get_or_init(|| std::env::var_os("HIPER_WATCHDOG_FILE").is_some())
+}
+
 /// Records one unit of global progress (a task executed, a promise
 /// completed). No-op unless armed.
 #[inline]
@@ -399,6 +409,59 @@ fn monitor_loop() {
     }
 }
 
+/// Writes a flight record *on demand* — no stall required and no arming
+/// required — and returns its path. Recovery drivers call this when a rank
+/// degrades to a terminal failure so the evidence (probe reports, reliable-
+/// transport peer state, trace tails) is captured at the moment of
+/// degradation rather than lost when the process exits cleanly.
+///
+/// The record lands at `HIPER_WATCHDOG_FILE` if set, else
+/// `hiper-flightrec-<unix_ms>.json` in the working directory.
+pub fn dump_record(reason: &str) -> Option<PathBuf> {
+    // Honor `HIPER_WATCHDOG_FILE` even when the watchdog was never armed —
+    // recovery drivers dump on demand without arming, and CI pins the
+    // artifact path through the environment.
+    let config = state()
+        .inner
+        .lock()
+        .config
+        .clone()
+        .unwrap_or_else(|| Config {
+            mode: Mode::Warn,
+            threshold: Duration::ZERO,
+            record_path: std::env::var("HIPER_WATCHDOG_FILE").ok().map(PathBuf::from),
+        });
+    // Zero threshold: include every unresolved promise, not just stale ones.
+    let suspicion = gather_suspicion(Duration::ZERO);
+    let progress = PROGRESS.load(Ordering::Relaxed);
+    let record = render_flight_record(&config, reason, Duration::ZERO, progress, &suspicion);
+    let path = config.record_path.clone().unwrap_or_else(|| {
+        let unix_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        PathBuf::from(format!("hiper-flightrec-{}.json", unix_ms))
+    });
+    match std::fs::write(&path, &record) {
+        Ok(()) => {
+            eprintln!(
+                "[hiper-watchdog] flight record ({}): {}",
+                reason,
+                path.display()
+            );
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!(
+                "[hiper-watchdog] failed to write flight record {}: {}",
+                path.display(),
+                e
+            );
+            None
+        }
+    }
+}
+
 fn gather_suspicion(threshold: Duration) -> Suspicion {
     let inner = state().inner.lock();
     let mut stale: Vec<(u64, PromiseInfo)> = inner
@@ -423,7 +486,7 @@ fn handle_stall(config: &Config, frozen_for: Duration, progress: u64, suspicion:
     let stuck = suspicion.stuck_promise();
     let stuck_span = stuck.map(|(_, p)| p.span).unwrap_or(0);
     let stuck_rank = stuck.and_then(|(_, p)| p.rank);
-    let record = render_flight_record(config, frozen_for, progress, &suspicion);
+    let record = render_flight_record(config, "stall", frozen_for, progress, &suspicion);
     let path = config.record_path.clone().unwrap_or_else(|| {
         let unix_ms = SystemTime::now()
             .duration_since(SystemTime::UNIX_EPOCH)
@@ -487,6 +550,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_flight_record(
     config: &Config,
+    reason: &str,
     frozen_for: Duration,
     progress: u64,
     suspicion: &Suspicion,
@@ -499,6 +563,7 @@ fn render_flight_record(
     let mut out = String::with_capacity(16 * 1024);
     out.push_str("{\n");
     out.push_str(&format!("  \"detected_unix_ms\": {},\n", unix_ms));
+    out.push_str(&format!("  \"reason\": \"{}\",\n", json_escape(reason)));
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         match config.mode {
@@ -659,7 +724,8 @@ mod tests {
             )],
             probe_reports: vec![("reliable".into(), "peer 1 stuck \"hol\"".into())],
         };
-        let record = render_flight_record(&config, Duration::from_secs(2), 99, &suspicion);
+        let record = render_flight_record(&config, "stall", Duration::from_secs(2), 99, &suspicion);
+        assert!(record.contains("\"reason\": \"stall\""));
         assert!(record.contains("\"stuck_span\": 42"));
         assert!(record.contains("\"stuck_rank\": 1"));
         assert!(record.contains("\"span\": 42"));
@@ -698,7 +764,7 @@ mod tests {
             threshold: Duration::from_millis(100),
             record_path: None,
         };
-        let record = render_flight_record(&config, Duration::from_secs(1), 5, &suspicion);
+        let record = render_flight_record(&config, "stall", Duration::from_secs(1), 5, &suspicion);
         assert!(record.contains("\"stuck_span\": 9001"));
         // Both promises still appear in the full dump.
         assert!(record.contains("\"span\": 0"));

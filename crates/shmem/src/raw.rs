@@ -208,6 +208,10 @@ pub struct RawShmem {
     coll: Mutex<HashMap<(Rank, u64), VecDeque<Bytes>>>,
     coll_cond: Condvar,
     coll_seq: AtomicU64,
+    /// First wire-protocol violation seen by the delivery handler (malformed
+    /// frame, unknown opcode). The frame is dropped, not panicked on; the
+    /// error surfaces through [`health`](RawShmem::health).
+    wire_error: Mutex<Option<ModuleError>>,
 }
 
 impl RawShmem {
@@ -232,6 +236,7 @@ impl RawShmem {
             coll: Mutex::new(HashMap::new()),
             coll_cond: Condvar::new(),
             coll_seq: AtomicU64::new(0),
+            wire_error: Mutex::new(None),
         });
         let raw2 = Arc::clone(&raw);
         raw.transport
@@ -239,10 +244,105 @@ impl RawShmem {
         raw
     }
 
-    /// Reliable-delivery health: `Err` once any peer has exhausted its
-    /// retry budget (fault injection only).
+    /// Endpoint health: `Err` once any peer has exhausted its reliable
+    /// retry budget (fault injection only) or the delivery handler has
+    /// dropped a malformed wire frame.
     pub fn health(&self) -> Result<(), ModuleError> {
+        if let Some(e) = self.wire_error.lock().clone() {
+            return Err(e);
+        }
         self.transport.health()
+    }
+
+    /// Records a wire-protocol violation (first one wins) instead of
+    /// panicking the delivery-engine thread; the offending frame is dropped.
+    fn wire_fault(&self, detail: String) {
+        let mut slot = self.wire_error.lock();
+        if slot.is_none() {
+            *slot = Some(ModuleError::protocol("shmem", detail));
+        }
+    }
+
+    /// The underlying reliable transport. Recovery drivers use this to
+    /// quiesce peers, renegotiate epochs after a restart, and publish
+    /// checkpoint watermarks for replay-log garbage collection.
+    pub fn reliable(&self) -> &Arc<ReliableTransport> {
+        &self.transport
+    }
+
+    /// Serializes this endpoint's private (non-heap) mutable state for a
+    /// checkpoint: the symmetric-allocator bump pointer, the collective
+    /// sequence counter, and the *pending-recv* buffers — contributions
+    /// already delivered by peers for collectives this rank has not
+    /// consumed yet (a fast peer past a barrier may have sent its
+    /// next-collective contribution before our snapshot). Omitting those
+    /// would lose them forever: their frames sit below the reliable-
+    /// transport recv watermark and are never redelivered on restart.
+    ///
+    /// Victim-side in-flight bookkeeping (one-shot completion slots,
+    /// `when` registrations, dirty-rank marks) is *not* captured: at a
+    /// checkpoint's quiescent point (post-barrier, post-quiet) this rank
+    /// has no outstanding issued ops, and a crash discards anything that
+    /// appeared since — [`restore_state`](RawShmem::restore_state) clears
+    /// it.
+    pub fn state_snapshot(&self) -> Vec<u8> {
+        let coll = self.coll.lock();
+        let mut entries: Vec<(&(Rank, u64), &VecDeque<Bytes>)> = coll.iter().collect();
+        entries.sort_by_key(|(k, _)| **k); // deterministic image
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&(*self.alloc_next.lock() as u64).to_le_bytes());
+        out.extend_from_slice(&self.coll_seq.load(Ordering::SeqCst).to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for ((rank, seq), msgs) in entries {
+            out.extend_from_slice(&(*rank as u64).to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&(msgs.len() as u64).to_le_bytes());
+            for m in msgs {
+                out.extend_from_slice(&(m.len() as u64).to_le_bytes());
+                out.extend_from_slice(m);
+            }
+        }
+        out
+    }
+
+    /// Rolls this endpoint's private state back to an image produced by
+    /// [`state_snapshot`](RawShmem::state_snapshot): restores the
+    /// allocator bump pointer, collective counter, and pending-recv
+    /// buffers, and discards all in-flight bookkeeping accumulated since
+    /// (one-shot slots, `when` registrations, dirty marks). Called on the
+    /// victim rank after its heap image is restored, *before* replay
+    /// re-executes the window since the checkpoint.
+    pub fn restore_state(&self, image: &[u8]) {
+        let rd =
+            |off: usize| -> u64 { u64::from_le_bytes(image[off..off + 8].try_into().unwrap()) };
+        let alloc_next = rd(0) as usize;
+        let coll_seq = rd(8);
+        let n_entries = rd(16);
+        let mut coll_new: HashMap<(Rank, u64), VecDeque<Bytes>> = HashMap::new();
+        let mut off = 24;
+        for _ in 0..n_entries {
+            let rank = rd(off) as Rank;
+            let seq = rd(off + 8);
+            let n_msgs = rd(off + 16);
+            off += 24;
+            let q = coll_new.entry((rank, seq)).or_default();
+            for _ in 0..n_msgs {
+                let len = rd(off) as usize;
+                off += 8;
+                q.push_back(Bytes::copy_from_slice(&image[off..off + len]));
+                off += len;
+            }
+        }
+        *self.alloc_next.lock() = alloc_next;
+        self.coll_seq.store(coll_seq, Ordering::SeqCst);
+        *self.coll.lock() = coll_new;
+        self.slots.lock().clear();
+        self.whens.lock().clear();
+        self.dirty.lock().clear();
+        // Wake anyone parked on heap-change or collective conditions so
+        // they re-evaluate against the restored state.
+        self.change_cond.notify_all();
+        self.coll_cond.notify_all();
     }
 
     /// Retransmissions performed so far (0 without fault injection).
@@ -309,6 +409,24 @@ impl RawShmem {
 
     fn on_message(&self, msg: Message) {
         let t = msg.tag;
+        // Validate frame length before parsing: a truncated header must
+        // drop the frame with a typed error, not panic the engine thread.
+        let need = match tag_opcode(t) {
+            op::PUT => 8,
+            op::GET_REQ => 16,
+            op::AMO_REQ => 24,
+            _ => 0,
+        };
+        if msg.payload.len() < need {
+            self.wire_fault(format!(
+                "opcode {} frame from rank {} is {} bytes, need {}",
+                tag_opcode(t),
+                msg.src,
+                msg.payload.len(),
+                need
+            ));
+            return;
+        }
         match tag_opcode(t) {
             op::PUT => {
                 let (offset, data) = split_header(&msg.payload);
@@ -337,7 +455,13 @@ impl RawShmem {
                 let old = match tag_aux(t) {
                     amo::FADD => self.heap().fetch_add_u64(offset, a),
                     amo::CSWAP => self.heap().compare_swap_u64(offset, a, b),
-                    other => panic!("unknown atomic sub-op {}", other),
+                    other => {
+                        self.wire_fault(format!(
+                            "unknown atomic sub-op {} from rank {}",
+                            other, msg.src
+                        ));
+                        return;
+                    }
                 };
                 self.notify_local_change();
                 self.transport.send(
@@ -366,7 +490,7 @@ impl RawShmem {
                 coll.entry((msg.src, t)).or_default().push_back(msg.payload);
                 self.coll_cond.notify_all();
             }
-            other => panic!("unknown SHMEM opcode {}", other),
+            other => self.wire_fault(format!("unknown opcode {} from rank {}", other, msg.src)),
         }
     }
 

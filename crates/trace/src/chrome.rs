@@ -185,6 +185,9 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                     ranks_seen.insert(e.b >> 32);
                     ranks_seen.insert(e.b & 0xffff_ffff);
                 }
+                EventKind::RankDown | EventKind::RankRestored => {
+                    ranks_seen.insert(e.a);
+                }
                 _ => {}
             }
         }
@@ -463,6 +466,46 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                 );
                 continue;
             }
+            EventKind::RankDown | EventKind::RankRestored => {
+                // Supervision lifecycle markers on the rank's netsim track:
+                // a = rank, b = new transport epoch (RankRestored only).
+                let restored = e.kind == EventKind::RankRestored;
+                let mut args = vec![("rank", e.a.to_string())];
+                if restored {
+                    args.push(("epoch", e.b.to_string()));
+                }
+                push_event(
+                    &mut out,
+                    &EventJson {
+                        name: if restored {
+                            "rank_restored"
+                        } else {
+                            "rank_down"
+                        },
+                        ph: 'i',
+                        ts_ns: e.ts_ns,
+                        pid: NETSIM_PID,
+                        tid: e.a,
+                        dur_ns: None,
+                        args,
+                        thread_scoped_instant: true,
+                    },
+                );
+                continue;
+            }
+            EventKind::TaskRetry => EventJson {
+                name: "task_retry",
+                ph: 'i',
+                ts_ns: e.ts_ns,
+                pid: rpid,
+                tid,
+                dur_ns: None,
+                args: vec![
+                    ("attempt", e.a.to_string()),
+                    ("max_attempts", e.b.to_string()),
+                ],
+                thread_scoped_instant: true,
+            },
             EventKind::TaskPanic => EventJson {
                 name: "task panic",
                 ph: 'i',

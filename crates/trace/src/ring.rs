@@ -77,6 +77,16 @@ pub enum EventKind {
     /// src<<32|dst, `c` = the matching `MsgSend` message id. Timestamped
     /// at the modeled due time, so deliver ts = send ts + modeled delay.
     MsgDeliver = 19,
+    /// A simulated rank went down (supervised kill or detected failure).
+    /// `a` = rank, `b` = reserved (0).
+    RankDown = 20,
+    /// A previously-down rank came back after recovery. `a` = rank,
+    /// `b` = new reliable-transport epoch (0 when unknown).
+    RankRestored = 21,
+    /// A supervised finish scope re-executed its body after a transient
+    /// failure. `a` = attempt number (1-based), `b` = max attempts,
+    /// `c` = interned error excerpt (0 = none).
+    TaskRetry = 22,
 }
 
 impl EventKind {
@@ -103,6 +113,9 @@ impl EventKind {
             17 => TaskPanic,
             18 => MsgSend,
             19 => MsgDeliver,
+            20 => RankDown,
+            21 => RankRestored,
+            22 => TaskRetry,
             _ => return None,
         })
     }
@@ -130,6 +143,9 @@ impl EventKind {
             TaskPanic => "task_panic",
             MsgSend => "msg_send",
             MsgDeliver => "msg_deliver",
+            RankDown => "rank_down",
+            RankRestored => "rank_restored",
+            TaskRetry => "task_retry",
         }
     }
 }

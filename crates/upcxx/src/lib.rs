@@ -113,6 +113,10 @@ pub struct UpcxxModule {
     next_slot: AtomicU64,
     pending: Mutex<HashMap<u64, RpcCallback>>,
     state: RwLock<Option<ModuleState>>,
+    /// First wire-protocol violation seen by the delivery handler
+    /// (truncated frame, unknown opcode, rpc state desync). The frame is
+    /// dropped, not panicked on; surfaces via [`health`](UpcxxModule::health).
+    wire_error: Mutex<Option<ModuleError>>,
 }
 
 impl UpcxxModule {
@@ -126,6 +130,7 @@ impl UpcxxModule {
             next_slot: AtomicU64::new(1),
             pending: Mutex::new(HashMap::new()),
             state: RwLock::new(None),
+            wire_error: Mutex::new(None),
         });
         let m2 = Arc::clone(&module);
         transport.register_handler(Channel::UPCXX, Box::new(move |m| m2.on_message(m)));
@@ -185,9 +190,44 @@ impl UpcxxModule {
         id
     }
 
+    /// Records a wire-protocol violation (first one wins) instead of
+    /// panicking the delivery-engine thread; the offending frame is dropped.
+    fn wire_fault(&self, detail: String) {
+        let mut slot = self.wire_error.lock();
+        if slot.is_none() {
+            *slot = Some(ModuleError::protocol("upcxx", detail));
+        }
+    }
+
+    /// Endpoint health: `Err` once the delivery handler has dropped a
+    /// malformed wire frame or hit an rpc-state desync.
+    pub fn health(&self) -> Result<(), ModuleError> {
+        match self.wire_error.lock().clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     fn on_message(&self, msg: Message) {
         let opcode = (msg.tag >> 56) as u8;
         let low = msg.tag & 0xFF_FFFF_FFFF_FFFF;
+        // Validate frame length before parsing: a truncated header must
+        // drop the frame with a typed error, not panic the engine thread.
+        let need = match opcode {
+            op::PUT => 8,
+            op::GET_REQ => 16,
+            _ => 0,
+        };
+        if msg.payload.len() < need {
+            self.wire_fault(format!(
+                "opcode {} frame from rank {} is {} bytes, need {}",
+                opcode,
+                msg.src,
+                msg.payload.len(),
+                need
+            ));
+            return;
+        }
         match opcode {
             op::PUT => {
                 let offset = u64::from_le_bytes(msg.payload[..8].try_into().unwrap()) as usize;
@@ -211,12 +251,16 @@ impl UpcxxModule {
                 // Execute the staged closure as a task on this rank's
                 // runtime (unified scheduling), then reply.
                 let key = (msg.src, low);
-                let closure = self
-                    .world
-                    .closures
-                    .lock()
-                    .remove(&key)
-                    .expect("rpc closure missing");
+                let closure = match self.world.closures.lock().remove(&key) {
+                    Some(c) => c,
+                    None => {
+                        self.wire_fault(format!(
+                            "rpc request from rank {} slot {} has no staged closure",
+                            msg.src, low
+                        ));
+                        return;
+                    }
+                };
                 let world = self.world.clone();
                 let transport = self.transport.clone();
                 let caller = msg.src;
@@ -236,19 +280,19 @@ impl UpcxxModule {
                     match opcode {
                         op::GET_REP => cb(Box::new(msg.payload)),
                         op::RPC_REP => {
-                            let result = self
-                                .world
-                                .results
-                                .lock()
-                                .remove(&(self.rank(), low))
-                                .expect("rpc result missing");
-                            cb(result);
+                            match self.world.results.lock().remove(&(self.rank(), low)) {
+                                Some(result) => cb(result),
+                                None => self.wire_fault(format!(
+                                    "rpc reply from rank {} slot {} has no staged result",
+                                    msg.src, low
+                                )),
+                            }
                         }
                         _ => cb(Box::new(())),
                     }
                 }
             }
-            other => panic!("unknown UPC++ opcode {}", other),
+            other => self.wire_fault(format!("unknown opcode {} from rank {}", other, msg.src)),
         }
     }
 
