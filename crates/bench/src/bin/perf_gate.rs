@@ -1,8 +1,8 @@
 //! The CI performance regression gate: runs the canonical workloads
-//! (scheduler fanout, MPI ping-pong, ISx) `HIPER_REPS` times each, writes
-//! the fresh medians + IQRs to `BENCH_perf_gate.json`, and compares them
-//! against the checked-in baseline with the noise-aware rule from
-//! [`hiper_bench::perfgate`].
+//! (scheduler fanout, MPI ping-pong, ISx, spawn churn) `HIPER_REPS` times
+//! each, writes the fresh medians + IQRs *and raw per-rep samples* to
+//! `BENCH_perf_gate.json`, and compares them against the checked-in
+//! baseline with the noise-aware rule from [`hiper_bench::perfgate`].
 //!
 //! ```text
 //! cargo run --release -p hiper-bench --bin perf_gate
@@ -16,9 +16,20 @@
 //! * `--out FILE` — where to write the fresh results (default
 //!   `BENCH_perf_gate.json`)
 //! * `--update-baseline` — also overwrite the baseline file with the fresh
-//!   results (run on a quiet machine, then commit)
+//!   results AND record per-benchmark baseline *profiles* (compact traced
+//!   runs, see `--trace-dir`) for later regression attribution (run on a
+//!   quiet machine, then commit)
+//! * `--trace-dir DIR` — where baseline profiles live (default
+//!   `configs/perf_gate_traces`)
 //! * `HIPER_REPS` — timed reps per workload (default 7)
 //! * `HIPER_GATE_SLACK_PCT` / `HIPER_GATE_IQR_MULT` — tuning knobs
+//! * `HIPER_GATE_ATTRIBUTION=0` — skip profile recording and failure
+//!   attribution entirely (used by hermetic tests)
+//!
+//! On gate failure each regressed benchmark is automatically re-run once
+//! under tracing and diffed against its stored baseline profile; the
+//! ranked attribution lands in `ATTRIBUTION_<bench>.md` / `.json` next to
+//! `--out`, and the top contributor is echoed to stderr.
 //!
 //! Exits 0 when every metric holds, 1 on any regression, 2 on usage/IO
 //! errors. A missing baseline file is exit 2 with a hint to run
@@ -26,7 +37,8 @@
 //! vanished.
 
 use hiper_bench::perfgate::{
-    compare, gate_json, parse_gate_json, run_all, DEFAULT_IQR_MULT, DEFAULT_SLACK_PCT,
+    attribute_regression, compare, gate_json_with_samples, parse_gate_json,
+    record_baseline_profiles, run_all_samples, summarize_ms, DEFAULT_IQR_MULT, DEFAULT_SLACK_PCT,
 };
 use hiper_bench::util::env_param;
 
@@ -49,14 +61,25 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn main() {
+    // Attribution reps run traced; give the rings room so the profile is
+    // not PARTIAL. Parsed once at ring-registry init, so set it before any
+    // runtime spins up (respecting an explicit override).
+    if std::env::var("HIPER_TRACE_BUF").is_err() {
+        std::env::set_var("HIPER_TRACE_BUF", "262144");
+    }
     let args: Vec<String> = std::env::args().collect();
     let baseline_path =
         arg_value(&args, "--baseline").unwrap_or_else(|| "configs/perf_gate_baseline.json".into());
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_perf_gate.json".into());
+    let trace_dir = std::path::PathBuf::from(
+        arg_value(&args, "--trace-dir").unwrap_or_else(|| "configs/perf_gate_traces".into()),
+    );
     let update_baseline = args.iter().any(|a| a == "--update-baseline");
     let reps = env_param("HIPER_REPS", 7);
     let slack_pct = env_f64("HIPER_GATE_SLACK_PCT", DEFAULT_SLACK_PCT);
     let iqr_mult = env_f64("HIPER_GATE_IQR_MULT", DEFAULT_IQR_MULT);
+    let attribution_on =
+        !std::env::var("HIPER_GATE_ATTRIBUTION").is_ok_and(|v| v == "0" || v.is_empty());
 
     let _metrics = hiper_bench::util::metrics_session();
 
@@ -64,8 +87,12 @@ fn main() {
         "perf_gate: {} reps/workload, slack {:.1}%, {}x IQR noise allowance",
         reps, slack_pct, iqr_mult
     );
-    let current = run_all(reps);
-    let fresh = gate_json(&current);
+    let raw = run_all_samples(reps);
+    let current: std::collections::BTreeMap<_, _> = raw
+        .iter()
+        .map(|(name, samples)| (name.clone(), summarize_ms(samples.clone())))
+        .collect();
+    let fresh = gate_json_with_samples(&raw);
     if let Err(e) = std::fs::write(&out_path, &fresh) {
         eprintln!("perf_gate: cannot write {}: {}", out_path, e);
         std::process::exit(2);
@@ -78,6 +105,19 @@ fn main() {
             std::process::exit(2);
         }
         println!("updated baseline {}", baseline_path);
+        if attribution_on {
+            match record_baseline_profiles(&trace_dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("recorded baseline profile {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("perf_gate: cannot record baseline profiles: {}", e);
+                    std::process::exit(2);
+                }
+            }
+        }
     }
 
     let baseline_text = match std::fs::read_to_string(&baseline_path) {
@@ -104,7 +144,7 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>12}  verdict",
         "metric", "baseline", "current", "limit"
     );
-    let mut regressed = false;
+    let mut failed: Vec<String> = Vec::new();
     for c in &checks {
         let (cur, verdict) = match (&c.current, c.regressed) {
             (Some(cur), false) => (format!("{:.4}", cur.median), "ok"),
@@ -115,11 +155,53 @@ fn main() {
             "{:<14} {:>12.4} {:>12} {:>12.4}  {}",
             c.metric, c.baseline.median, cur, c.limit_ms, verdict
         );
-        regressed |= c.regressed;
+        if c.regressed {
+            failed.push(c.metric.clone());
+        }
     }
-    if regressed {
-        eprintln!("perf_gate: REGRESSION against {}", baseline_path);
-        std::process::exit(1);
+    if failed.is_empty() {
+        println!("perf_gate: OK against {}", baseline_path);
+        return;
     }
-    println!("perf_gate: OK against {}", baseline_path);
+    eprintln!("perf_gate: REGRESSION against {}", baseline_path);
+    if attribution_on {
+        // Attribution artifacts land next to --out so CI uploads them with
+        // the gate results.
+        let out_dir = std::path::Path::new(&out_path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .to_path_buf();
+        for bench in &failed {
+            match attribute_regression(bench, &trace_dir, 10) {
+                Ok(att) => {
+                    let md = out_dir.join(format!("ATTRIBUTION_{}.md", bench));
+                    let js = out_dir.join(format!("ATTRIBUTION_{}.json", bench));
+                    let mut ok = true;
+                    for (path, body) in [(&md, &att.markdown), (&js, &att.json)] {
+                        if let Err(e) = std::fs::write(path, body) {
+                            eprintln!("perf_gate: cannot write {}: {}", path.display(), e);
+                            ok = false;
+                        }
+                    }
+                    if ok {
+                        eprintln!("perf_gate: attribution for {} -> {}", bench, md.display());
+                    }
+                    if let Some(top) = att.diff.ranked.first() {
+                        eprintln!(
+                            "perf_gate: {} top contributor: [{}] {} ({:+} ns, {:.0}% of delta, {})",
+                            bench,
+                            top.category,
+                            top.name,
+                            top.delta_ns,
+                            100.0 * top.share,
+                            top.location
+                        );
+                    }
+                }
+                Err(e) => eprintln!("perf_gate: attribution for {} failed: {}", bench, e),
+            }
+        }
+    }
+    std::process::exit(1);
 }

@@ -18,6 +18,8 @@
 //! runs.
 
 use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -28,6 +30,7 @@ use hiper_platform::autogen;
 use hiper_platform::json::Json;
 use hiper_runtime::{api, Runtime, SchedulerModule};
 use hiper_shmem::{ShmemModule, ShmemWorld};
+use hiper_trace::diff::{DiffInput, DiffOptions, TraceDiff};
 
 use crate::isx::{self, IsxParams};
 
@@ -35,6 +38,8 @@ use crate::isx::{self, IsxParams};
 pub const DEFAULT_SLACK_PCT: f64 = 10.0;
 /// Default multiplier on combined IQR noise.
 pub const DEFAULT_IQR_MULT: f64 = 3.0;
+/// The gate's workloads, in baseline-metric order.
+pub const GATE_BENCHES: [&str; 4] = ["fanout_ms", "isx_ms", "pingpong_ms", "spawn_churn_ms"];
 
 /// Robust summary of one metric's repeated measurements (milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,6 +144,11 @@ pub fn compare(
 /// runtime — the spawn/wake/steal hot path (same shape as the
 /// `task_overhead` bench and the trace/chaos overhead gates).
 pub fn run_fanout(reps: usize) -> MetricSummary {
+    summarize_ms(fanout_samples(reps))
+}
+
+/// Raw per-rep samples (ms) for the fanout workload.
+pub fn fanout_samples(reps: usize) -> Vec<f64> {
     let rt = Runtime::new(autogen::smp(4));
     let one = |rt: &Runtime| {
         let acc = Arc::new(AtomicU64::new(0));
@@ -172,12 +182,17 @@ pub fn run_fanout(reps: usize) -> MetricSummary {
         })
         .collect();
     rt.shutdown();
-    summarize_ms(samples)
+    samples
 }
 
 /// MPI ping-pong: 50 empty-message round trips between 2 netsim ranks —
 /// module taskification + simulated-interconnect latency path.
 pub fn run_pingpong(reps: usize) -> MetricSummary {
+    summarize_ms(pingpong_samples(reps))
+}
+
+/// Raw per-rep samples (ms) for the ping-pong workload.
+pub fn pingpong_samples(reps: usize) -> Vec<f64> {
     const ROUNDS: usize = 50;
     let per_rank = SpmdBuilder::new(2)
         .net(NetConfig::default())
@@ -210,12 +225,17 @@ pub fn run_pingpong(reps: usize) -> MetricSummary {
                 samples
             },
         );
-    summarize_ms(per_rank[0].clone())
+    per_rank[0].clone()
 }
 
 /// ISx bucket sort, 2 SHMEM ranks × 2 workers, 4096 keys/rank — the
 /// all-to-all + local-sort composite the paper's Fig. 5 scales up.
 pub fn run_isx(reps: usize) -> MetricSummary {
+    summarize_ms(isx_samples(reps))
+}
+
+/// Raw per-rep samples (ms) for the ISx workload.
+pub fn isx_samples(reps: usize) -> Vec<f64> {
     let params = IsxParams {
         keys_per_rank: 4096,
         key_max: 1 << 16,
@@ -251,7 +271,7 @@ pub fn run_isx(reps: usize) -> MetricSummary {
                 samples
             },
         );
-    summarize_ms(per_rank[0].clone())
+    per_rank[0].clone()
 }
 
 /// Spawn churn: the per-task *allocation* path, as opposed to the search
@@ -265,6 +285,11 @@ pub fn run_isx(reps: usize) -> MetricSummary {
 /// 3. a grain-1 `forasync` over 50k iterations — saturated fine-grained
 ///    loop where eager splitting would publish ~one task per iteration.
 pub fn run_spawn_churn(reps: usize) -> MetricSummary {
+    summarize_ms(spawn_churn_samples(reps))
+}
+
+/// Raw per-rep samples (ms) for the spawn-churn workload.
+pub fn spawn_churn_samples(reps: usize) -> Vec<f64> {
     fn fib_seq(n: u64) -> u64 {
         if n < 2 {
             n
@@ -311,17 +336,125 @@ pub fn run_spawn_churn(reps: usize) -> MetricSummary {
         })
         .collect();
     rt.shutdown();
-    summarize_ms(samples)
+    samples
+}
+
+/// Raw samples for one named gate workload; `None` for unknown names.
+pub fn bench_samples(bench: &str, reps: usize) -> Option<Vec<f64>> {
+    match bench {
+        "fanout_ms" => Some(fanout_samples(reps)),
+        "pingpong_ms" => Some(pingpong_samples(reps)),
+        "isx_ms" => Some(isx_samples(reps)),
+        "spawn_churn_ms" => Some(spawn_churn_samples(reps)),
+        _ => None,
+    }
+}
+
+/// Runs the full gate suite, returning raw per-rep samples per metric.
+pub fn run_all_samples(reps: usize) -> BTreeMap<String, Vec<f64>> {
+    GATE_BENCHES
+        .iter()
+        .map(|&b| (b.to_string(), bench_samples(b, reps).unwrap()))
+        .collect()
 }
 
 /// Runs the full gate suite, returning named summaries.
 pub fn run_all(reps: usize) -> BTreeMap<String, MetricSummary> {
-    let mut out = BTreeMap::new();
-    out.insert("fanout_ms".to_string(), run_fanout(reps));
-    out.insert("pingpong_ms".to_string(), run_pingpong(reps));
-    out.insert("isx_ms".to_string(), run_isx(reps));
-    out.insert("spawn_churn_ms".to_string(), run_spawn_churn(reps));
-    out
+    run_all_samples(reps)
+        .into_iter()
+        .map(|(name, samples)| (name, summarize_ms(samples)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Differential profiling — baseline profiles and regression attribution
+// ---------------------------------------------------------------------
+
+/// Where the gate keeps `bench`'s baseline profile under `dir`.
+pub fn profile_path(dir: &Path, bench: &str) -> PathBuf {
+    dir.join(format!("{}.profile.json", bench))
+}
+
+/// Runs one traced + metered rep of `bench` and extracts its compact
+/// profile. Tracing and metrics are force-enabled for the window and
+/// restored after; events drained before the window are discarded so the
+/// profile covers exactly this rep (plus its in-process warmups — both
+/// baseline and candidate record them identically, so the DAGs align).
+pub fn record_profile(bench: &str) -> Result<DiffInput, String> {
+    if !GATE_BENCHES.contains(&bench) {
+        return Err(format!("unknown gate benchmark: {}", bench));
+    }
+    let metrics_were_on = hiper_metrics::enabled();
+    let _ = hiper_trace::drain(); // discard whatever came before the window
+    let before = hiper_metrics::snapshot();
+    hiper_metrics::set_enabled(true);
+    hiper_trace::set_enabled(true);
+    let ran = bench_samples(bench, 1).is_some();
+    hiper_trace::set_enabled(false);
+    hiper_metrics::set_enabled(metrics_were_on);
+    let data = hiper_trace::drain();
+    debug_assert!(ran);
+    let delta = hiper_metrics::snapshot().delta_since(&before);
+    let mut profile = DiffInput::from_trace(bench, &data);
+    profile.apply_metrics(&delta);
+    Ok(profile)
+}
+
+/// Records and writes a baseline profile for every gate workload
+/// (`perf_gate --update-baseline` calls this so a later failing run has
+/// something to diff against). Returns the files written.
+pub fn record_baseline_profiles(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {}", dir.display(), e))?;
+    let mut written = Vec::new();
+    for bench in GATE_BENCHES {
+        let profile = record_profile(bench)?;
+        let path = profile_path(dir, bench);
+        fs::write(&path, profile.to_json())
+            .map_err(|e| format!("write {}: {}", path.display(), e))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// One failing benchmark's differential-profiling verdict.
+#[derive(Debug)]
+pub struct Attribution {
+    /// The benchmark that regressed.
+    pub bench: String,
+    /// The structured diff (baseline profile vs a fresh traced rep).
+    pub diff: TraceDiff,
+    /// `ATTRIBUTION_<bench>.md` body.
+    pub markdown: String,
+    /// `ATTRIBUTION_<bench>.json` body.
+    pub json: String,
+}
+
+/// Re-runs a failing benchmark traced and diffs it against the stored
+/// baseline profile. The baseline is read *before* the expensive traced
+/// rep so a missing profile fails fast.
+pub fn attribute_regression(
+    bench: &str,
+    trace_dir: &Path,
+    top: usize,
+) -> Result<Attribution, String> {
+    let base_path = profile_path(trace_dir, bench);
+    let text = fs::read_to_string(&base_path).map_err(|e| {
+        format!(
+            "no baseline profile {} (re-run perf_gate --update-baseline): {}",
+            base_path.display(),
+            e
+        )
+    })?;
+    let base = DiffInput::parse_json(&text)
+        .map_err(|e| format!("parse {}: {}", base_path.display(), e))?;
+    let cand = record_profile(bench)?;
+    let diff = TraceDiff::build(&base, &cand, DiffOptions { top });
+    Ok(Attribution {
+        bench: bench.to_string(),
+        markdown: diff.to_markdown(),
+        json: diff.to_json(),
+        diff,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -338,6 +471,32 @@ pub fn gate_json(metrics: &BTreeMap<String, MetricSummary>) -> String {
         entry.insert("median_ms".to_string(), Json::Number(s.median));
         entry.insert("iqr_ms".to_string(), Json::Number(s.iqr));
         entry.insert("reps".to_string(), Json::from(s.reps));
+        m.insert(name.clone(), Json::Object(entry));
+    }
+    doc.insert("metrics".to_string(), Json::Object(m));
+    let mut out = Json::Object(doc).pretty();
+    out.push('\n');
+    out
+}
+
+/// Serializes raw per-rep samples into the gate's JSON document: each
+/// metric carries its summary plus a `samples_ms` array, so a CI artifact
+/// records exactly what the medians were computed from. `parse_gate_json`
+/// ignores the extra key, keeping old baselines readable.
+pub fn gate_json_with_samples(samples: &BTreeMap<String, Vec<f64>>) -> String {
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".to_string(), Json::from("perf_gate"));
+    let mut m = BTreeMap::new();
+    for (name, raw) in samples {
+        let s = summarize_ms(raw.clone());
+        let mut entry = BTreeMap::new();
+        entry.insert("median_ms".to_string(), Json::Number(s.median));
+        entry.insert("iqr_ms".to_string(), Json::Number(s.iqr));
+        entry.insert("reps".to_string(), Json::from(s.reps));
+        entry.insert(
+            "samples_ms".to_string(),
+            Json::Array(raw.iter().map(|&v| Json::Number(v)).collect()),
+        );
         m.insert(name.clone(), Json::Object(entry));
     }
     doc.insert("metrics".to_string(), Json::Object(m));
@@ -425,6 +584,17 @@ mod tests {
         assert!((f.median - 1.2345).abs() < 1e-9);
         assert!((f.iqr - 0.0678).abs() < 1e-9);
         assert_eq!(f.reps, 9);
+    }
+
+    #[test]
+    fn samples_json_stays_summary_compatible() {
+        let mut samples = BTreeMap::new();
+        samples.insert("fanout_ms".to_string(), vec![3.0, 1.0, 2.0]);
+        let text = gate_json_with_samples(&samples);
+        assert!(text.contains("samples_ms"));
+        let parsed = parse_gate_json(&text).unwrap();
+        assert_eq!(parsed["fanout_ms"].median, 2.0);
+        assert_eq!(parsed["fanout_ms"].reps, 3);
     }
 
     #[test]

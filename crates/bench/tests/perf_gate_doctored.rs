@@ -34,6 +34,9 @@ fn binary_passes_on_real_baseline_and_fails_on_doctored_one() {
         .arg("--out")
         .arg(&out)
         .arg("--update-baseline")
+        // Keep the test hermetic: no baseline-profile recording into the
+        // default --trace-dir, no traced re-runs on failure.
+        .env("HIPER_GATE_ATTRIBUTION", "0")
         .env("HIPER_REPS", "3")
         .status()
         .expect("run perf_gate");
@@ -72,6 +75,7 @@ fn binary_passes_on_real_baseline_and_fails_on_doctored_one() {
         .arg(&doctored)
         .arg("--out")
         .arg(&out)
+        .env("HIPER_GATE_ATTRIBUTION", "0")
         .env("HIPER_REPS", "3")
         .env("HIPER_GATE_IQR_MULT", "0")
         .status()

@@ -33,6 +33,7 @@
 pub mod analysis;
 pub mod chrome;
 pub mod clock;
+pub mod diff;
 pub mod report;
 mod ring;
 
