@@ -20,7 +20,8 @@ use std::time::{Duration, Instant};
 use hiper_bench::isx::{self, IsxParams};
 use hiper_bench::supervised::{self, SupervisedOutcome};
 use hiper_bench::util::{
-    metrics_session, print_net_stats, print_rank_stats, stats_enabled, trace_session,
+    metrics_session, print_net_stats, print_rank_stats, print_reliable_stats, stats_enabled,
+    trace_session,
 };
 use hiper_bench::uts::{self, UtsParams};
 use hiper_checkpoint::CheckpointModule;
@@ -136,6 +137,7 @@ fn run_isx(label: &str, plan: &Option<FaultPlan>) -> RunOutcome {
                 if show_stats {
                     print_rank_stats(&format!("isx/{} rank 0", label), &env.runtime);
                     print_net_stats(&format!("isx/{}", label), &env.transport);
+                    print_reliable_stats(&format!("isx/{} rank 0", label), shmem.raw().reliable());
                 }
             }
             result.sorted
@@ -187,6 +189,7 @@ fn run_uts(label: &str, plan: &Option<FaultPlan>) -> RunOutcome {
                 *n2.lock() = Some(env.transport.net_stats());
                 if show_stats {
                     print_net_stats(&format!("uts/{}", label), &env.transport);
+                    print_reliable_stats(&format!("uts/{} rank 0", label), shmem.raw().reliable());
                 }
             }
             vec![result.global_count, result.local_count]
@@ -237,6 +240,7 @@ fn run_mpi_storm(label: &str, plan: &Option<FaultPlan>) -> RunOutcome {
                 *n2.lock() = Some(env.transport.net_stats());
                 if show_stats {
                     print_net_stats(&format!("mpi/{}", label), &env.transport);
+                    print_reliable_stats(&format!("mpi/{} rank 0", label), mpi.raw().reliable());
                 }
             }
             digest

@@ -1,6 +1,6 @@
 //! The CI performance regression gate: runs the canonical workloads
-//! (scheduler fanout, MPI ping-pong, ISx, spawn churn) `HIPER_REPS` times
-//! each, writes the fresh medians + IQRs *and raw per-rep samples* to
+//! (scheduler fanout, MPI ping-pong, ISx, spawn churn, message churn)
+//! `HIPER_REPS` times each, writes the fresh medians + IQRs *and raw per-rep samples* to
 //! `BENCH_perf_gate.json`, and compares them against the checked-in
 //! baseline with the noise-aware rule from [`hiper_bench::perfgate`].
 //!
@@ -21,6 +21,11 @@
 //!   quiet machine, then commit)
 //! * `--trace-dir DIR` — where baseline profiles live (default
 //!   `configs/perf_gate_traces`)
+//! * `--attribute BENCH` — skip the gate entirely: run one traced rep of
+//!   BENCH, diff it against the *stored* baseline profile, and write
+//!   `ATTRIBUTION_<bench>.md` / `.json` next to `--out`. Used to document
+//!   an intentional perf shift (improvement or regression) against the old
+//!   baseline *before* `--update-baseline` overwrites the profiles.
 //! * `HIPER_REPS` — timed reps per workload (default 7)
 //! * `HIPER_GATE_SLACK_PCT` / `HIPER_GATE_IQR_MULT` — tuning knobs
 //! * `HIPER_GATE_ATTRIBUTION=0` — skip profile recording and failure
@@ -60,6 +65,54 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         })
 }
 
+/// Runs one traced rep of `bench`, diffs it against the stored baseline
+/// profile, and writes `ATTRIBUTION_<bench>.{md,json}` into `out_dir`.
+/// Echoes the top contributor to stderr. Returns false on any failure.
+fn write_attribution(bench: &str, trace_dir: &std::path::Path, out_dir: &std::path::Path) -> bool {
+    match attribute_regression(bench, trace_dir, 10) {
+        Ok(att) => {
+            let md = out_dir.join(format!("ATTRIBUTION_{}.md", bench));
+            let js = out_dir.join(format!("ATTRIBUTION_{}.json", bench));
+            let mut ok = true;
+            for (path, body) in [(&md, &att.markdown), (&js, &att.json)] {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("perf_gate: cannot write {}: {}", path.display(), e);
+                    ok = false;
+                }
+            }
+            if ok {
+                eprintln!("perf_gate: attribution for {} -> {}", bench, md.display());
+            }
+            if let Some(top) = att.diff.ranked.first() {
+                eprintln!(
+                    "perf_gate: {} top contributor: [{}] {} ({:+} ns, {:.0}% of delta, {})",
+                    bench,
+                    top.category,
+                    top.name,
+                    top.delta_ns,
+                    100.0 * top.share,
+                    top.location
+                );
+            }
+            ok
+        }
+        Err(e) => {
+            eprintln!("perf_gate: attribution for {} failed: {}", bench, e);
+            false
+        }
+    }
+}
+
+/// The directory attribution artifacts land in: next to `--out`, so CI
+/// uploads them with the gate results.
+fn artifact_dir(out_path: &str) -> std::path::PathBuf {
+    std::path::Path::new(out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .to_path_buf()
+}
+
 fn main() {
     // Attribution reps run traced; give the rings room so the profile is
     // not PARTIAL. Parsed once at ring-registry init, so set it before any
@@ -82,6 +135,20 @@ fn main() {
         !std::env::var("HIPER_GATE_ATTRIBUTION").is_ok_and(|v| v == "0" || v.is_empty());
 
     let _metrics = hiper_bench::util::metrics_session();
+
+    if let Some(bench) = arg_value(&args, "--attribute") {
+        // Forced attribution: no sampling, no gate — one traced rep diffed
+        // against whatever profile is currently stored. Run this before
+        // --update-baseline to capture the before/after delta of an
+        // intentional change.
+        std::process::exit(
+            if write_attribution(&bench, &trace_dir, &artifact_dir(&out_path)) {
+                0
+            } else {
+                2
+            },
+        );
+    }
 
     eprintln!(
         "perf_gate: {} reps/workload, slack {:.1}%, {}x IQR noise allowance",
@@ -165,42 +232,9 @@ fn main() {
     }
     eprintln!("perf_gate: REGRESSION against {}", baseline_path);
     if attribution_on {
-        // Attribution artifacts land next to --out so CI uploads them with
-        // the gate results.
-        let out_dir = std::path::Path::new(&out_path)
-            .parent()
-            .filter(|p| !p.as_os_str().is_empty())
-            .unwrap_or_else(|| std::path::Path::new("."))
-            .to_path_buf();
+        let out_dir = artifact_dir(&out_path);
         for bench in &failed {
-            match attribute_regression(bench, &trace_dir, 10) {
-                Ok(att) => {
-                    let md = out_dir.join(format!("ATTRIBUTION_{}.md", bench));
-                    let js = out_dir.join(format!("ATTRIBUTION_{}.json", bench));
-                    let mut ok = true;
-                    for (path, body) in [(&md, &att.markdown), (&js, &att.json)] {
-                        if let Err(e) = std::fs::write(path, body) {
-                            eprintln!("perf_gate: cannot write {}: {}", path.display(), e);
-                            ok = false;
-                        }
-                    }
-                    if ok {
-                        eprintln!("perf_gate: attribution for {} -> {}", bench, md.display());
-                    }
-                    if let Some(top) = att.diff.ranked.first() {
-                        eprintln!(
-                            "perf_gate: {} top contributor: [{}] {} ({:+} ns, {:.0}% of delta, {})",
-                            bench,
-                            top.category,
-                            top.name,
-                            top.delta_ns,
-                            100.0 * top.share,
-                            top.location
-                        );
-                    }
-                }
-                Err(e) => eprintln!("perf_gate: attribution for {} failed: {}", bench, e),
-            }
+            write_attribution(bench, &trace_dir, &out_dir);
         }
     }
     std::process::exit(1);

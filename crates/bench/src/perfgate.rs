@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hiper_mpi::MpiModule;
-use hiper_netsim::{NetConfig, SpmdBuilder};
+use hiper_netsim::{Channel, Cluster, NetConfig, SpmdBuilder};
 use hiper_platform::autogen;
 use hiper_platform::json::Json;
 use hiper_runtime::{api, Runtime, SchedulerModule};
@@ -39,7 +39,13 @@ pub const DEFAULT_SLACK_PCT: f64 = 10.0;
 /// Default multiplier on combined IQR noise.
 pub const DEFAULT_IQR_MULT: f64 = 3.0;
 /// The gate's workloads, in baseline-metric order.
-pub const GATE_BENCHES: [&str; 4] = ["fanout_ms", "isx_ms", "pingpong_ms", "spawn_churn_ms"];
+pub const GATE_BENCHES: [&str; 5] = [
+    "fanout_ms",
+    "isx_ms",
+    "msg_churn_ms",
+    "pingpong_ms",
+    "spawn_churn_ms",
+];
 
 /// Robust summary of one metric's repeated measurements (milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -339,12 +345,80 @@ pub fn spawn_churn_samples(reps: usize) -> Vec<f64> {
     samples
 }
 
+/// Message churn: a 4-rank all-to-all storm of tiny tagged messages over
+/// the raw transport — no module layer in the way, so the sample isolates
+/// the netsim hot path the sharded delivery engine serves: concurrent send
+/// admission from four threads, timing-wheel insertion/pop, and handler
+/// dispatch. This is the gate metric for the small-message throughput the
+/// coalescing and zero-copy work targets.
+pub fn run_msg_churn(reps: usize) -> MetricSummary {
+    summarize_ms(msg_churn_samples(reps))
+}
+
+/// Raw per-rep samples (ms) for the message-churn workload.
+pub fn msg_churn_samples(reps: usize) -> Vec<f64> {
+    const RANKS: usize = 4;
+    const MSGS: u64 = 250; // per (src, dst) pair per rep
+    let cluster = Cluster::start(RANKS, NetConfig::default());
+    let delivered = Arc::new(AtomicU64::new(0));
+    for r in 0..RANKS {
+        let d = Arc::clone(&delivered);
+        cluster.transport(r).register_handler(
+            Channel::APP,
+            Box::new(move |_| {
+                d.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+    }
+    let payload = bytes::Bytes::from_static(&[0x5a; 16]);
+    let per_rep = (RANKS * (RANKS - 1)) as u64 * MSGS;
+    // One burst: every rank floods every other rank from its own thread,
+    // then the caller waits for all `per_rep` deliveries of that lap.
+    let one = |lap: u64| {
+        std::thread::scope(|s| {
+            for src in 0..RANKS {
+                let t = cluster.transport(src);
+                let payload = payload.clone();
+                s.spawn(move || {
+                    for i in 0..MSGS {
+                        for dst in 0..RANKS {
+                            if dst != src {
+                                t.send(dst, Channel::APP, i, payload.clone());
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let target = (lap + 1) * per_rep;
+        while delivered.load(Ordering::Relaxed) < target {
+            std::thread::yield_now();
+        }
+    };
+    let mut lap = 0u64;
+    for _ in 0..2 {
+        one(lap);
+        lap += 1;
+    }
+    let samples = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            one(lap);
+            lap += 1;
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    cluster.stop();
+    samples
+}
+
 /// Raw samples for one named gate workload; `None` for unknown names.
 pub fn bench_samples(bench: &str, reps: usize) -> Option<Vec<f64>> {
     match bench {
         "fanout_ms" => Some(fanout_samples(reps)),
         "pingpong_ms" => Some(pingpong_samples(reps)),
         "isx_ms" => Some(isx_samples(reps)),
+        "msg_churn_ms" => Some(msg_churn_samples(reps)),
         "spawn_churn_ms" => Some(spawn_churn_samples(reps)),
         _ => None,
     }

@@ -160,6 +160,16 @@ pub fn print_net_stats(tag: &str, transport: &hiper_netsim::Transport) {
     eprintln!("[stats {}] net: {}", tag, transport.net_stats());
 }
 
+/// Prints one endpoint's reliable-layer counters
+/// ([`ReliableStatsSnapshot`] Display: retries, coalesced frames,
+/// piggybacked/standalone acks, payload copies avoided) to stderr,
+/// prefixed with `tag`.
+///
+/// [`ReliableStatsSnapshot`]: hiper_netsim::ReliableStatsSnapshot
+pub fn print_reliable_stats(tag: &str, transport: &hiper_netsim::ReliableTransport) {
+    eprintln!("[stats {}] reliable: {}", tag, transport.stats());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

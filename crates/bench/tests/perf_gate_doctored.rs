@@ -52,8 +52,8 @@ fn binary_passes_on_real_baseline_and_fails_on_doctored_one() {
         .expect("parse baseline");
     assert_eq!(
         real.len(),
-        4,
-        "gate must cover fanout, pingpong, isx, and spawn_churn"
+        hiper_bench::perfgate::GATE_BENCHES.len(),
+        "gate must cover every workload in GATE_BENCHES"
     );
     let fast: BTreeMap<String, MetricSummary> = real
         .iter()

@@ -192,6 +192,12 @@ impl RawComm {
         self.transport.retry_count()
     }
 
+    /// The underlying reliable endpoint (for stats and message-path
+    /// tuning — coalescing config, ack counters).
+    pub fn reliable(&self) -> &Arc<ReliableTransport> {
+        &self.transport
+    }
+
     fn on_message(&self, msg: Message) {
         let mut st = self.state.lock();
         // Match in posted order (MPI semantics).

@@ -39,13 +39,31 @@ impl Transport {
     /// reliable transports use this so retransmits carry the span captured
     /// at the *logical* send.
     pub fn send_span(&self, dst: Rank, channel: Channel, tag: u64, payload: Bytes, span: u64) {
+        self.send_framed(dst, channel, tag, Bytes::new(), payload, span);
+    }
+
+    /// Sends a framed active message: `header` is a protocol prefix carried
+    /// separately from `payload` so framing never copies the payload (the
+    /// reliable layer's zero-copy DATA path). Both segments count toward
+    /// the modeled wire size.
+    pub fn send_framed(
+        &self,
+        dst: Rank,
+        channel: Channel,
+        tag: u64,
+        header: Bytes,
+        payload: Bytes,
+        span: u64,
+    ) {
         self.engine.send(Message {
             src: self.rank,
             dst,
             channel,
             tag,
+            header,
             payload,
             span,
+            due_ns: 0,
         });
     }
 

@@ -1,7 +1,27 @@
-//! The delivery engine: a thread that holds in-flight messages in a timed
-//! priority queue and delivers each to its destination handler once the
-//! modeled network delay has elapsed — in *wall-clock* time, so blocking on
-//! communication costs real CPU availability (DESIGN.md §2.2).
+//! The delivery engine: in-flight messages wait in per-destination-rank
+//! shards — each a hashed timing wheel — and a delivery thread hands each
+//! to its destination handler once the modeled network delay has elapsed,
+//! in *wall-clock* time, so blocking on communication costs real CPU
+//! availability (DESIGN.md §2.2, §2.15).
+//!
+//! Two structural choices keep the hot path fast:
+//!
+//! * **Sharding by destination rank.** Senders lock only their target's
+//!   shard, so concurrent senders to different ranks never serialize on a
+//!   shared lock (the pre-§2.15 engine funneled every send through one
+//!   mutex-protected global heap). Contention that does happen is counted
+//!   in [`NetStats::shard_contention`].
+//! * **Hashed timing wheel per shard.** Due times hash into 256 slots of
+//!   ~16 µs; insert and pop of due messages are O(1)-ish instead of
+//!   O(log n) heap churn, with a `BTreeMap` overflow for dues beyond the
+//!   ~4 ms horizon. An `AtomicU64` per shard publishes its exact earliest
+//!   due so the delivery thread picks the next shard without locking any.
+//!
+//! The delivery thread sleeps on a condvar only for far-out deadlines and
+//! **spins for the last `HIPER_NET_SPIN_US`** (default 120 µs) before a
+//! due time: OS timer slack on a condvar wait is tens of microseconds —
+//! comparable to the modeled latencies themselves — and the spin removes
+//! it from every delivery.
 //!
 //! All engine timekeeping runs on the shared trace clock
 //! ([`hiper_trace::clock`]): due times are nanosecond offsets from the same
@@ -9,15 +29,14 @@
 //! `NetDeliver` landing exactly `NetSend + modeled delay` later — no skew
 //! between scheduler tracks and network tracks.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use hiper_trace::clock;
 use hiper_trace::EventKind;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::message::{Message, Rank};
 
@@ -25,7 +44,7 @@ use crate::message::{Message, Rank};
 /// self-tests: doubling one channel's modeled latency must surface as a
 /// top-ranked attribution in `profile --diff`. Scales live in a global
 /// table (millionths, so 2_000_000 = 2x) and multiply the modeled delay
-/// before it reaches the timed heap and the trace — the injected slowdown
+/// before it reaches the timed wheel and the trace — the injected slowdown
 /// is exactly what the exported timeline shows.
 #[cfg(feature = "slowmo")]
 pub mod slowmo {
@@ -74,7 +93,7 @@ pub mod slowmo {
 }
 
 /// Packs a (src, dst) pair into one trace-event payload word.
-fn link_word(src: Rank, dst: Rank) -> u64 {
+pub(crate) fn link_word(src: Rank, dst: Rank) -> u64 {
     ((src as u64) << 32) | dst as u64
 }
 
@@ -82,8 +101,15 @@ fn link_word(src: Rank, dst: Rank) -> u64 {
 /// edges (shared across engines so ids never collide within one trace).
 static NEXT_MSG_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Cached handle to the in-flight-messages gauge (queue depth of the timed
-/// delivery heap; the peak value is the high-water mark of the run).
+/// Allocates a fresh causal-edge message id. The reliable layer uses this
+/// to emit per-logical-message send/deliver pairs when one jumbo frame
+/// carries several coalesced messages.
+pub(crate) fn next_msg_id() -> u64 {
+    NEXT_MSG_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Cached handle to the in-flight-messages gauge (queue depth across all
+/// delivery shards; the peak value is the high-water mark of the run).
 fn in_flight_gauge() -> &'static hiper_metrics::Gauge {
     static G: std::sync::OnceLock<&'static hiper_metrics::Gauge> = std::sync::OnceLock::new();
     G.get_or_init(|| hiper_metrics::gauge("hiper_netsim_in_flight"))
@@ -164,6 +190,9 @@ pub struct NetStats {
     pub duplicated: AtomicU64,
     /// Delivery handlers that panicked (each also counts as one `dropped`).
     pub handler_panics: AtomicU64,
+    /// Sends that found their destination shard's lock already held and
+    /// had to block (contended delivery-shard acquisitions).
+    pub shard_contention: AtomicU64,
 }
 
 /// Plain-data snapshot of [`NetStats`].
@@ -174,6 +203,7 @@ pub struct NetStatsSnapshot {
     pub dropped: u64,
     pub duplicated: u64,
     pub handler_panics: u64,
+    pub shard_contention: u64,
 }
 
 impl NetStats {
@@ -185,6 +215,7 @@ impl NetStats {
             dropped: self.dropped.load(Ordering::Relaxed),
             duplicated: self.duplicated.load(Ordering::Relaxed),
             handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            shard_contention: self.shard_contention.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,8 +224,13 @@ impl std::fmt::Display for NetStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "messages={} bytes={} dropped={} duplicated={} handler_panics={}",
-            self.messages, self.bytes, self.dropped, self.duplicated, self.handler_panics
+            "messages={} bytes={} dropped={} duplicated={} handler_panics={} shard_contention={}",
+            self.messages,
+            self.bytes,
+            self.dropped,
+            self.duplicated,
+            self.handler_panics,
+            self.shard_contention
         )
     }
 }
@@ -218,6 +254,11 @@ pub enum RankEvent {
 /// Rank-event listener callback.
 pub type RankListener = Box<dyn Fn(RankEvent) + Send + Sync>;
 
+/// Callback run once when the engine stops. Reliable endpoints register
+/// one to wake their retry/flush threads immediately instead of waiting
+/// out a full backoff tick against a dead wire.
+pub type StopHook = Box<dyn Fn() + Send + Sync>;
+
 /// Debug marker for the delivery currently running: `(src, dst, channel,
 /// seq-ish tag, started)`. Populated only under `HIPER_SUPERVISE_DEBUG`.
 type DeliveryMark = (Rank, Rank, u8, u64, std::time::Instant);
@@ -225,6 +266,7 @@ type DeliveryMark = (Rank, Rank, u8, u64, std::time::Instant);
 struct InFlight {
     /// Delivery deadline, ns on the shared trace clock.
     due: u64,
+    /// Global send order tiebreaker (FIFO among equal dues).
     seq: u64,
     /// Causal-edge message id (shared by fault-injected duplicate copies:
     /// both delivers refer to the same logical `MsgSend`). 0 = untraced.
@@ -232,36 +274,165 @@ struct InFlight {
     msg: Message,
 }
 
-impl PartialEq for InFlight {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
+/// Slots per wheel; with [`SLOT_NS`] this spans a ~4.2 ms horizon, well
+/// past every modeled latency + jitter in the test grids. Longer dues go
+/// to the overflow map and migrate in as the cursor advances.
+const WHEEL_SLOTS: usize = 256;
+/// Slot granularity in ns (2^14 ≈ 16.4 µs). Granularity does not bound
+/// delivery precision: items are popped by their exact due time, the slot
+/// only bounds how much of the structure a pop has to look at.
+const SLOT_NS: u64 = 1 << 14;
+
+/// A hashed timing wheel: due times hash into fixed-width slots, a cursor
+/// chases the clock, and dues beyond the horizon wait in a sorted overflow
+/// map. Pops return matured items in exact `(due, seq)` order — the
+/// per-link FIFO guarantee needs pops to respect the monotone per-link
+/// dues [`DeliveryEngine::send`] establishes.
+struct TimingWheel {
+    slots: Vec<Vec<InFlight>>,
+    /// Items whose due lies beyond the wheel horizon, keyed `(due, seq)`.
+    overflow: BTreeMap<(u64, u64), InFlight>,
+    /// Absolute index (due / SLOT_NS) of the next un-drained slot.
+    cursor: u64,
+    /// Items currently in `slots`.
+    wheel_len: usize,
+    /// Items total (slots + overflow).
+    len: usize,
 }
-impl Eq for InFlight {}
-impl PartialOrd for InFlight {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl TimingWheel {
+    fn new(now: u64) -> TimingWheel {
+        TimingWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            overflow: BTreeMap::new(),
+            cursor: now / SLOT_NS,
+            wheel_len: 0,
+            len: 0,
+        }
     }
-}
-impl Ord for InFlight {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.seq).cmp(&(other.due, other.seq))
+
+    fn insert(&mut self, entry: InFlight) {
+        self.len += 1;
+        let slot = entry.due / SLOT_NS;
+        if slot >= self.cursor + WHEEL_SLOTS as u64 {
+            self.overflow.insert((entry.due, entry.seq), entry);
+        } else {
+            // Past-due entries (slot < cursor) land in the cursor slot so
+            // the next pop finds them immediately.
+            let idx = (slot.max(self.cursor) % WHEEL_SLOTS as u64) as usize;
+            self.slots[idx].push(entry);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Migrates overflow items that entered the horizon into the wheel.
+    fn refill(&mut self) {
+        let horizon = (self.cursor + WHEEL_SLOTS as u64) * SLOT_NS;
+        while let Some((&(due, _), _)) = self.overflow.iter().next() {
+            if due >= horizon {
+                break;
+            }
+            let key = *self.overflow.keys().next().unwrap();
+            let entry = self.overflow.remove(&key).unwrap();
+            let idx = ((entry.due / SLOT_NS).max(self.cursor) % WHEEL_SLOTS as u64) as usize;
+            self.slots[idx].push(entry);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Pops the matured item with the smallest `(due, seq)`, or `None`
+    /// when nothing is due at `now`. Never returns an item early.
+    fn pop_due(&mut self, now: u64) -> Option<InFlight> {
+        loop {
+            if self.wheel_len == 0 {
+                // Fast-forward an empty wheel (idle gaps must not cost a
+                // slot-by-slot walk) and pull newly in-horizon overflow.
+                let target = now / SLOT_NS;
+                if target > self.cursor {
+                    self.cursor = target;
+                }
+                self.refill();
+                if self.wheel_len == 0 {
+                    return None;
+                }
+            }
+            let slot_start = self.cursor * SLOT_NS;
+            if slot_start > now {
+                return None;
+            }
+            let idx = (self.cursor % WHEEL_SLOTS as u64) as usize;
+            // Matured minimum within the current slot. Entries from future
+            // wheel turns share the slot and are skipped by the due check.
+            let mut best: Option<usize> = None;
+            for (i, e) in self.slots[idx].iter().enumerate() {
+                if e.due <= now {
+                    let better = match best {
+                        Some(b) => {
+                            (e.due, e.seq) < (self.slots[idx][b].due, self.slots[idx][b].seq)
+                        }
+                        None => true,
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            if let Some(i) = best {
+                self.wheel_len -= 1;
+                self.len -= 1;
+                return Some(self.slots[idx].swap_remove(i));
+            }
+            if slot_start + SLOT_NS <= now {
+                // Slot fully in the past and nothing matured: whatever
+                // remains belongs to future turns — advance.
+                self.cursor += 1;
+                self.refill();
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// Exact earliest due across wheel and overflow (`u64::MAX` if empty).
+    fn earliest(&self) -> u64 {
+        let mut min = self
+            .overflow
+            .keys()
+            .next()
+            .map_or(u64::MAX, |&(due, _)| due);
+        if self.wheel_len > 0 {
+            for slot in &self.slots {
+                for e in slot {
+                    min = min.min(e.due);
+                }
+            }
+        }
+        min
     }
 }
 
-struct EngineState {
-    queue: BinaryHeap<Reverse<InFlight>>,
-    /// Per-(dst, channel) handlers; index = dst * 256 + channel.
-    handlers: Vec<Option<Arc<Handler>>>,
-    /// Latest delivery time scheduled per (src, dst) link (trace-clock ns).
-    /// A message may never be delivered before an earlier message on the
-    /// same link, even if it is much smaller — the per-pair FIFO guarantee
-    /// communication modules (SHMEM put ordering, MPI non-overtaking)
-    /// depend on.
-    last_due: std::collections::HashMap<(Rank, Rank), u64>,
-    /// Per-(src, dst) send counter: the replayable "message index" that
-    /// [`FaultPlan::decide`] keys its fault schedule on.
-    link_seq: std::collections::HashMap<(Rank, Rank), u64>,
+/// Mutable per-destination delivery state.
+struct ShardState {
+    wheel: TimingWheel,
+    /// Latest delivery time scheduled per source rank onto this shard's
+    /// destination (trace-clock ns). A message may never be delivered
+    /// before an earlier message on the same link, even if it is much
+    /// smaller — the per-pair FIFO guarantee communication modules (SHMEM
+    /// put ordering, MPI non-overtaking) depend on.
+    last_due: HashMap<Rank, u64>,
+    /// Per-source send counter: the replayable "message index" that
+    /// [`FaultPlan::decide`](crate::FaultPlan::decide) keys its fault
+    /// schedule on.
+    link_seq: HashMap<Rank, u64>,
+}
+
+/// One destination rank's slice of the delivery queue.
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Exact earliest due among this shard's queued entries (`u64::MAX`
+    /// when empty): `fetch_min`ed by senders, recomputed after pops, read
+    /// lock-free by the delivery thread to pick the next shard.
+    earliest: AtomicU64,
 }
 
 /// The delivery engine shared by all ranks of one cluster.
@@ -272,9 +443,25 @@ pub struct DeliveryEngine {
     faults: Option<crate::FaultPlan>,
     /// Trace-clock ns at engine start; fault windows are offsets from here.
     epoch_ns: u64,
-    state: Mutex<EngineState>,
+    /// Per-destination-rank delivery shards.
+    shards: Vec<Shard>,
+    /// Per-(dst, channel) handlers; index = dst * 256 + channel.
+    /// Registration is rare, delivery reads are constant — an RwLock keeps
+    /// the read side off the senders' shard locks entirely.
+    handlers: RwLock<Vec<Option<Arc<Handler>>>>,
+    /// Delivery-thread sleep coordination: the thread publishes the due
+    /// time it sleeps toward in `sleep_target` (0 = awake, `u64::MAX` =
+    /// idle wait); a sender whose new due undercuts it notifies `cond`
+    /// under `sleep_mx`.
+    sleep_mx: Mutex<()>,
     cond: Condvar,
+    sleep_target: AtomicU64,
+    /// Spin window: dues closer than this are awaited by spinning on the
+    /// trace clock instead of a condvar wait (whose OS timer slack is
+    /// comparable to the modeled latencies). `HIPER_NET_SPIN_US`.
+    spin_ns: u64,
     seq: AtomicU64,
+    in_flight: AtomicU64,
     shutdown: AtomicBool,
     /// Per-rank supervised-down flags ([`set_rank_down`]); traffic to or
     /// from a down rank is dropped (cause 2), independent of any
@@ -296,6 +483,7 @@ pub struct DeliveryEngine {
     delivering: AtomicU64,
     dbg_delivery: Mutex<Option<DeliveryMark>>,
     rank_listeners: Mutex<Vec<RankListener>>,
+    stop_hooks: Mutex<Vec<StopHook>>,
     pub stats: NetStats,
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -314,25 +502,41 @@ impl DeliveryEngine {
         faults: Option<crate::FaultPlan>,
     ) -> Arc<DeliveryEngine> {
         let faults = faults.filter(|p| p.is_active());
+        let now = clock::now_ns();
+        let spin_ns = std::env::var("HIPER_NET_SPIN_US")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(120)
+            .saturating_mul(1_000);
         let engine = Arc::new(DeliveryEngine {
             config,
             ranks,
             faults,
-            epoch_ns: clock::now_ns(),
-            state: Mutex::new(EngineState {
-                queue: BinaryHeap::new(),
-                handlers: vec![None; ranks * 256],
-                last_due: std::collections::HashMap::new(),
-                link_seq: std::collections::HashMap::new(),
-            }),
+            epoch_ns: now,
+            shards: (0..ranks)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        wheel: TimingWheel::new(now),
+                        last_due: HashMap::new(),
+                        link_seq: HashMap::new(),
+                    }),
+                    earliest: AtomicU64::new(u64::MAX),
+                })
+                .collect(),
+            handlers: RwLock::new(vec![None; ranks * 256]),
+            sleep_mx: Mutex::new(()),
             cond: Condvar::new(),
+            sleep_target: AtomicU64::new(0),
+            spin_ns,
             seq: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             down: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
             paused: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
             delivering: AtomicU64::new(0),
             dbg_delivery: Mutex::new(None),
             rank_listeners: Mutex::new(Vec::new()),
+            stop_hooks: Mutex::new(Vec::new()),
             stats: NetStats::default(),
             thread: Mutex::new(None),
         });
@@ -384,13 +588,20 @@ impl DeliveryEngine {
     /// Registers the handler for (`rank`, `channel`). Replaces any previous
     /// handler.
     pub fn register_handler(&self, rank: Rank, channel: crate::Channel, handler: Handler) {
-        let mut st = self.state.lock();
-        st.handlers[rank * 256 + channel.0 as usize] = Some(Arc::new(handler));
+        self.handlers.write()[rank * 256 + channel.0 as usize] = Some(Arc::new(handler));
     }
 
     /// Registers a listener for supervised rank lifecycle transitions.
     pub fn on_rank_event(&self, f: impl Fn(RankEvent) + Send + Sync + 'static) {
         self.rank_listeners.lock().push(Box::new(f));
+    }
+
+    /// Registers a callback to run when [`stop`](DeliveryEngine::stop)
+    /// fires. Reliable endpoints hang their retry-thread condvar wakeup
+    /// here so a stopped cluster kills its retry/flush threads immediately
+    /// rather than after their next backoff tick.
+    pub fn on_stop(&self, f: impl Fn() + Send + Sync + 'static) {
+        self.stop_hooks.lock().push(Box::new(f));
     }
 
     /// Drops every rank-event listener. Supervised-run teardown: a
@@ -409,8 +620,8 @@ impl DeliveryEngine {
     /// endpoint of the run leaks for the life of the process.
     pub fn clear_handlers(&self) {
         debug_assert!(self.is_stopped(), "clear_handlers on a live engine");
-        let mut st = self.state.lock();
-        for slot in st.handlers.iter_mut() {
+        let mut table = self.handlers.write();
+        for slot in table.iter_mut() {
             *slot = None;
         }
     }
@@ -536,11 +747,7 @@ impl DeliveryEngine {
         // timestamp (trace_check pairs them on it).
         let now = clock::now_ns();
         let traced = hiper_trace::enabled();
-        let msg_id = if traced {
-            NEXT_MSG_ID.fetch_add(1, Ordering::Relaxed)
-        } else {
-            0
-        };
+        let msg_id = if traced { next_msg_id() } else { 0 };
         if traced {
             hiper_trace::emit_at(
                 now,
@@ -564,69 +771,98 @@ impl DeliveryEngine {
             self.drop_msg(&msg, 2);
             return;
         }
-        let mut st = self.state.lock();
-        let pair = (msg.src, msg.dst);
-
-        // Fault injection: the fate of the link_seq-th message on this link
-        // is a pure function of the plan seed, so chaos runs replay exactly.
-        let mut decision = crate::FaultDecision::default();
-        if let Some(plan) = &self.faults {
-            let link_seq = {
-                let c = st.link_seq.entry(pair).or_insert(0);
-                let s = *c;
-                *c += 1;
-                s
+        let src = msg.src;
+        let shard = &self.shards[msg.dst];
+        let mut queued = 1u64;
+        let earliest = {
+            let mut st = match shard.state.try_lock() {
+                Some(guard) => guard,
+                None => {
+                    self.stats.shard_contention.fetch_add(1, Ordering::Relaxed);
+                    shard.state.lock()
+                }
             };
-            if plan.link_down(msg.src, msg.dst, now.saturating_sub(self.epoch_ns)) {
-                self.drop_msg(&msg, 2);
-                return;
-            }
-            decision = plan.decide(msg.src, msg.dst, link_seq);
-            if decision.drop {
-                self.drop_msg(&msg, 1);
-                return;
-            }
-        }
 
-        let computed = now + delay_ns + decision.jitter_ns;
-        // Per-link FIFO clamp — unless the fault decision lets this message
-        // overtake (a reliable layer above must then resequence).
-        let prev = st.last_due.get(&pair).copied().unwrap_or(0);
-        let due = if prev > computed && !decision.reorder {
-            prev
-        } else {
-            computed
-        };
-        st.last_due.insert(pair, due.max(prev));
-        if decision.duplicate {
-            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
-            if hiper_trace::enabled() {
-                hiper_trace::emit(
-                    EventKind::NetDup,
-                    link_word(msg.src, msg.dst),
-                    msg.wire_bytes() as u64,
-                    0,
-                );
+            // Fault injection: the fate of the link_seq-th message on this
+            // link is a pure function of the plan seed, so chaos runs
+            // replay exactly.
+            let mut decision = crate::FaultDecision::default();
+            if let Some(plan) = &self.faults {
+                let link_seq = {
+                    let c = st.link_seq.entry(src).or_insert(0);
+                    let s = *c;
+                    *c += 1;
+                    s
+                };
+                if plan.link_down(msg.src, msg.dst, now.saturating_sub(self.epoch_ns)) {
+                    drop(st);
+                    self.drop_msg(&msg, 2);
+                    return;
+                }
+                decision = plan.decide(msg.src, msg.dst, link_seq);
+                if decision.drop {
+                    drop(st);
+                    self.drop_msg(&msg, 1);
+                    return;
+                }
             }
-            let entry = InFlight {
-                due: now + delay_ns + decision.dup_jitter_ns,
+
+            let computed = now + delay_ns + decision.jitter_ns;
+            // Per-link FIFO clamp — unless the fault decision lets this
+            // message overtake (a reliable layer above must then
+            // resequence).
+            let prev = st.last_due.get(&src).copied().unwrap_or(0);
+            let due = if prev > computed && !decision.reorder {
+                prev
+            } else {
+                computed
+            };
+            st.last_due.insert(src, due.max(prev));
+            let mut earliest = due;
+            if decision.duplicate {
+                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                if hiper_trace::enabled() {
+                    hiper_trace::emit(
+                        EventKind::NetDup,
+                        link_word(msg.src, msg.dst),
+                        msg.wire_bytes() as u64,
+                        0,
+                    );
+                }
+                let dup_due = now + delay_ns + decision.dup_jitter_ns;
+                earliest = earliest.min(dup_due);
+                queued += 1;
+                st.wheel.insert(InFlight {
+                    due: dup_due,
+                    seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                    msg_id,
+                    msg: msg.clone(),
+                });
+            }
+            st.wheel.insert(InFlight {
+                due,
                 seq: self.seq.fetch_add(1, Ordering::Relaxed),
                 msg_id,
-                msg: msg.clone(),
-            };
-            st.queue.push(Reverse(entry));
-        }
-        let entry = InFlight {
-            due,
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
-            msg_id,
-            msg,
+                msg,
+            });
+            shard.earliest.fetch_min(earliest, Ordering::SeqCst);
+            // Counted under the shard lock: the delivery thread decrements
+            // under the same lock, so the gauge can never underflow even
+            // if the pop races ahead of this send's unlock.
+            self.in_flight.fetch_add(queued, Ordering::Relaxed);
+            earliest
         };
-        st.queue.push(Reverse(entry));
         if hiper_metrics::enabled() {
-            in_flight_gauge().set(st.queue.len() as i64);
+            in_flight_gauge().set(self.in_flight.load(Ordering::Relaxed) as i64);
         }
-        self.cond.notify_all();
+        // Wake the delivery thread only when this due undercuts the
+        // deadline it is sleeping toward (0 = awake: no wake needed).
+        // Notifying under `sleep_mx` closes the race with a thread that
+        // has published its target but not yet parked.
+        if earliest < self.sleep_target.load(Ordering::SeqCst) {
+            let _g = self.sleep_mx.lock();
+            self.cond.notify_all();
+        }
     }
 
     /// Counts and traces a fault-injected loss (`cause`: 1 = random drop,
@@ -661,10 +897,18 @@ impl DeliveryEngine {
         }
     }
 
-    /// Stops the engine, delivering nothing further, and joins its thread.
+    /// Stops the engine, delivering nothing further, runs the stop hooks,
+    /// and joins its thread.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.cond.notify_all();
+        {
+            let _g = self.sleep_mx.lock();
+            self.cond.notify_all();
+        }
+        let hooks = std::mem::take(&mut *self.stop_hooks.lock());
+        for hook in &hooks {
+            hook();
+        }
         if let Some(handle) = self.thread.lock().take() {
             let _ = handle.join();
         }
@@ -680,139 +924,215 @@ impl DeliveryEngine {
 
     /// Messages still in flight (diagnostics).
     pub fn in_flight(&self) -> usize {
-        self.state.lock().queue.len()
+        self.in_flight.load(Ordering::Relaxed) as usize
+    }
+
+    /// Smallest published due across all shards, and its shard index.
+    fn min_earliest(&self) -> (u64, usize) {
+        let mut best = u64::MAX;
+        let mut at = usize::MAX;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let e = shard.earliest.load(Ordering::SeqCst);
+            if e < best {
+                best = e;
+                at = i;
+            }
+        }
+        (best, at)
+    }
+
+    /// Parks the delivery thread until `target` (or a nominal idle tick
+    /// when `None`), unless a closer due appears between the last scan and
+    /// the park — the publish-then-reverify handshake with senders.
+    fn sleep_until(&self, target: Option<u64>) {
+        let mut g = self.sleep_mx.lock();
+        let t = target.unwrap_or(u64::MAX);
+        self.sleep_target.store(t, Ordering::SeqCst);
+        let (min, _) = self.min_earliest();
+        if self.shutdown.load(Ordering::SeqCst) || min < t {
+            self.sleep_target.store(0, Ordering::SeqCst);
+            return;
+        }
+        match target {
+            Some(t) => {
+                let now = clock::now_ns();
+                if t > now {
+                    self.cond.wait_for(&mut g, Duration::from_nanos(t - now));
+                }
+            }
+            None => {
+                self.cond.wait_for(&mut g, Duration::from_millis(50));
+            }
+        }
+        self.sleep_target.store(0, Ordering::SeqCst);
     }
 
     fn run(self: &Arc<Self>) {
         loop {
-            // Phase 1: pull one due message (or sleep until one is due).
-            let delivery = {
-                let mut st = self.state.lock();
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let (mut best_due, mut best_shard) = self.min_earliest();
+            if best_due == u64::MAX {
+                self.sleep_until(None);
+                continue;
+            }
+            let now = clock::now_ns();
+            if best_due > now {
+                if best_due - now > self.spin_ns {
+                    // Far out: condvar-sleep to within the spin window
+                    // (the wait's timer slack lands inside it), then spin.
+                    self.sleep_until(Some(best_due - self.spin_ns));
+                    continue;
+                }
+                // Near-due: spin on the shared clock. A condvar wait here
+                // would overshoot by the OS timer slack — tens of µs,
+                // i.e. the size of the modeled latency itself.
+                let mut spins = 0u32;
                 loop {
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
-                    let now = clock::now_ns();
-                    match st.queue.peek() {
-                        Some(Reverse(head)) if head.due <= now => {
-                            let Reverse(entry) = st.queue.pop().unwrap();
-                            if hiper_metrics::enabled() {
-                                in_flight_gauge().set(st.queue.len() as i64);
-                            }
-                            let idx = entry.msg.dst * 256 + entry.msg.channel.0 as usize;
-                            let handler = st.handlers[idx].clone();
-                            break Some((entry.msg, handler, entry.due, entry.msg_id));
-                        }
-                        Some(Reverse(head)) => {
-                            let wait = Duration::from_nanos(head.due - now);
-                            self.cond.wait_for(&mut st, wait);
-                        }
-                        None => {
-                            self.cond.wait_for(&mut st, Duration::from_millis(50));
+                    if clock::now_ns() >= best_due {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    spins = spins.wrapping_add(1);
+                    if spins & 31 == 0 {
+                        // Pick up a newly sent, earlier-due message.
+                        let (d, s) = self.min_earliest();
+                        if d < best_due {
+                            best_due = d;
+                            best_shard = s;
                         }
                     }
                 }
+            }
+            // Pop the matured head of the chosen shard and republish its
+            // exact earliest.
+            let now = clock::now_ns();
+            let popped = {
+                let shard = &self.shards[best_shard];
+                let mut st = shard.state.lock();
+                let entry = st.wheel.pop_due(now);
+                shard.earliest.store(st.wheel.earliest(), Ordering::SeqCst);
+                if entry.is_some() {
+                    self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                }
+                entry
             };
-            // Phase 2: run the handler outside the lock so handlers may
-            // re-enter send().
-            if let Some((msg, handler, due, msg_id)) = delivery {
-                match handler {
-                    Some(h) => {
-                        // Publish "delivering to dst" before re-checking the
-                        // down flags: paired SeqCst accesses in
-                        // `set_rank_down` guarantee that either this thread
-                        // sees the kill, or the killer waits for the
-                        // handler — a queued message can never mutate a
-                        // rank's state after `set_rank_down` returned.
-                        self.delivering.store(msg.dst as u64 + 1, Ordering::SeqCst);
-                        if self.severed(msg.src) || self.severed(msg.dst) {
-                            self.delivering.store(0, Ordering::SeqCst);
-                            self.drop_msg(&msg, 2);
-                            continue;
-                        }
-                        if hiper_trace::enabled() {
-                            // Stamped at the modeled due time (the engine
-                            // drains at due + scheduling lateness; the
-                            // *timeline* delivery is `due`). The exporter
-                            // re-sorts globally, so the out-of-emit-order
-                            // timestamp is harmless.
-                            hiper_trace::emit_at(
-                                due,
-                                EventKind::NetDeliver,
-                                link_word(msg.src, msg.dst),
-                                msg.wire_bytes() as u64,
-                                0,
-                            );
-                            hiper_trace::emit_at(
-                                due,
-                                EventKind::MsgDeliver,
-                                msg.span,
-                                link_word(msg.src, msg.dst),
-                                msg_id,
-                            );
-                        }
-                        // A panicking handler must not kill the delivery
-                        // engine: the whole cluster would silently hang.
-                        let info = (msg.src, msg.dst, msg.channel, msg.tag, msg.wire_bytes());
-                        // Run the handler under the sender's span so any
-                        // send or task spawn it performs (echo replies,
-                        // SHMEM get/amo replies, acks) inherits the remote
-                        // causal parent.
-                        let span = msg.span;
-                        let prev_span = hiper_trace::set_current_task(span);
-                        let dbg = crate::supervise::debug_enabled();
-                        if dbg {
-                            *self.dbg_delivery.lock() = Some((
-                                info.0,
-                                info.1,
-                                info.2 .0,
-                                info.3,
-                                std::time::Instant::now(),
-                            ));
-                        }
-                        let result =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h(msg)));
-                        // Clear the marker as soon as the handler is out of
-                        // flight: pause_rank/set_rank_down spin on it, and a
-                        // stale `dst + 1` from the *last* delivery would spin
-                        // them forever once the queue drains idle.
+            let Some(entry) = popped else { continue };
+            if hiper_metrics::enabled() {
+                in_flight_gauge().set(self.in_flight.load(Ordering::Relaxed) as i64);
+            }
+            let InFlight {
+                due,
+                mut msg,
+                msg_id,
+                ..
+            } = entry;
+            let handler = {
+                let table = self.handlers.read();
+                table[msg.dst * 256 + msg.channel.0 as usize].clone()
+            };
+            // Run the handler outside all locks so handlers may re-enter
+            // send().
+            match handler {
+                Some(h) => {
+                    // Publish "delivering to dst" before re-checking the
+                    // down flags: paired SeqCst accesses in
+                    // `set_rank_down` guarantee that either this thread
+                    // sees the kill, or the killer waits for the
+                    // handler — a queued message can never mutate a
+                    // rank's state after `set_rank_down` returned.
+                    self.delivering.store(msg.dst as u64 + 1, Ordering::SeqCst);
+                    if self.severed(msg.src) || self.severed(msg.dst) {
                         self.delivering.store(0, Ordering::SeqCst);
-                        if dbg {
-                            *self.dbg_delivery.lock() = None;
-                        }
-                        hiper_trace::set_current_task(prev_span);
-                        if result.is_err() {
-                            let (src, dst, channel, tag, wire) = info;
-                            self.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
-                            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                            if hiper_trace::enabled() {
-                                hiper_trace::emit(
-                                    EventKind::NetDrop,
-                                    link_word(src, dst),
-                                    wire as u64,
-                                    3,
-                                );
-                            }
-                            eprintln!(
-                                "[hiper-netsim] delivery handler panicked; message dropped \
-                                 (src={} dst={} channel={} tag={:#x})",
-                                src, dst, channel.0, tag
+                        self.drop_msg(&msg, 2);
+                        continue;
+                    }
+                    if hiper_trace::enabled() {
+                        // Stamped at the modeled due time (the engine
+                        // drains at due + scheduling lateness; the
+                        // *timeline* delivery is `due`). The exporter
+                        // re-sorts globally, so the out-of-emit-order
+                        // timestamp is harmless.
+                        hiper_trace::emit_at(
+                            due,
+                            EventKind::NetDeliver,
+                            link_word(msg.src, msg.dst),
+                            msg.wire_bytes() as u64,
+                            0,
+                        );
+                        hiper_trace::emit_at(
+                            due,
+                            EventKind::MsgDeliver,
+                            msg.span,
+                            link_word(msg.src, msg.dst),
+                            msg_id,
+                        );
+                    }
+                    // A panicking handler must not kill the delivery
+                    // engine: the whole cluster would silently hang.
+                    let info = (msg.src, msg.dst, msg.channel, msg.tag, msg.wire_bytes());
+                    // Run the handler under the sender's span so any
+                    // send or task spawn it performs (echo replies,
+                    // SHMEM get/amo replies, acks) inherits the remote
+                    // causal parent.
+                    let span = msg.span;
+                    let prev_span = hiper_trace::set_current_task(span);
+                    let dbg = crate::supervise::debug_enabled();
+                    if dbg {
+                        *self.dbg_delivery.lock() =
+                            Some((info.0, info.1, info.2 .0, info.3, std::time::Instant::now()));
+                    }
+                    // Stamp the modeled deadline so layered protocols can
+                    // timestamp logical sub-messages they unpack.
+                    msg.due_ns = due;
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h(msg)));
+                    // Clear the marker as soon as the handler is out of
+                    // flight: pause_rank/set_rank_down spin on it, and a
+                    // stale `dst + 1` from the *last* delivery would spin
+                    // them forever once the queue drains idle.
+                    self.delivering.store(0, Ordering::SeqCst);
+                    if dbg {
+                        *self.dbg_delivery.lock() = None;
+                    }
+                    hiper_trace::set_current_task(prev_span);
+                    if result.is_err() {
+                        let (src, dst, channel, tag, wire) = info;
+                        self.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        if hiper_trace::enabled() {
+                            hiper_trace::emit(
+                                EventKind::NetDrop,
+                                link_word(src, dst),
+                                wire as u64,
+                                3,
                             );
                         }
+                        eprintln!(
+                            "[hiper-netsim] delivery handler panicked; message dropped \
+                             (src={} dst={} channel={} tag={:#x})",
+                            src, dst, channel.0, tag
+                        );
                     }
-                    None => {
-                        // No handler yet: requeue briefly. This covers the
-                        // startup race where rank 0 sends before rank N has
-                        // registered its module handlers.
-                        let entry = InFlight {
-                            due: clock::now_ns() + 200_000,
-                            seq: self.seq.fetch_add(1, Ordering::Relaxed),
-                            msg_id,
-                            msg,
-                        };
-                        let mut st = self.state.lock();
-                        st.queue.push(Reverse(entry));
-                    }
+                }
+                None => {
+                    // No handler yet: requeue briefly. This covers the
+                    // startup race where rank 0 sends before rank N has
+                    // registered its module handlers.
+                    let due = clock::now_ns() + 200_000;
+                    let shard = &self.shards[msg.dst];
+                    let mut st = shard.state.lock();
+                    st.wheel.insert(InFlight {
+                        due,
+                        seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                        msg_id,
+                        msg,
+                    });
+                    shard.earliest.fetch_min(due, Ordering::SeqCst);
+                    self.in_flight.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -836,14 +1156,7 @@ mod tests {
     use std::time::Instant;
 
     fn msg(src: Rank, dst: Rank, tag: u64, len: usize) -> Message {
-        Message {
-            src,
-            dst,
-            channel: Channel::APP,
-            tag,
-            payload: Bytes::from(vec![0u8; len]),
-            span: 0,
-        }
+        Message::new(src, dst, Channel::APP, tag, Bytes::from(vec![0u8; len]))
     }
 
     #[test]
@@ -859,6 +1172,28 @@ mod tests {
         assert!(d >= Duration::from_micros(1100) && d < Duration::from_micros(1200));
         assert!(cfg.delay(0, 0, 0) == Duration::from_micros(1));
         assert_eq!(NetConfig::instant().delay(0, 1, 1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn wheel_orders_and_never_pops_early() {
+        let mut wheel = TimingWheel::new(0);
+        let mk = |due: u64, seq: u64| InFlight {
+            due,
+            seq,
+            msg_id: 0,
+            msg: msg(0, 1, seq, 0),
+        };
+        // Includes an overflow-horizon due and two equal dues (seq order).
+        wheel.insert(mk(50_000, 1));
+        wheel.insert(mk(10_000, 2));
+        wheel.insert(mk(10_000, 3));
+        wheel.insert(mk(100_000_000, 4));
+        assert_eq!(wheel.earliest(), 10_000);
+        assert!(wheel.pop_due(9_999).is_none());
+        let order: Vec<u64> =
+            std::iter::from_fn(|| wheel.pop_due(200_000_000).map(|e| e.seq)).collect();
+        assert_eq!(order, vec![2, 3, 1, 4]);
+        assert_eq!(wheel.earliest(), u64::MAX);
     }
 
     #[test]
@@ -983,6 +1318,35 @@ mod tests {
     }
 
     #[test]
+    fn framed_message_counts_header_bytes() {
+        let engine = DeliveryEngine::start(2, NetConfig::instant());
+        engine.register_handler(1, Channel::APP, Box::new(|_| {}));
+        let mut m = msg(0, 1, 0, 100);
+        m.header = Bytes::from(vec![0u8; 13]);
+        engine.send(m);
+        assert_eq!(engine.stats.snapshot().bytes, 164 + 13);
+        engine.stop();
+    }
+
+    #[test]
+    fn handler_sees_modeled_due_timestamp() {
+        let engine = DeliveryEngine::start(2, NetConfig::instant());
+        let (tx, rx) = std::sync::mpsc::channel();
+        engine.register_handler(
+            1,
+            Channel::APP,
+            Box::new(move |m| {
+                tx.send(m.due_ns).unwrap();
+            }),
+        );
+        let before = clock::now_ns();
+        engine.send(msg(0, 1, 0, 0));
+        let due = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(due >= before, "due_ns not stamped: {due} < {before}");
+        engine.stop();
+    }
+
+    #[test]
     fn handlers_may_reenter_send() {
         // A handler on rank 1 that forwards to rank 0 (ping-pong).
         let engine = DeliveryEngine::start(2, NetConfig::instant());
@@ -993,14 +1357,9 @@ mod tests {
                 1,
                 Channel::APP,
                 Box::new(move |m| {
-                    engine2.send(Message {
-                        src: 1,
-                        dst: 0,
-                        channel: Channel::APP,
-                        tag: m.tag + 1,
-                        payload: m.payload,
-                        span: m.span,
-                    });
+                    let mut reply = Message::new(1, 0, Channel::APP, m.tag + 1, m.payload);
+                    reply.span = m.span;
+                    engine2.send(reply);
                 }),
             );
         }
@@ -1014,5 +1373,15 @@ mod tests {
         engine.send(msg(0, 1, 10, 0));
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 11);
         engine.stop();
+    }
+
+    #[test]
+    fn stop_hooks_run_on_stop() {
+        let engine = DeliveryEngine::start(2, NetConfig::instant());
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&fired);
+        engine.on_stop(move || f.store(true, Ordering::SeqCst));
+        engine.stop();
+        assert!(fired.load(Ordering::SeqCst));
     }
 }

@@ -29,7 +29,7 @@ pub use engine::slowmo;
 pub use engine::{NetConfig, NetStats, NetStatsSnapshot, RankEvent};
 pub use fault::{FaultDecision, FaultPlan, Partition, RankKill};
 pub use message::{Channel, Message, Rank};
-pub use reliable::{ReliableTransport, RetryConfig};
+pub use reliable::{CoalesceConfig, ReliableStatsSnapshot, ReliableTransport, RetryConfig};
 pub use supervise::{CrashToken, KillSpec, SupervisedCtx, SupervisorHarness};
 
 pub use cluster::Transport;

@@ -33,6 +33,13 @@ pub struct Message {
     pub channel: Channel,
     /// Module-defined discriminator (e.g. the MPI tag word, a SHMEM opcode).
     pub tag: u64,
+    /// Protocol framing prefix, empty for raw application sends. The
+    /// reliable layer puts its frame headers here instead of prepending
+    /// them to `payload`, so a send never copies the payload into a framed
+    /// buffer — header and payload travel as a two-segment rope. Counts
+    /// toward [`wire_bytes`](Message::wire_bytes) exactly like the old
+    /// in-payload framing did.
+    pub header: Bytes,
     /// Payload bytes. `Bytes` keeps clones cheap on the delivery path.
     pub payload: Bytes,
     /// Causal parent span: trace id of the task that (logically) sent this
@@ -41,13 +48,35 @@ pub struct Message {
     /// delays (and hence the chaos-grid digests) identical whether or not
     /// tracing is on.
     pub span: u64,
+    /// Modeled delivery deadline (trace-clock ns), stamped by the delivery
+    /// engine just before the handler runs; 0 before delivery. Like `span`
+    /// it rides the simulated header and does not count toward
+    /// [`wire_bytes`](Message::wire_bytes). The reliable layer uses it to
+    /// timestamp per-logical-message trace events when unpacking a jumbo
+    /// frame that carried several coalesced messages.
+    pub due_ns: u64,
 }
 
 impl Message {
-    /// Total modeled size on the wire (payload plus a fixed header).
+    /// A raw application message (empty framing header).
+    pub fn new(src: Rank, dst: Rank, channel: Channel, tag: u64, payload: Bytes) -> Message {
+        Message {
+            src,
+            dst,
+            channel,
+            tag,
+            header: Bytes::new(),
+            payload,
+            span: 0,
+            due_ns: 0,
+        }
+    }
+
+    /// Total modeled size on the wire (framing header + payload plus a
+    /// fixed transport-level header).
     pub fn wire_bytes(&self) -> usize {
         const HEADER: usize = 64;
-        HEADER + self.payload.len()
+        HEADER + self.header.len() + self.payload.len()
     }
 }
 
@@ -57,15 +86,11 @@ mod tests {
 
     #[test]
     fn wire_size_includes_header() {
-        let m = Message {
-            src: 0,
-            dst: 1,
-            channel: Channel::APP,
-            tag: 7,
-            payload: Bytes::from_static(b"hello"),
-            span: 0,
-        };
+        let m = Message::new(0, 1, Channel::APP, 7, Bytes::from_static(b"hello"));
         assert_eq!(m.wire_bytes(), 64 + 5);
+        let mut framed = m;
+        framed.header = Bytes::from_static(b"0123456789abc");
+        assert_eq!(framed.wire_bytes(), 64 + 13 + 5);
     }
 
     #[test]

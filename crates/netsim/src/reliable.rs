@@ -8,12 +8,39 @@
 //!
 //! * every data payload is framed with a per-destination sequence number;
 //! * the receiver delivers in sequence order, holds early frames in a
-//!   reorder buffer, discards (and re-acks) duplicates, and returns
-//!   *cumulative* acks;
+//!   reorder buffer, discards duplicates, and returns *cumulative* acks;
 //! * the sender keeps unacked frames and retransmits the head of line on a
 //!   timeout with exponential backoff, bounded by
 //!   [`RetryConfig::max_attempts`] — after which the peer is declared dead
 //!   and a typed [`ModuleError::Unreachable`] is recorded.
+//!
+//! # The fast wire path (DESIGN.md §2.15)
+//!
+//! Three throughput optimizations ride on the same sequencing machinery
+//! without changing its semantics:
+//!
+//! * **Zero-copy framing.** Frame headers travel in [`Message::header`],
+//!   separate from the payload, so a DATA send never copies the payload
+//!   into a framed buffer: the sender's queue, the unacked retention map,
+//!   retransmits, and restart replay all share one `Bytes` buffer
+//!   ([`payload_copies_avoided`](ReliableStatsSnapshot) counts frames that
+//!   shipped by reference).
+//! * **Ack coalescing + piggybacking.** A received DATA frame no longer
+//!   triggers an immediate standalone ACK. The receiver owes an ack and
+//!   either piggybacks the cumulative ack on the next reverse-direction
+//!   DATA/JUMBO frame, flushes a standalone ACK once
+//!   [`ack_threshold`](ReliableTransport) frames are owed, or lets the
+//!   retry thread flush it after a short delay (`HIPER_NET_ACK_DELAY_US`,
+//!   default 100 µs — far below the 2 ms retransmit timeout, so delaying
+//!   never provokes spurious retransmits).
+//! * **Send coalescing.** Small frames sent while earlier traffic to the
+//!   same peer is still unacked are *staged* and flushed as one JUMBO
+//!   frame per channel (by size/count threshold, flush deadline, or when
+//!   the wire goes idle). The receiver unpacks sub-frames *before* the
+//!   in-order hold-back, so sequence numbers, epochs, and replay logs are
+//!   exactly as if each frame had traveled alone. The first frame of a
+//!   burst always goes straight to the wire — request/response latency is
+//!   never Nagled.
 //!
 //! # Epochs and rank restart (DESIGN.md §2.13)
 //!
@@ -56,15 +83,29 @@ use crate::cluster::Transport;
 use crate::engine::Handler;
 use crate::message::{Channel, Message, Rank};
 
+/// `[1][epoch u32][seq u64][ackflag u8]` (+12B piggyback ack), payload =
+/// user bytes.
 const FRAME_DATA: u8 = 1;
+/// `[2][data_epoch u32][acker_epoch u32][cum u64]`, empty payload.
 const FRAME_ACK: u8 = 2;
-/// Restarted incarnation announcing its new epoch and receive watermark.
+/// Restarted incarnation announcing its new epoch and receive watermark:
+/// `[3][epoch u32][cum u64]`.
 const FRAME_RESTART: u8 = 3;
-/// Peer's confirmation that it resynchronized to the announced epoch.
+/// Peer's confirmation that it resynchronized to the announced epoch:
+/// `[4][epoch u32]`.
 const FRAME_RESTART_ACK: u8 = 4;
-/// Receiver's durable-checkpoint watermark: retained frames below it may
-/// be garbage-collected from the sender's replay log.
+/// Receiver's durable-checkpoint watermark (`[5][epoch u32][wm u64]`):
+/// retained frames below it may be GC'd from the sender's replay log.
 const FRAME_CKPT: u8 = 5;
+/// Coalesced carrier: `[6][epoch u32][count u16][ackflag u8]` (+12B
+/// piggyback ack); payload = `count` sub-frames, each
+/// `[seq u64][tag u64][span u64][len u32][payload bytes]`.
+const FRAME_JUMBO: u8 = 6;
+
+/// Per-sub-frame overhead inside a JUMBO payload. The span is always
+/// embedded (0 when untraced) so the modeled wire size — and therefore the
+/// chaos-grid schedule — is identical with tracing on or off.
+const SUB_OVERHEAD: usize = 28;
 
 /// Retry policy for unacked frames.
 #[derive(Debug, Clone, Copy)]
@@ -93,8 +134,65 @@ impl Default for RetryConfig {
     }
 }
 
-/// A stored wire frame: (channel, tag, bytes, causal span).
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Send-coalescing (Nagle) thresholds. Defaults come from the
+/// `HIPER_NET_COALESCE*` env knobs (README "Message-path tuning");
+/// [`ReliableTransport::set_coalesce`] overrides them programmatically —
+/// tests use the setter, because env vars race across parallel test
+/// threads in one binary.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalesceConfig {
+    /// Master switch (`HIPER_NET_COALESCE=0` disables).
+    pub enabled: bool,
+    /// Only frames with payloads at most this large are staged
+    /// (`HIPER_NET_COALESCE_MAX`).
+    pub max_payload: usize,
+    /// Flush the stage once it holds this many payload bytes
+    /// (`HIPER_NET_COALESCE_BYTES`).
+    pub flush_bytes: usize,
+    /// Flush the stage once it holds this many frames
+    /// (`HIPER_NET_COALESCE_FRAMES`).
+    pub flush_frames: usize,
+    /// Flush deadline for a non-full stage (`HIPER_NET_COALESCE_DELAY_US`).
+    pub delay: Duration,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> CoalesceConfig {
+        CoalesceConfig {
+            enabled: std::env::var("HIPER_NET_COALESCE").map_or(true, |v| v != "0"),
+            max_payload: env_u64("HIPER_NET_COALESCE_MAX", 512) as usize,
+            flush_bytes: env_u64("HIPER_NET_COALESCE_BYTES", 4096) as usize,
+            flush_frames: env_u64("HIPER_NET_COALESCE_FRAMES", 16) as usize,
+            delay: Duration::from_micros(env_u64("HIPER_NET_COALESCE_DELAY_US", 100)),
+        }
+    }
+}
+
+/// A stored logical frame: (channel, tag, payload, causal span). The
+/// payload is the *user* `Bytes` — shared by refcount with the original
+/// send, so retention and retransmission never copy it; wire headers are
+/// rebuilt at (re)send time from the current epoch and the map key (safe:
+/// `restart` clears `unacked`/`log`, so a stored frame can never outlive
+/// its sender's epoch).
 type StoredFrame = (Channel, u64, Bytes, u64);
+
+/// A frame ready for the wire, built under the state lock and shipped
+/// outside it (handlers may re-enter `send`).
+struct Out {
+    dst: Rank,
+    channel: Channel,
+    tag: u64,
+    header: Bytes,
+    payload: Bytes,
+    span: u64,
+}
 
 /// Per-peer sender + receiver state.
 #[derive(Default)]
@@ -103,15 +201,24 @@ struct Peer {
     epoch: u32,
     /// Next sequence number to assign (send side).
     next_seq: u64,
-    /// Sent but unacked frames, keyed by sequence number. Values are
-    /// (channel, tag, frame, span): the exact wire frames, so
-    /// retransmissions are byte-identical, plus the causal span captured at
-    /// the *logical* send so retransmits keep the original parent.
+    /// Sent-or-staged but unacked frames, keyed by sequence number.
     unacked: BTreeMap<u64, StoredFrame>,
     /// Acked frames retained for restart replay (retention mode only):
     /// delivered at the peer but not yet covered by one of its durable
     /// checkpoints. GC'd by `FRAME_CKPT` watermarks.
     log: BTreeMap<u64, StoredFrame>,
+    /// Staged (coalesced) sequence numbers not yet on the wire. The frames
+    /// themselves live in `unacked`; this is just the flush order.
+    staged: Vec<u64>,
+    /// Modeled bytes currently staged (payloads + sub-frame overhead).
+    staged_bytes: usize,
+    /// Flush deadline for a non-full stage.
+    stage_deadline: Option<Instant>,
+    /// DATA frames received from this peer whose cumulative ack has not
+    /// been sent yet (piggybacked, threshold-flushed, or delay-flushed).
+    ack_owed: u32,
+    /// Deadline for flushing a standalone ack of the owed frames.
+    ack_deadline: Option<Instant>,
     /// Retransmit deadline for the head-of-line frame.
     head_deadline: Option<Instant>,
     /// Current (backed-off) timeout for the head frame.
@@ -139,6 +246,46 @@ struct Peer {
     last_ack_at: Option<Instant>,
 }
 
+impl Peer {
+    /// The receive-side state machine, identical for lone DATA frames and
+    /// unpacked JUMBO sub-frames: in-order delivery, hold-back for early
+    /// frames, duplicate discard. Returns the messages now deliverable.
+    fn admit(&mut self, seq: u64, stripped: Message) -> Vec<Message> {
+        let mut deliverable = Vec::new();
+        if seq >= self.next_deliver {
+            if seq == self.next_deliver {
+                self.next_deliver += 1;
+                deliverable.push(stripped);
+                while let Some(m) = self.held.remove(&self.next_deliver) {
+                    self.next_deliver += 1;
+                    deliverable.push(m);
+                }
+            } else {
+                self.held.insert(seq, stripped);
+            }
+        }
+        deliverable
+    }
+
+    /// Takes the owed cumulative ack for attachment to an outgoing frame
+    /// (or a standalone flush): `(data_epoch, cum)`.
+    fn take_ack(&mut self) -> Option<(u32, u64)> {
+        if self.ack_owed == 0 {
+            return None;
+        }
+        self.ack_owed = 0;
+        self.ack_deadline = None;
+        Some((self.epoch, self.next_deliver))
+    }
+
+    /// Drops all staging state (restart, death).
+    fn clear_stage(&mut self) {
+        self.staged.clear();
+        self.staged_bytes = 0;
+        self.stage_deadline = None;
+    }
+}
+
 struct State {
     /// This endpoint's incarnation number (bumped by [`restart`]).
     ///
@@ -150,8 +297,43 @@ struct State {
     /// Retry thread handle bookkeeping: true once spawned.
     retry_running: bool,
     /// Channels with registered handlers; control frames (`RESTART`,
-    /// `CKPT`) travel on the first one.
+    /// `CKPT`, delayed acks) travel on the first one.
     channels: Vec<Channel>,
+    /// Send-coalescing thresholds.
+    coalesce: CoalesceConfig,
+}
+
+/// Point-in-time copy of the reliable layer's message-path counters
+/// (`--stats` surfacing in `chaos_check`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliableStatsSnapshot {
+    /// Retransmitted frames.
+    pub retries: u64,
+    /// Logical frames that traveled inside JUMBO carriers.
+    pub frames_coalesced: u64,
+    /// Cumulative acks carried by reverse-direction DATA/JUMBO frames.
+    pub acks_piggybacked: u64,
+    /// Standalone acks flushed by threshold or delay (each covers
+    /// `ack_owed` DATA frames that old code would have acked one-by-one).
+    pub acks_flushed: u64,
+    /// DATA frames whose payload went to the wire by reference (first
+    /// sends, retransmits, and replay bursts that shared the user buffer).
+    pub payload_copies_avoided: u64,
+}
+
+impl std::fmt::Display for ReliableStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retries={} frames_coalesced={} acks_piggybacked={} acks_flushed={} \
+             payload_copies_avoided={}",
+            self.retries,
+            self.frames_coalesced,
+            self.acks_piggybacked,
+            self.acks_flushed,
+            self.payload_copies_avoided
+        )
+    }
 }
 
 /// Exactly-once, in-order delivery on top of a faulty [`Transport`];
@@ -161,12 +343,25 @@ pub struct ReliableTransport {
     module: &'static str,
     cfg: RetryConfig,
     enabled: bool,
+    /// Delay before a standalone ack flush (`HIPER_NET_ACK_DELAY_US`).
+    ack_delay: Duration,
+    /// Owed-ack count that forces an immediate standalone flush
+    /// (`HIPER_NET_ACK_THRESHOLD`).
+    ack_threshold: u32,
     /// Retain acked frames for restart replay (supervised runs).
     retention: AtomicBool,
     state: Mutex<State>,
     cond: Condvar,
     /// Retransmitted frames (chaos-run diagnostics).
     pub retries: AtomicU64,
+    /// Logical frames shipped inside JUMBO carriers.
+    pub frames_coalesced: AtomicU64,
+    /// Acks carried on reverse-direction data frames.
+    pub acks_piggybacked: AtomicU64,
+    /// Standalone delayed/threshold ack flushes.
+    pub acks_flushed: AtomicU64,
+    /// DATA payloads that reached the wire without being copied.
+    pub payload_copies_avoided: AtomicU64,
     /// Keeps the head-of-line stall probe registered with the runtime
     /// watchdog for this endpoint's lifetime (deregisters on drop).
     _watchdog_probe: Mutex<Option<hiper_runtime::watchdog::ProbeHandle>>,
@@ -187,6 +382,8 @@ impl ReliableTransport {
             module,
             cfg,
             enabled,
+            ack_delay: Duration::from_micros(env_u64("HIPER_NET_ACK_DELAY_US", 100)),
+            ack_threshold: env_u64("HIPER_NET_ACK_THRESHOLD", 16) as u32,
             retention: AtomicBool::new(false),
             state: Mutex::new(State {
                 my_epoch: 0,
@@ -194,9 +391,14 @@ impl ReliableTransport {
                 error: None,
                 retry_running: false,
                 channels: Vec::new(),
+                coalesce: CoalesceConfig::default(),
             }),
             cond: Condvar::new(),
             retries: AtomicU64::new(0),
+            frames_coalesced: AtomicU64::new(0),
+            acks_piggybacked: AtomicU64::new(0),
+            acks_flushed: AtomicU64::new(0),
+            payload_copies_avoided: AtomicU64::new(0),
             _watchdog_probe: Mutex::new(None),
             _watchdog_info: Mutex::new(None),
         });
@@ -277,16 +479,18 @@ impl ReliableTransport {
                 |t| format!("{}ms", t.elapsed().as_millis()),
             );
             lines.push(format!(
-                "->{}: epoch={} unacked={} log={} next_seq={} next_deliver={} held={} \
-                 attempts={} last_ack_age={}{}{}{}",
+                "->{}: epoch={} unacked={} staged={} log={} next_seq={} next_deliver={} held={} \
+                 attempts={} ack_owed={} last_ack_age={}{}{}{}",
                 dst,
                 peer.epoch,
                 peer.unacked.len(),
+                peer.staged.len(),
                 peer.log.len(),
                 peer.next_seq,
                 peer.next_deliver,
                 peer.held.len(),
                 peer.head_attempts,
+                peer.ack_owed,
                 last_ack,
                 if peer.dead { " DEAD" } else { "" },
                 if peer.quiesced { " QUIESCED" } else { "" },
@@ -323,6 +527,23 @@ impl ReliableTransport {
     /// Retransmissions so far.
     pub fn retry_count(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Message-path counter snapshot.
+    pub fn stats(&self) -> ReliableStatsSnapshot {
+        ReliableStatsSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
+            acks_piggybacked: self.acks_piggybacked.load(Ordering::Relaxed),
+            acks_flushed: self.acks_flushed.load(Ordering::Relaxed),
+            payload_copies_avoided: self.payload_copies_avoided.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Overrides the send-coalescing thresholds (tests; the env knobs set
+    /// the process-wide default).
+    pub fn set_coalesce(&self, cfg: CoalesceConfig) {
+        self.state.lock().coalesce = cfg;
     }
 
     /// This endpoint's current epoch (incarnation number).
@@ -388,11 +609,8 @@ impl ReliableTransport {
             if dst == me {
                 continue;
             }
-            let mut buf = Vec::with_capacity(13);
-            buf.push(FRAME_CKPT);
-            buf.extend_from_slice(&epoch.to_le_bytes());
-            buf.extend_from_slice(&w.to_le_bytes());
-            self.transport.send(dst, channel, 0, Bytes::from(buf));
+            self.transport
+                .send_framed(dst, channel, 0, ckpt_header(epoch, w), Bytes::new(), 0);
         }
     }
 
@@ -427,12 +645,12 @@ impl ReliableTransport {
             if !pending {
                 return true;
             }
-            if Instant::now() >= deadline {
+            if Instant::now() >= deadline || self.transport.engine().is_stopped() {
                 return false;
             }
-            // Re-check on a short tick: acks arrive on the delivery
-            // thread, which doesn't signal this condvar.
-            self.cond.wait_for(&mut st, Duration::from_micros(200));
+            // Ack arrivals (and engine stop) notify this condvar from
+            // `on_wire`; the 1ms tick is only a safety net.
+            self.cond.wait_for(&mut st, Duration::from_millis(1));
         }
     }
 
@@ -457,6 +675,9 @@ impl ReliableTransport {
                 } else {
                     Some(Instant::now())
                 };
+                if !p.staged.is_empty() {
+                    p.stage_deadline = Some(Instant::now());
+                }
                 if p.restart_pending {
                     p.restart_deadline = Some(Instant::now());
                 }
@@ -498,6 +719,9 @@ impl ReliableTransport {
                     peer.next_seq = 0;
                     peer.unacked.clear();
                     peer.log.clear();
+                    peer.clear_stage();
+                    peer.ack_owed = 0;
+                    peer.ack_deadline = None;
                     peer.head_deadline = None;
                     peer.head_timeout = self.cfg.timeout;
                     peer.head_attempts = 0;
@@ -515,6 +739,9 @@ impl ReliableTransport {
                 peer.next_seq = 0;
                 peer.unacked.clear();
                 peer.log.clear();
+                peer.clear_stage();
+                peer.ack_owed = 0;
+                peer.ack_deadline = None;
                 peer.head_deadline = None;
                 peer.head_timeout = self.cfg.timeout;
                 peer.head_attempts = 0;
@@ -534,8 +761,14 @@ impl ReliableTransport {
         };
         if let Some(channel) = channel {
             for (dst, cum) in restarts {
-                self.transport
-                    .send(dst, channel, 0, restart_frame(epoch, cum));
+                self.transport.send_framed(
+                    dst,
+                    channel,
+                    0,
+                    restart_header(epoch, cum),
+                    Bytes::new(),
+                    0,
+                );
             }
         }
         self.ensure_retry_thread();
@@ -555,23 +788,22 @@ impl ReliableTransport {
         // (which run on the retry thread, with no task context) reuse it so
         // the eventual delivery still credits the originating task.
         let span = hiper_trace::current_task();
-        let frame = {
+        let outs = {
             let mut st = self.state.lock();
-            let epoch = st.my_epoch;
+            let my_epoch = st.my_epoch;
+            let co = st.coalesce;
             let peer = &mut st.peers[dst];
             if peer.dead {
                 return;
             }
             let seq = peer.next_seq;
             peer.next_seq += 1;
-            let mut buf = Vec::with_capacity(13 + payload.len());
-            buf.push(FRAME_DATA);
-            buf.extend_from_slice(&epoch.to_le_bytes());
-            buf.extend_from_slice(&seq.to_le_bytes());
-            buf.extend_from_slice(&payload);
-            let frame = Bytes::from(buf);
+            // Nagle condition, checked *before* this frame joins the
+            // queue: stage only when earlier traffic toward the peer is
+            // already outstanding — a lone request/response never waits.
+            let busy = !peer.unacked.is_empty();
             peer.unacked
-                .insert(seq, (channel, tag, frame.clone(), span));
+                .insert(seq, (channel, tag, payload.clone(), span));
             if peer.unacked.len() == 1 {
                 peer.head_timeout = self.cfg.timeout;
                 peer.head_attempts = 1;
@@ -579,16 +811,120 @@ impl ReliableTransport {
             }
             if peer.quiesced {
                 // Queue silently; the release retransmits from the head.
-                None
+                Vec::new()
+            } else if co.enabled && busy && payload.len() <= co.max_payload {
+                peer.staged.push(seq);
+                peer.staged_bytes += SUB_OVERHEAD + payload.len();
+                if peer.staged.len() >= co.flush_frames || peer.staged_bytes >= co.flush_bytes {
+                    self.drain_staged(peer, my_epoch, dst)
+                } else {
+                    if peer.stage_deadline.is_none() {
+                        peer.stage_deadline = Some(Instant::now() + co.delay);
+                    }
+                    Vec::new()
+                }
             } else {
-                Some(frame)
+                let ack = peer.take_ack();
+                if ack.is_some() {
+                    self.acks_piggybacked.fetch_add(1, Ordering::Relaxed);
+                }
+                self.payload_copies_avoided.fetch_add(1, Ordering::Relaxed);
+                vec![Out {
+                    dst,
+                    channel,
+                    tag,
+                    header: data_header(my_epoch, seq, ack),
+                    payload,
+                    span,
+                }]
             }
         };
-        if let Some(frame) = frame {
-            self.transport.send_span(dst, channel, tag, frame, span);
-        }
+        self.ship(outs);
         self.ensure_retry_thread();
         self.cond.notify_all();
+    }
+
+    /// Builds the wire frames for a peer's staged queue (one JUMBO per
+    /// channel, plain DATA for singletons), piggybacking the owed ack on
+    /// the first frame out. Caller holds the state lock; ship the result
+    /// after releasing it.
+    fn drain_staged(&self, peer: &mut Peer, my_epoch: u32, dst: Rank) -> Vec<Out> {
+        if peer.staged.is_empty() {
+            return Vec::new();
+        }
+        let staged = std::mem::take(&mut peer.staged);
+        peer.staged_bytes = 0;
+        peer.stage_deadline = None;
+        // Group by channel, preserving send order within each: acks and
+        // handlers are per-channel, and per-channel FIFO must survive the
+        // repacking (the receiver resequences by seq anyway, but one
+        // carrier per channel keeps handler dispatch correct).
+        let mut groups: Vec<(Channel, Vec<u64>)> = Vec::new();
+        for seq in staged {
+            // A head-of-line retransmit + ack may have retired a staged
+            // frame before its flush deadline.
+            let Some(&(channel, ..)) = peer.unacked.get(&seq) else {
+                continue;
+            };
+            match groups.iter_mut().find(|(c, _)| *c == channel) {
+                Some((_, seqs)) => seqs.push(seq),
+                None => groups.push((channel, vec![seq])),
+            }
+        }
+        let mut ack = peer.take_ack();
+        let had_ack = ack.is_some();
+        let mut outs = Vec::with_capacity(groups.len());
+        for (channel, seqs) in groups {
+            if seqs.len() == 1 {
+                let seq = seqs[0];
+                let (_, tag, payload, span) = peer.unacked[&seq].clone();
+                self.payload_copies_avoided.fetch_add(1, Ordering::Relaxed);
+                outs.push(Out {
+                    dst,
+                    channel,
+                    tag,
+                    header: data_header(my_epoch, seq, ack.take()),
+                    payload,
+                    span,
+                });
+            } else {
+                let mut buf = Vec::with_capacity(
+                    seqs.iter()
+                        .map(|s| SUB_OVERHEAD + peer.unacked[s].2.len())
+                        .sum(),
+                );
+                for &seq in &seqs {
+                    let (_, tag, payload, span) = &peer.unacked[&seq];
+                    buf.extend_from_slice(&seq.to_le_bytes());
+                    buf.extend_from_slice(&tag.to_le_bytes());
+                    buf.extend_from_slice(&span.to_le_bytes());
+                    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(payload);
+                }
+                self.frames_coalesced
+                    .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+                outs.push(Out {
+                    dst,
+                    channel,
+                    tag: 0,
+                    header: jumbo_header(my_epoch, seqs.len() as u16, ack.take()),
+                    payload: Bytes::from(buf),
+                    span: 0,
+                });
+            }
+        }
+        if had_ack && !outs.is_empty() {
+            self.acks_piggybacked.fetch_add(1, Ordering::Relaxed);
+        }
+        outs
+    }
+
+    /// Sends prepared frames (outside the state lock).
+    fn ship(&self, outs: Vec<Out>) {
+        for o in outs {
+            self.transport
+                .send_framed(o.dst, o.channel, o.tag, o.header, o.payload, o.span);
+        }
     }
 
     /// Registers the inner handler for `channel`. When reliable delivery is
@@ -625,9 +961,12 @@ impl ReliableTransport {
             peer.epoch = claimed;
             // The old incarnation's in-flight frames are void: reset the
             // receive cursor for the restarted sender's fresh sequence
-            // space and drop held frames from before the crash.
+            // space and drop held frames from before the crash. Owed acks
+            // refer to the dead sequence space too.
             peer.next_deliver = 0;
             peer.held.clear();
+            peer.ack_owed = 0;
+            peer.ack_deadline = None;
             // A restarted peer is reachable again by definition.
             peer.dead = false;
             peer.quiesced = false;
@@ -646,7 +985,7 @@ impl ReliableTransport {
     /// checkpointed at the peer and dropped; retained/unacked frames at or
     /// above it are queued for retransmission. Returns the frames to burst
     /// onto the wire, in sequence order.
-    fn resync_send_side(peer: &mut Peer, cum: u64, cfg: &RetryConfig) -> Vec<StoredFrame> {
+    fn resync_send_side(peer: &mut Peer, cum: u64, cfg: &RetryConfig) -> Vec<(u64, StoredFrame)> {
         // Replay log first: its sequence numbers precede every unacked one.
         let keep_log = peer.log.split_off(&cum);
         peer.log.clear();
@@ -654,6 +993,7 @@ impl ReliableTransport {
             peer.unacked.insert(seq, frame);
         }
         peer.unacked = peer.unacked.split_off(&cum);
+        peer.clear_stage();
         peer.head_timeout = cfg.timeout;
         peer.head_attempts = 1;
         peer.head_deadline = if peer.unacked.is_empty() {
@@ -661,23 +1001,154 @@ impl ReliableTransport {
         } else {
             Some(Instant::now() + cfg.timeout)
         };
-        peer.unacked.values().cloned().collect()
+        peer.unacked.iter().map(|(&s, f)| (s, f.clone())).collect()
+    }
+
+    /// Books `count` received DATA frames from `src` as owing an ack, and
+    /// flushes a standalone cumulative ack when the owed count crosses the
+    /// threshold (otherwise arms the delay deadline for the retry thread).
+    /// Caller holds the state lock.
+    fn note_ack_owed(&self, st: &mut State, src: Rank, channel: Channel, count: u32) -> Vec<Out> {
+        let my_epoch = st.my_epoch;
+        let peer = &mut st.peers[src];
+        peer.ack_owed = peer.ack_owed.saturating_add(count);
+        if peer.ack_owed >= self.ack_threshold {
+            let (data_epoch, cum) = peer.take_ack().expect("owed > 0");
+            self.acks_flushed.fetch_add(1, Ordering::Relaxed);
+            vec![Out {
+                dst: src,
+                channel,
+                tag: 0,
+                header: ack_header(data_epoch, my_epoch, cum),
+                payload: Bytes::new(),
+                span: 0,
+            }]
+        } else {
+            if peer.ack_deadline.is_none() {
+                peer.ack_deadline = Some(Instant::now() + self.ack_delay);
+            }
+            Vec::new()
+        }
+    }
+
+    /// Applies a cumulative ack (standalone or piggybacked): validates
+    /// epochs, retires acked frames into the replay log, resyncs on an
+    /// epoch advance, and — when the ack leaves nothing outstanding on the
+    /// wire — flushes any staged stragglers immediately. Returns
+    /// `(replay burst, staged flush)`; caller holds the state lock and
+    /// ships both after releasing it.
+    #[allow(clippy::type_complexity)]
+    fn apply_ack(
+        &self,
+        st: &mut State,
+        src: Rank,
+        data_epoch: u32,
+        acker_epoch: u32,
+        cum: u64,
+    ) -> (Vec<(u64, StoredFrame)>, Vec<Out>) {
+        let known = st.peers[src].epoch;
+        if acker_epoch < known {
+            // Ack from a dead incarnation: its cum refers to receive state
+            // that was rolled back. Applying it would falsely retire
+            // frames the restored peer still needs.
+            if crate::supervise::debug_enabled() {
+                eprintln!(
+                    "[rel r{}] drop stale ACK src={} acker_epoch={} known={} cum={}",
+                    self.transport.rank(),
+                    src,
+                    acker_epoch,
+                    known,
+                    cum
+                );
+            }
+            return (Vec::new(), Vec::new());
+        }
+        if data_epoch != st.my_epoch {
+            // Acks our own previous incarnation's space.
+            if crate::supervise::debug_enabled() {
+                eprintln!(
+                    "[rel r{}] drop old-space ACK src={} data_epoch={} my_epoch={} cum={}",
+                    self.transport.rank(),
+                    src,
+                    data_epoch,
+                    st.my_epoch,
+                    cum,
+                );
+            }
+            return (Vec::new(), Vec::new());
+        }
+        let epoch_advance = acker_epoch > known;
+        if !Self::observe_epoch(st, src, acker_epoch, self.module) {
+            return (Vec::new(), Vec::new());
+        }
+        let retention = self.retention.load(Ordering::Acquire);
+        let cfg = self.cfg;
+        let my_epoch = st.my_epoch;
+        let peer = &mut st.peers[src];
+        peer.last_ack_at = Some(Instant::now());
+        if epoch_advance {
+            // The ack overtook the peer's RESTART frame: its cum is the
+            // restored receive watermark, so run the full resync now
+            // rather than waiting.
+            return (Self::resync_send_side(peer, cum, &cfg), Vec::new());
+        }
+        let mut acked = peer.unacked.split_off(&cum);
+        std::mem::swap(&mut acked, &mut peer.unacked);
+        if !acked.is_empty() {
+            if retention {
+                peer.log.extend(acked);
+            }
+            // Head of line advanced: fresh retry budget for the new head
+            // (per-frame bounded attempts).
+            peer.head_timeout = cfg.timeout;
+            peer.head_attempts = 1;
+            peer.head_deadline = if peer.unacked.is_empty() {
+                None
+            } else {
+                Some(Instant::now() + cfg.timeout)
+            };
+            if !peer.staged.is_empty() {
+                // A head-of-line retransmit may have wired (and now acked)
+                // frames that were still staged.
+                peer.staged.retain(|&s| s >= cum);
+                let mut bytes = 0;
+                for s in &peer.staged {
+                    if let Some(f) = peer.unacked.get(s) {
+                        bytes += SUB_OVERHEAD + f.2.len();
+                    }
+                }
+                peer.staged_bytes = bytes;
+                if peer.staged.is_empty() {
+                    peer.stage_deadline = None;
+                }
+            }
+        }
+        // Wire idle after this ack: release staged stragglers immediately
+        // instead of waiting out their flush deadline — the Nagle stage
+        // only exists to ride behind in-flight traffic.
+        let outs = if !peer.staged.is_empty() && peer.unacked.len() == peer.staged.len() {
+            self.drain_staged(peer, my_epoch, src)
+        } else {
+            Vec::new()
+        };
+        (Vec::new(), outs)
     }
 
     /// Decodes one wire frame (runs on the delivery-engine thread).
     fn on_wire(self: &Arc<Self>, channel: Channel, inner: &Handler, msg: Message) {
-        let raw = &msg.payload;
-        if raw.len() < 5 {
+        let hdr = msg.header.clone();
+        if hdr.len() < 5 {
             return;
         }
-        let kind = raw[0];
-        let epoch_field = u32::from_le_bytes(raw[1..5].try_into().unwrap());
+        let kind = hdr[0];
+        let epoch_field = rd_u32(&hdr, 1);
         let src = msg.src;
         match kind {
-            FRAME_DATA if raw.len() >= 13 => {
-                let seq = u64::from_le_bytes(raw[5..13].try_into().unwrap());
-                let body = raw.slice(13..raw.len());
-                let (deliverable, ack) = {
+            FRAME_DATA if hdr.len() >= 14 => {
+                let seq = rd_u64(&hdr, 5);
+                let piggy =
+                    (hdr[13] == 1 && hdr.len() >= 26).then(|| (rd_u32(&hdr, 14), rd_u64(&hdr, 18)));
+                let (deliverable, outs, burst, burst_epoch) = {
                     let mut st = self.state.lock();
                     if !Self::observe_epoch(&mut st, src, epoch_field, self.module) {
                         if crate::supervise::debug_enabled() {
@@ -691,114 +1162,127 @@ impl ReliableTransport {
                         }
                         return;
                     }
-                    let my_epoch = st.my_epoch;
-                    let peer = &mut st.peers[src];
-                    let mut deliverable = Vec::new();
-                    if seq >= peer.next_deliver {
-                        let stripped = Message {
-                            payload: body,
-                            ..msg
-                        };
-                        if seq == peer.next_deliver {
-                            peer.next_deliver += 1;
-                            deliverable.push(stripped);
-                            while let Some(m) = peer.held.remove(&peer.next_deliver) {
-                                peer.next_deliver += 1;
-                                deliverable.push(m);
-                            }
-                        } else {
-                            peer.held.insert(seq, stripped);
+                    let stripped = Message {
+                        header: Bytes::new(),
+                        ..msg
+                    };
+                    let deliverable = st.peers[src].admit(seq, stripped);
+                    let mut outs = self.note_ack_owed(&mut st, src, channel, 1);
+                    // The piggybacked ack is applied *after* the DATA
+                    // half, mirroring the order the two halves would have
+                    // arrived in as separate frames.
+                    let burst = match piggy {
+                        Some((de, cum)) => {
+                            let (burst, more) = self.apply_ack(&mut st, src, de, epoch_field, cum);
+                            outs.extend(more);
+                            burst
                         }
-                    }
-                    (
-                        deliverable,
-                        ack_frame(epoch_field, my_epoch, peer.next_deliver),
-                    )
+                        None => Vec::new(),
+                    };
+                    (deliverable, outs, burst, st.my_epoch)
                 };
                 // Deliver outside the lock: handlers may re-enter send().
-                for m in deliverable {
-                    inner(m);
-                }
-                self.transport.send(src, channel, 0, ack);
+                deliver(inner, deliverable);
+                self.ship(outs);
+                self.burst(src, burst_epoch, burst);
+                // The armed ack-flush deadline needs the retry/flusher
+                // thread — a pure receiver has not spawned one yet — and
+                // an applied piggyback ack must wake `flush()` waiters.
+                self.ensure_retry_thread();
+                self.cond.notify_all();
             }
-            FRAME_ACK if raw.len() >= 17 => {
+            FRAME_JUMBO if hdr.len() >= 8 => {
+                let count = u16::from_le_bytes([hdr[5], hdr[6]]) as usize;
+                let piggy =
+                    (hdr[7] == 1 && hdr.len() >= 20).then(|| (rd_u32(&hdr, 8), rd_u64(&hdr, 12)));
+                // Unpack sub-frames (zero-copy slices of the carrier
+                // payload) *before* the hold-back, so each runs the exact
+                // lone-DATA receive path.
+                let body = msg.payload.clone();
+                let mut subs = Vec::with_capacity(count);
+                let mut off = 0usize;
+                for _ in 0..count {
+                    if off + SUB_OVERHEAD > body.len() {
+                        break;
+                    }
+                    let seq = rd_u64(&body, off);
+                    let tag = rd_u64(&body, off + 8);
+                    let span = rd_u64(&body, off + 16);
+                    let len = rd_u32(&body, off + 24) as usize;
+                    off += SUB_OVERHEAD;
+                    if off + len > body.len() {
+                        break;
+                    }
+                    subs.push((seq, tag, span, body.slice(off..off + len)));
+                    off += len;
+                }
+                let due_ns = msg.due_ns;
+                let (deliverable, outs, burst, burst_epoch) = {
+                    let mut st = self.state.lock();
+                    if !Self::observe_epoch(&mut st, src, epoch_field, self.module) {
+                        return;
+                    }
+                    let mut deliverable = Vec::new();
+                    for (seq, tag, span, payload) in &subs {
+                        let sub = Message {
+                            src,
+                            dst: msg.dst,
+                            channel,
+                            tag: *tag,
+                            header: Bytes::new(),
+                            payload: payload.clone(),
+                            span: *span,
+                            due_ns,
+                        };
+                        deliverable.extend(st.peers[src].admit(*seq, sub));
+                    }
+                    let mut outs = self.note_ack_owed(&mut st, src, channel, subs.len() as u32);
+                    let burst = match piggy {
+                        Some((de, cum)) => {
+                            let (burst, more) = self.apply_ack(&mut st, src, de, epoch_field, cum);
+                            outs.extend(more);
+                            burst
+                        }
+                        None => Vec::new(),
+                    };
+                    (deliverable, outs, burst, st.my_epoch)
+                };
+                // One jumbo carrier = one engine-level MsgSend/MsgDeliver
+                // pair; re-emit a per-logical pair for every sub-frame it
+                // carried, stamped at the carrier's modeled delivery time,
+                // so trace_check's pairing and causal edges see N logical
+                // messages, not one opaque blob.
+                if hiper_trace::enabled() {
+                    let link = crate::engine::link_word(src, msg.dst);
+                    for (_, _, span, _) in &subs {
+                        let id = crate::engine::next_msg_id();
+                        hiper_trace::emit_at(due_ns, EventKind::MsgSend, *span, link, id);
+                        hiper_trace::emit_at(due_ns, EventKind::MsgDeliver, *span, link, id);
+                    }
+                }
+                deliver(inner, deliverable);
+                self.ship(outs);
+                self.burst(src, burst_epoch, burst);
+                self.ensure_retry_thread();
+                self.cond.notify_all();
+            }
+            FRAME_ACK if hdr.len() >= 17 => {
                 // data_epoch: whose send space the cum refers to (ours, if
                 // current); acker_epoch: the acker's incarnation.
-                let data_epoch = epoch_field;
-                let acker_epoch = u32::from_le_bytes(raw[5..9].try_into().unwrap());
-                let cum = u64::from_le_bytes(raw[9..17].try_into().unwrap());
-                let burst = {
+                let acker_epoch = rd_u32(&hdr, 5);
+                let cum = rd_u64(&hdr, 9);
+                let (burst, outs, burst_epoch) = {
                     let mut st = self.state.lock();
-                    let known = st.peers[src].epoch;
-                    if acker_epoch < known {
-                        // Ack from a dead incarnation: its cum refers to
-                        // receive state that was rolled back. Applying it
-                        // would falsely retire frames the restored peer
-                        // still needs.
-                        if crate::supervise::debug_enabled() {
-                            eprintln!(
-                                "[rel r{}] drop stale ACK src={} acker_epoch={} known={} cum={}",
-                                self.transport.rank(),
-                                src,
-                                acker_epoch,
-                                known,
-                                cum
-                            );
-                        }
-                        return;
-                    }
-                    if data_epoch != st.my_epoch {
-                        // Acks our own previous incarnation's space.
-                        if crate::supervise::debug_enabled() {
-                            eprintln!(
-                                "[rel r{}] drop old-space ACK src={} data_epoch={} my_epoch={} cum={}",
-                                self.transport.rank(),
-                                src,
-                                data_epoch,
-                                st.my_epoch,
-                                cum,
-                            );
-                        }
-                        return;
-                    }
-                    let epoch_advance = acker_epoch > known;
-                    if !Self::observe_epoch(&mut st, src, acker_epoch, self.module) {
-                        return;
-                    }
-                    let retention = self.retention.load(Ordering::Acquire);
-                    let cfg = self.cfg;
-                    let peer = &mut st.peers[src];
-                    peer.last_ack_at = Some(Instant::now());
-                    if epoch_advance {
-                        // The ack overtook the peer's RESTART frame: its
-                        // cum is the restored receive watermark, so run the
-                        // full resync now rather than waiting.
-                        Self::resync_send_side(peer, cum, &cfg)
-                    } else {
-                        let mut acked = peer.unacked.split_off(&cum);
-                        std::mem::swap(&mut acked, &mut peer.unacked);
-                        if !acked.is_empty() {
-                            if retention {
-                                peer.log.extend(acked);
-                            }
-                            // Head of line advanced: fresh retry budget for
-                            // the new head (per-frame bounded attempts).
-                            peer.head_timeout = cfg.timeout;
-                            peer.head_attempts = 1;
-                            peer.head_deadline = if peer.unacked.is_empty() {
-                                None
-                            } else {
-                                Some(Instant::now() + cfg.timeout)
-                            };
-                        }
-                        Vec::new()
-                    }
+                    let (burst, outs) = self.apply_ack(&mut st, src, epoch_field, acker_epoch, cum);
+                    (burst, outs, st.my_epoch)
                 };
-                self.burst(src, burst);
+                self.ship(outs);
+                self.burst(src, burst_epoch, burst);
+                self.cond.notify_all();
             }
-            FRAME_RESTART if raw.len() >= 13 => {
-                let cum = u64::from_le_bytes(raw[5..13].try_into().unwrap());
-                let (burst, ack) = {
+            FRAME_RESTART if hdr.len() >= 13 => {
+                let cum = rd_u64(&hdr, 5);
+                let (burst, burst_epoch) = {
                     let mut st = self.state.lock();
                     if !Self::observe_epoch(&mut st, src, epoch_field, self.module) {
                         return;
@@ -807,11 +1291,17 @@ impl ReliableTransport {
                     let peer = &mut st.peers[src];
                     // Idempotent on duplicates: re-pruning below cum and
                     // re-sending the burst/ack is harmless.
-                    let burst = Self::resync_send_side(peer, cum, &cfg);
-                    (burst, restart_ack_frame(epoch_field))
+                    (Self::resync_send_side(peer, cum, &cfg), st.my_epoch)
                 };
-                self.transport.send(src, channel, 0, ack);
-                self.burst(src, burst);
+                self.transport.send_framed(
+                    src,
+                    channel,
+                    0,
+                    restart_ack_header(epoch_field),
+                    Bytes::new(),
+                    0,
+                );
+                self.burst(src, burst_epoch, burst);
             }
             FRAME_RESTART_ACK => {
                 let mut st = self.state.lock();
@@ -821,8 +1311,8 @@ impl ReliableTransport {
                     peer.restart_deadline = None;
                 }
             }
-            FRAME_CKPT if raw.len() >= 13 => {
-                let watermark = u64::from_le_bytes(raw[5..13].try_into().unwrap());
+            FRAME_CKPT if hdr.len() >= 13 => {
+                let watermark = rd_u64(&hdr, 5);
                 let mut st = self.state.lock();
                 if !Self::observe_epoch(&mut st, src, epoch_field, self.module) {
                     return;
@@ -836,14 +1326,23 @@ impl ReliableTransport {
         }
     }
 
-    /// Retransmits a resync burst in sequence order (outside the lock).
-    fn burst(self: &Arc<Self>, dst: Rank, frames: Vec<StoredFrame>) {
+    /// Retransmits a resync burst in sequence order (outside the lock),
+    /// rebuilding each DATA header under `epoch` — zero payload copies.
+    fn burst(self: &Arc<Self>, dst: Rank, epoch: u32, frames: Vec<(u64, StoredFrame)>) {
         if frames.is_empty() {
             return;
         }
-        for (channel, tag, frame, span) in frames {
+        for (seq, (channel, tag, payload, span)) in frames {
             self.retries.fetch_add(1, Ordering::Relaxed);
-            self.transport.send_span(dst, channel, tag, frame, span);
+            self.payload_copies_avoided.fetch_add(1, Ordering::Relaxed);
+            self.transport.send_framed(
+                dst,
+                channel,
+                tag,
+                data_header(epoch, seq, None),
+                payload,
+                span,
+            );
         }
         self.cond.notify_all();
     }
@@ -856,6 +1355,17 @@ impl ReliableTransport {
         st.retry_running = true;
         drop(st);
         let weak = Arc::downgrade(self);
+        // Engine stop must wake the retry/flush thread immediately: its
+        // condvar wait can be a full backoff period long, and a stopped
+        // wire will never ack it awake.
+        {
+            let weak = weak.clone();
+            self.transport.engine().on_stop(move || {
+                if let Some(me) = weak.upgrade() {
+                    me.cond.notify_all();
+                }
+            });
+        }
         std::thread::Builder::new()
             .name(format!("hiper-rel-{}", self.transport.rank()))
             .spawn(move || retry_loop(weak))
@@ -863,7 +1373,55 @@ impl ReliableTransport {
     }
 }
 
-fn ack_frame(data_epoch: u32, acker_epoch: u32, cum: u64) -> Bytes {
+/// Delivers decoded messages to the inner handler, each under its own
+/// causal span (a jumbo carrier arrives with span 0; a drained hold-back
+/// frame's span differs from the frame that unblocked it).
+fn deliver(inner: &Handler, msgs: Vec<Message>) {
+    for m in msgs {
+        let prev = hiper_trace::set_current_task(m.span);
+        inner(m);
+        hiper_trace::set_current_task(prev);
+    }
+}
+
+fn rd_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn rd_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+fn data_header(epoch: u32, seq: u64, ack: Option<(u32, u64)>) -> Bytes {
+    let mut buf = Vec::with_capacity(26);
+    buf.push(FRAME_DATA);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    push_ack(&mut buf, ack);
+    Bytes::from(buf)
+}
+
+fn jumbo_header(epoch: u32, count: u16, ack: Option<(u32, u64)>) -> Bytes {
+    let mut buf = Vec::with_capacity(20);
+    buf.push(FRAME_JUMBO);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&count.to_le_bytes());
+    push_ack(&mut buf, ack);
+    Bytes::from(buf)
+}
+
+fn push_ack(buf: &mut Vec<u8>, ack: Option<(u32, u64)>) {
+    match ack {
+        Some((data_epoch, cum)) => {
+            buf.push(1);
+            buf.extend_from_slice(&data_epoch.to_le_bytes());
+            buf.extend_from_slice(&cum.to_le_bytes());
+        }
+        None => buf.push(0),
+    }
+}
+
+fn ack_header(data_epoch: u32, acker_epoch: u32, cum: u64) -> Bytes {
     let mut buf = Vec::with_capacity(17);
     buf.push(FRAME_ACK);
     buf.extend_from_slice(&data_epoch.to_le_bytes());
@@ -872,7 +1430,7 @@ fn ack_frame(data_epoch: u32, acker_epoch: u32, cum: u64) -> Bytes {
     Bytes::from(buf)
 }
 
-fn restart_frame(epoch: u32, cum: u64) -> Bytes {
+fn restart_header(epoch: u32, cum: u64) -> Bytes {
     let mut buf = Vec::with_capacity(13);
     buf.push(FRAME_RESTART);
     buf.extend_from_slice(&epoch.to_le_bytes());
@@ -880,19 +1438,30 @@ fn restart_frame(epoch: u32, cum: u64) -> Bytes {
     Bytes::from(buf)
 }
 
-fn restart_ack_frame(epoch: u32) -> Bytes {
+fn restart_ack_header(epoch: u32) -> Bytes {
     let mut buf = Vec::with_capacity(5);
     buf.push(FRAME_RESTART_ACK);
     buf.extend_from_slice(&epoch.to_le_bytes());
     Bytes::from(buf)
 }
 
-/// The per-endpoint retry thread: retransmits head-of-line frames whose
-/// deadline passed, re-sends unacknowledged `RESTART` announcements,
-/// declares peers unreachable when the budget is gone, and exits when the
-/// owning [`ReliableTransport`] is dropped or the cluster's delivery
-/// engine stops (a stopped wire can never ack, so retrying against it
-/// only burns CPU and spams `Unreachable` errors long after the run).
+fn ckpt_header(epoch: u32, watermark: u64) -> Bytes {
+    let mut buf = Vec::with_capacity(13);
+    buf.push(FRAME_CKPT);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&watermark.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// The per-endpoint retry thread, which doubles as the *flusher*: besides
+/// retransmitting head-of-line frames whose deadline passed and re-sending
+/// unacknowledged `RESTART` announcements, it drains staged coalescing
+/// queues and flushes owed standalone acks when their (µs-scale) deadlines
+/// arrive. Its condvar is notified on ack arrival, new staging, quiesce
+/// release, and engine stop, so it wakes exactly when there is work.
+/// Exits when the owning [`ReliableTransport`] is dropped or the cluster's
+/// delivery engine stops (a stopped wire can never ack, so retrying
+/// against it only burns CPU and spams `Unreachable` errors).
 fn retry_loop(weak: Weak<ReliableTransport>) {
     loop {
         let me = match weak.upgrade() {
@@ -904,15 +1473,17 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
         }
         let now = Instant::now();
         #[allow(clippy::type_complexity)]
-        let mut resend: Vec<(Rank, Channel, u64, Bytes, u64, u32, u64)> = Vec::new();
+        let mut resend: Vec<(Rank, Channel, u64, Bytes, Bytes, u64, u32, u64)> = Vec::new();
         let mut control: Vec<(Rank, Channel, Bytes)> = Vec::new();
+        let mut flushed: Vec<Out> = Vec::new();
         let mut wait = Duration::from_millis(20);
         {
             let mut st = me.state.lock();
             let my_epoch = st.my_epoch;
             let control_channel = st.channels.first().copied();
             let mut newly_dead: Option<(Rank, u32)> = None;
-            for (dst, peer) in st.peers.iter_mut().enumerate() {
+            let mut peers = std::mem::take(&mut st.peers);
+            for (dst, peer) in peers.iter_mut().enumerate() {
                 if peer.quiesced {
                     continue;
                 }
@@ -933,12 +1504,33 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                                 control.push((
                                     dst,
                                     channel,
-                                    restart_frame(my_epoch, peer.restart_cum),
+                                    restart_header(my_epoch, peer.restart_cum),
                                 ));
                             }
                         } else {
                             wait = wait.min(deadline - now);
                         }
+                    }
+                }
+                // Staged-coalescing flush deadline.
+                if let Some(deadline) = peer.stage_deadline {
+                    if deadline <= now {
+                        flushed.extend(me.drain_staged(peer, my_epoch, dst));
+                    } else {
+                        wait = wait.min(deadline - now);
+                    }
+                }
+                // Owed-ack flush deadline.
+                if let Some(deadline) = peer.ack_deadline {
+                    if deadline <= now {
+                        if let (Some((data_epoch, cum)), Some(channel)) =
+                            (peer.take_ack(), control_channel)
+                        {
+                            me.acks_flushed.fetch_add(1, Ordering::Relaxed);
+                            control.push((dst, channel, ack_header(data_epoch, my_epoch, cum)));
+                        }
+                    } else {
+                        wait = wait.min(deadline - now);
                     }
                 }
                 let deadline = match peer.head_deadline {
@@ -953,19 +1545,19 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                     peer.dead = true;
                     peer.unacked.clear();
                     peer.log.clear();
+                    peer.clear_stage();
                     peer.head_deadline = None;
                     newly_dead = Some((dst, peer.head_attempts));
                     continue;
                 }
-                let (&seq, (channel, tag, frame, span)) =
+                let (&seq, (channel, tag, payload, span)) =
                     peer.unacked.iter().next().expect("deadline without frame");
                 if peer.head_attempts < 3 && crate::supervise::debug_enabled() {
                     eprintln!(
-                        "[rel r{}] retransmit dst={} seq={} kind={} attempt={} chan={} tag={:#x}",
+                        "[rel r{}] retransmit dst={} seq={} attempt={} chan={} tag={:#x}",
                         me.transport.rank(),
                         dst,
                         seq,
-                        frame.first().copied().unwrap_or(255),
                         peer.head_attempts + 1,
                         channel.0,
                         tag,
@@ -982,12 +1574,14 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                     dst,
                     *channel,
                     *tag,
-                    frame.clone(),
+                    data_header(my_epoch, seq, None),
+                    payload.clone(),
                     seq,
                     peer.head_attempts,
                     *span,
                 ));
             }
+            st.peers = peers;
             if let Some((dst, attempts)) = newly_dead {
                 if crate::supervise::debug_enabled() {
                     let p = &st.peers[dst];
@@ -1010,11 +1604,14 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                 }
             }
         }
-        for (dst, channel, frame) in control {
-            me.transport.send(dst, channel, 0, frame);
+        me.ship(flushed);
+        for (dst, channel, header) in control {
+            me.transport
+                .send_framed(dst, channel, 0, header, Bytes::new(), 0);
         }
-        for (dst, channel, tag, frame, seq, attempt, span) in resend {
+        for (dst, channel, tag, header, payload, seq, attempt, span) in resend {
             me.retries.fetch_add(1, Ordering::Relaxed);
+            me.payload_copies_avoided.fetch_add(1, Ordering::Relaxed);
             if hiper_metrics::enabled() {
                 hiper_metrics::counter("hiper_reliable_retransmits_total").inc();
             }
@@ -1026,7 +1623,8 @@ fn retry_loop(weak: Weak<ReliableTransport>) {
                     attempt as u64,
                 );
             }
-            me.transport.send_span(dst, channel, tag, frame, span);
+            me.transport
+                .send_framed(dst, channel, tag, header, payload, span);
         }
         let mut st = me.state.lock();
         me.cond.wait_for(&mut st, wait);
